@@ -1,0 +1,40 @@
+//! A3 — cover algorithms head to head: greedy (H_m-approximate) vs the
+//! primal-dual pricing scheme (Δ_F-approximate, with LP certificate), on
+//! the Cellzome hypergraph and random hypergraphs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hypergraph::{greedy_vertex_cover, pricing_vertex_cover, VertexId};
+use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_cover");
+
+    let ds = cellzome_like(CELLZOME_SEED);
+    let h = &ds.hypergraph;
+    let weight = |v: VertexId| {
+        let d = h.vertex_degree(v) as f64;
+        d * d
+    };
+    g.bench_function("cellzome/greedy", |b| {
+        b.iter(|| greedy_vertex_cover(black_box(h), weight).unwrap())
+    });
+    g.bench_function("cellzome/pricing", |b| {
+        b.iter(|| pricing_vertex_cover(black_box(h), weight).unwrap())
+    });
+
+    for n in [500usize, 2000, 8000] {
+        let hr = hypergen::uniform_random_hypergraph(n, n, 5, 7);
+        g.bench_with_input(BenchmarkId::new("uniform/greedy", n), &hr, |b, hr| {
+            b.iter(|| greedy_vertex_cover(black_box(hr), |_| 1.0).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("uniform/pricing", n), &hr, |b, hr| {
+            b.iter(|| pricing_vertex_cover(black_box(hr), |_| 1.0).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! A2 — the paper's overlap-counting maximality detection vs naive
+//! pairwise subset testing, on hypergraphs of increasing overlap density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use hypergraph::reduce::non_maximal_edges_naive;
+use hypergraph::non_maximal_edges;
+use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_maximality");
+    g.measurement_time(Duration::from_secs(6));
+
+    let ds = cellzome_like(CELLZOME_SEED);
+    g.bench_function("cellzome/overlap", |b| {
+        b.iter(|| non_maximal_edges(black_box(&ds.hypergraph)))
+    });
+    g.bench_function("cellzome/naive", |b| {
+        b.iter(|| non_maximal_edges_naive(black_box(&ds.hypergraph)))
+    });
+
+    for m in [100usize, 200, 400] {
+        let h = hypergen::uniform_random_hypergraph(m, m, 6, 42);
+        g.bench_with_input(BenchmarkId::new("uniform/overlap", m), &h, |b, h| {
+            b.iter(|| non_maximal_edges(black_box(h)))
+        });
+        g.bench_with_input(BenchmarkId::new("uniform/naive", m), &h, |b, h| {
+            b.iter(|| non_maximal_edges_naive(black_box(h)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! A1 — cost of building the three lossy projections vs the hypergraph
+//! itself, across complex sizes: the paper's O(n) vs O(n²) argument as a
+//! construction-time ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hypergraph::projections::{clique_expansion, intersection_graph, star_expansion};
+use hypergraph::HypergraphBuilder;
+use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
+
+/// `m` complexes of size `s` over a shared pool: one hub per complex.
+fn uniform_complexes(m: usize, s: usize) -> hypergraph::Hypergraph {
+    let n = m * s;
+    let mut b = HypergraphBuilder::new(n);
+    for i in 0..m {
+        b.add_edge((0..s as u32).map(|j| (i * s) as u32 + j));
+    }
+    b.build()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_space");
+
+    let ds = cellzome_like(CELLZOME_SEED);
+    g.bench_function("cellzome/clique_expansion", |b| {
+        b.iter(|| clique_expansion(black_box(&ds.hypergraph)))
+    });
+    g.bench_function("cellzome/star_expansion", |b| {
+        b.iter(|| {
+            star_expansion(black_box(&ds.hypergraph), |f| {
+                ds.hypergraph.pins(f).first().copied().unwrap_or(hypergraph::VertexId(0))
+            })
+        })
+    });
+    g.bench_function("cellzome/intersection_graph", |b| {
+        b.iter(|| intersection_graph(black_box(&ds.hypergraph)))
+    });
+
+    // Complex-size sweep: clique cost grows quadratically in s.
+    for s in [8usize, 16, 32, 64] {
+        let h = uniform_complexes(64, s);
+        g.bench_with_input(BenchmarkId::new("clique_by_size", s), &h, |b, h| {
+            b.iter(|| clique_expansion(black_box(h)))
+        });
+        g.bench_with_input(BenchmarkId::new("star_by_size", s), &h, |b, h| {
+            b.iter(|| star_expansion(black_box(h), |f| h.pins(f)[0]))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

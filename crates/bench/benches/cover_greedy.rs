@@ -1,0 +1,44 @@
+//! E7 / §4.2 — the three bait-selection cover computations on the
+//! Cellzome hypergraph (unit greedy, degree²-weighted greedy, 2x
+//! multicover).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hypergraph::{greedy_multicover, greedy_vertex_cover, EdgeId, VertexId};
+use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
+
+fn bench(c: &mut Criterion) {
+    let ds = cellzome_like(CELLZOME_SEED);
+    let h = &ds.hypergraph;
+    let singles: std::collections::HashSet<u32> =
+        ds.singleton_complexes.iter().map(|f| f.0).collect();
+
+    let mut g = c.benchmark_group("cover_greedy");
+    g.bench_function("unit_weights", |b| {
+        b.iter(|| greedy_vertex_cover(black_box(h), |_| 1.0).unwrap())
+    });
+    g.bench_function("degree_squared_weights", |b| {
+        b.iter(|| {
+            greedy_vertex_cover(black_box(h), |v: VertexId| {
+                let d = h.vertex_degree(v) as f64;
+                d * d
+            })
+            .unwrap()
+        })
+    });
+    g.bench_function("multicover_2x", |b| {
+        b.iter(|| {
+            greedy_multicover(
+                black_box(h),
+                |_| 1.0,
+                |f: EdgeId| if singles.contains(&f.0) { 0 } else { 2 },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E2 / Fig. 1 — cost of the degree-distribution pipeline: histogram
+//! construction and log-log least-squares fit on the Cellzome hypergraph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hypergraph::{fit_power_law, vertex_degree_histogram};
+use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
+
+fn bench(c: &mut Criterion) {
+    let ds = cellzome_like(CELLZOME_SEED);
+    let hist = vertex_degree_histogram(&ds.hypergraph);
+
+    let mut g = c.benchmark_group("fig1_powerlaw");
+    g.bench_function("degree_histogram", |b| {
+        b.iter(|| vertex_degree_histogram(black_box(&ds.hypergraph)))
+    });
+    g.bench_function("fit_power_law", |b| {
+        b.iter(|| fit_power_law(black_box(&hist)).unwrap())
+    });
+    g.bench_function("histogram_plus_fit", |b| {
+        b.iter(|| {
+            let h = vertex_degree_histogram(black_box(&ds.hypergraph));
+            fit_power_law(&h).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

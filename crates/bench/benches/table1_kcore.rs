@@ -1,0 +1,31 @@
+//! E4 / Table 1 — maximum-core computation time on the Cellzome
+//! hypergraph and each synthetic Matrix-Market-style hypergraph (the
+//! paper reports 0.47 s for Cellzome on a 2 GHz Xeon, and up to hours
+//! for the large matrices).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use hypergraph::max_core;
+use matrixmarket::{row_net, table1_suite};
+use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_kcore");
+    g.sample_size(10).measurement_time(Duration::from_secs(12));
+
+    let ds = cellzome_like(CELLZOME_SEED);
+    g.bench_function("cellzome", |b| {
+        b.iter(|| max_core(black_box(&ds.hypergraph)).unwrap())
+    });
+
+    for (name, m) in table1_suite() {
+        let h = row_net(&m);
+        g.bench_function(name, |b| b.iter(|| max_core(black_box(&h)).unwrap()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E9 — cost of the simulated TAP experiment and its evaluation, per
+//! bait strategy (the experiment simulator is the workload generator for
+//! the paper's §4 reliability argument).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
+use proteome::{bait_selection_report, evaluate_recovery, run_tap, TapConfig};
+
+fn bench(c: &mut Criterion) {
+    let ds = cellzome_like(CELLZOME_SEED);
+    let h = &ds.hypergraph;
+    let report = bait_selection_report(&ds);
+    let cfg = TapConfig::default();
+
+    let mut g = c.benchmark_group("tap_recovery");
+    for (name, baits) in [
+        ("cover_unit", &report.unweighted.cover.vertices),
+        ("cover_deg2", &report.degree_squared.cover.vertices),
+        ("multicover2", &report.multicover2.cover.vertices),
+    ] {
+        g.bench_function(format!("run/{name}"), |b| {
+            b.iter(|| run_tap(black_box(h), baits, cfg, 7))
+        });
+        let run = run_tap(h, baits, cfg, 7);
+        g.bench_function(format!("evaluate/{name}"), |b| {
+            b.iter(|| evaluate_recovery(black_box(h), baits, &run))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

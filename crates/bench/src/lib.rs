@@ -1,0 +1,2 @@
+//! Benchmark-only crate: see `benches/` for one Criterion target per
+//! paper table/figure plus the ablations (DESIGN.md §4).

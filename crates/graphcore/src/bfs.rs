@@ -1,0 +1,228 @@
+//! Breadth-first search, shortest-path distances, diameter, and
+//! average path length — the small-world statistics of the paper's §2,
+//! computed on plain graphs (and reused by the hypergraph crate through its
+//! bipartite view).
+
+use crate::graph::{Graph, NodeId};
+use crate::UNREACHABLE;
+
+/// Unweighted shortest-path distances from `source` to every node.
+///
+/// Unreachable nodes get [`UNREACHABLE`]. O(n + m).
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_nodes()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS that reuses caller-provided scratch buffers; used by the exact
+/// all-pairs sweeps so the per-source allocation disappears from the
+/// hot loop (perf-book: hoist allocations out of loops).
+pub(crate) fn bfs_into(
+    g: &Graph,
+    source: NodeId,
+    dist: &mut [u32],
+    queue: &mut std::collections::VecDeque<NodeId>,
+) {
+    dist.fill(UNREACHABLE);
+    queue.clear();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+}
+
+/// Maximum finite distance from `source` (its eccentricity within its
+/// component). Returns 0 for an isolated node.
+pub fn eccentricity(g: &Graph, source: NodeId) -> u32 {
+    bfs_distances(g, source)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Aggregate distance statistics over all *reachable ordered pairs*
+/// (u, v), u ≠ v — the quantities behind the paper's "diameter 6,
+/// average path length 2.568" claim.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistanceStats {
+    /// Largest finite pairwise distance.
+    pub diameter: u32,
+    /// Mean finite pairwise distance over reachable ordered pairs.
+    pub average_path_length: f64,
+    /// Number of reachable ordered pairs contributing to the mean.
+    pub reachable_pairs: u64,
+}
+
+/// Exact diameter and average path length by a BFS from every node:
+/// O(n (n + m)). Exact is fine at Cellzome scale (~1.4k + 232 nodes in
+/// the bipartite view); for larger inputs see [`distance_stats_sampled`].
+pub fn distance_stats_exact(g: &Graph) -> DistanceStats {
+    let mut diameter = 0u32;
+    let mut total = 0u128;
+    let mut pairs = 0u64;
+    let mut dist = vec![0u32; g.num_nodes()];
+    let mut queue = std::collections::VecDeque::new();
+    for u in g.nodes() {
+        bfs_into(g, u, &mut dist, &mut queue);
+        for (v, &d) in dist.iter().enumerate() {
+            if d != UNREACHABLE && v != u.index() {
+                diameter = diameter.max(d);
+                total += d as u128;
+                pairs += 1;
+            }
+        }
+    }
+    DistanceStats {
+        diameter,
+        average_path_length: if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        },
+        reachable_pairs: pairs,
+    }
+}
+
+/// Distance statistics estimated by BFS from `sources` chosen by the
+/// caller (e.g. a random sample). The diameter estimate is a lower bound;
+/// the average is over pairs (s, v) with s in `sources`.
+pub fn distance_stats_sampled(g: &Graph, sources: &[NodeId]) -> DistanceStats {
+    let mut diameter = 0u32;
+    let mut total = 0u128;
+    let mut pairs = 0u64;
+    let mut dist = vec![0u32; g.num_nodes()];
+    let mut queue = std::collections::VecDeque::new();
+    for &u in sources {
+        bfs_into(g, u, &mut dist, &mut queue);
+        for (v, &d) in dist.iter().enumerate() {
+            if d != UNREACHABLE && v != u.index() {
+                diameter = diameter.max(d);
+                total += d as u128;
+                pairs += 1;
+            }
+        }
+    }
+    DistanceStats {
+        diameter,
+        average_path_length: if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        },
+        reachable_pairs: pairs,
+    }
+}
+
+/// Exact diameter (largest finite pairwise distance).
+pub fn diameter(g: &Graph) -> u32 {
+    distance_stats_exact(g).diameter
+}
+
+/// Exact average shortest-path length over reachable ordered pairs.
+pub fn average_path_length(g: &Graph) -> f64 {
+    distance_stats_exact(g).average_path_length
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 1..n {
+            b.add_edge(NodeId(i as u32 - 1), NodeId(i as u32));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d = bfs_distances(&g, NodeId(2));
+        assert_eq!(d, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1));
+        let g = b.build();
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        assert_eq!(diameter(&path(6)), 5);
+    }
+
+    #[test]
+    fn eccentricity_center_vs_end() {
+        let g = path(5);
+        assert_eq!(eccentricity(&g, NodeId(0)), 4);
+        assert_eq!(eccentricity(&g, NodeId(2)), 2);
+    }
+
+    #[test]
+    fn average_path_length_path3() {
+        // path 0-1-2: ordered pairs distances 1,1,1,1,2,2 -> mean 8/6.
+        let apl = average_path_length(&path(3));
+        assert!((apl - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_ignore_cross_component_pairs() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(2), NodeId(3));
+        let g = b.build();
+        let s = distance_stats_exact(&g);
+        assert_eq!(s.diameter, 1);
+        assert_eq!(s.reachable_pairs, 4);
+        assert!((s.average_path_length - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_matches_exact_when_all_sources() {
+        let g = path(7);
+        let all: Vec<_> = g.nodes().collect();
+        let exact = distance_stats_exact(&g);
+        let sampled = distance_stats_sampled(&g, &all);
+        assert_eq!(exact, sampled);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new(0).build();
+        let s = distance_stats_exact(&g);
+        assert_eq!(s.diameter, 0);
+        assert_eq!(s.reachable_pairs, 0);
+        assert_eq!(s.average_path_length, 0.0);
+    }
+}

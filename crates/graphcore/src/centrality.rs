@@ -1,0 +1,153 @@
+//! Betweenness centrality (Brandes' algorithm).
+//!
+//! Used to compare the hypergraph core against centrality-based notions
+//! of "important" proteins in the PPI baselines: high-coreness vertices
+//! are typically, but not always, high-betweenness vertices, and the
+//! k-core is far cheaper to compute.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, NodeId};
+
+/// Exact betweenness centrality of every node (unweighted shortest
+/// paths, Brandes' accumulation), O(n·m). Scores count ordered pairs;
+/// for the undirected convention divide by 2 (or use
+/// [`betweenness_normalized`]).
+pub fn betweenness(g: &Graph) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut centrality = vec![0.0f64; n];
+
+    let mut stack: Vec<u32> = Vec::with_capacity(n);
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![-1i64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+
+    for s in 0..n as u32 {
+        stack.clear();
+        queue.clear();
+        for p in preds.iter_mut() {
+            p.clear();
+        }
+        sigma.fill(0.0);
+        dist.fill(-1);
+        delta.fill(0.0);
+
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for &w in g.neighbors(NodeId(v)) {
+                let w = w.0;
+                if dist[w as usize] < 0 {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w as usize] == dist[v as usize] + 1 {
+                    sigma[w as usize] += sigma[v as usize];
+                    preds[w as usize].push(v);
+                }
+            }
+        }
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w as usize] {
+                delta[v as usize] += sigma[v as usize] / sigma[w as usize]
+                    * (1.0 + delta[w as usize]);
+            }
+            if w != s {
+                centrality[w as usize] += delta[w as usize];
+            }
+        }
+    }
+    centrality
+}
+
+/// Betweenness normalized to [0, 1]: divided by the number of ordered
+/// pairs not involving the node, `(n-1)(n-2)`. Returns zeros for n < 3.
+pub fn betweenness_normalized(g: &Graph) -> Vec<f64> {
+    let n = g.num_nodes();
+    let raw = betweenness(g);
+    if n < 3 {
+        return vec![0.0; n];
+    }
+    let scale = ((n - 1) * (n - 2)) as f64;
+    raw.into_iter().map(|c| c / scale).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 1..n {
+            b.add_edge(NodeId(i as u32 - 1), NodeId(i as u32));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn path_center_is_most_between() {
+        // Path 0-1-2-3-4: node 2 lies on the most shortest paths.
+        let c = betweenness(&path(5));
+        assert!(c[2] > c[1]);
+        assert!(c[1] > c[0]);
+        assert_eq!(c[0], 0.0);
+        // Exact values: node 1 bridges {0}x{2,3,4} (ordered both ways): 6;
+        // node 2 bridges {0,1}x{3,4}: 8.
+        assert_eq!(c[1], 6.0);
+        assert_eq!(c[2], 8.0);
+    }
+
+    #[test]
+    fn star_hub_carries_everything() {
+        let mut b = GraphBuilder::new(5);
+        for i in 1..5u32 {
+            b.add_edge(NodeId(0), NodeId(i));
+        }
+        let g = b.build();
+        let c = betweenness(&g);
+        // Hub: all 4*3 = 12 ordered leaf pairs route through it.
+        assert_eq!(c[0], 12.0);
+        assert!(c[1..].iter().all(|&x| x == 0.0));
+        let n = betweenness_normalized(&g);
+        assert!((n[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clique_has_zero_betweenness() {
+        let mut b = GraphBuilder::new(4);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(NodeId(u), NodeId(v));
+            }
+        }
+        let c = betweenness(&b.build());
+        assert!(c.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn split_shortest_paths_share_credit() {
+        // 4-cycle: two shortest paths between opposite corners, each
+        // midpoint gets half of each ordered pair: 2 * 0.5 = 1.0.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(2), NodeId(3));
+        b.add_edge(NodeId(3), NodeId(0));
+        let c = betweenness(&b.build());
+        assert!(c.iter().all(|&x| (x - 1.0).abs() < 1e-12), "{c:?}");
+    }
+
+    #[test]
+    fn disconnected_and_degenerate() {
+        let c = betweenness(&GraphBuilder::new(0).build());
+        assert!(c.is_empty());
+        let c = betweenness(&GraphBuilder::new(3).build());
+        assert!(c.iter().all(|&x| x == 0.0));
+        assert_eq!(betweenness_normalized(&path(2)), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Degree–degree correlations: assortativity and the Maslov–Sneppen-style
+//! joint degree profile the paper cites ([8]) when criticizing clique
+//! expansions.
+
+use crate::graph::Graph;
+
+/// Pearson degree assortativity (Newman's r): correlation of the degrees
+/// at the two ends of an edge, in [-1, 1]. `None` when the graph has no
+/// edge or all endpoint degrees are equal (undefined variance).
+pub fn degree_assortativity(g: &Graph) -> Option<f64> {
+    let m = g.num_edges();
+    if m == 0 {
+        return None;
+    }
+    // Sums over edges of endpoint degrees (each edge counted once, both
+    // orientations folded into the symmetric estimator).
+    let mut s_prod = 0.0f64;
+    let mut s_sum = 0.0f64;
+    let mut s_sq = 0.0f64;
+    for (u, v) in g.edges() {
+        let (du, dv) = (g.degree(u) as f64, g.degree(v) as f64);
+        s_prod += du * dv;
+        s_sum += 0.5 * (du + dv);
+        s_sq += 0.5 * (du * du + dv * dv);
+    }
+    let mf = m as f64;
+    let num = s_prod / mf - (s_sum / mf).powi(2);
+    let den = s_sq / mf - (s_sum / mf).powi(2);
+    if den.abs() < 1e-15 {
+        None
+    } else {
+        Some(num / den)
+    }
+}
+
+/// Mean degree of the neighbours of degree-d nodes: `knn[d]` is the
+/// average, over nodes of degree `d`, of their neighbours' mean degree
+/// (NaN-free: degrees with no nodes yield 0). A decreasing profile means
+/// disassortativity — the signature Maslov & Sneppen reported for
+/// protein networks.
+pub fn mean_neighbor_degree_profile(g: &Graph) -> Vec<f64> {
+    let max_d = g.max_degree();
+    let mut sum = vec![0.0f64; max_d + 1];
+    let mut count = vec![0usize; max_d + 1];
+    for u in g.nodes() {
+        let d = g.degree(u);
+        if d == 0 {
+            continue;
+        }
+        let mean: f64 =
+            g.neighbors(u).iter().map(|&v| g.degree(v) as f64).sum::<f64>() / d as f64;
+        sum[d] += mean;
+        count[d] += 1;
+    }
+    sum.iter()
+        .zip(&count)
+        .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, NodeId};
+
+    #[test]
+    fn regular_graph_assortativity_undefined() {
+        // Cycle: every endpoint degree is 2 -> zero variance.
+        let mut b = GraphBuilder::new(5);
+        for i in 0..5u32 {
+            b.add_edge(NodeId(i), NodeId((i + 1) % 5));
+        }
+        assert_eq!(degree_assortativity(&b.build()), None);
+    }
+
+    #[test]
+    fn star_is_maximally_disassortative() {
+        let mut b = GraphBuilder::new(6);
+        for i in 1..6u32 {
+            b.add_edge(NodeId(0), NodeId(i));
+        }
+        let r = degree_assortativity(&b.build()).unwrap();
+        assert!((r - -1.0).abs() < 1e-12, "r = {r}");
+    }
+
+    #[test]
+    fn two_cliques_joined_by_bridge_assortative_sign() {
+        // Double star ("barbell of stars"): hubs joined; hub-hub edge is
+        // high-high, leaves low-high -> still disassortative but > -1.
+        let mut b = GraphBuilder::new(8);
+        for i in 1..4u32 {
+            b.add_edge(NodeId(0), NodeId(i));
+            b.add_edge(NodeId(4), NodeId(4 + i));
+        }
+        b.add_edge(NodeId(0), NodeId(4));
+        let r = degree_assortativity(&b.build()).unwrap();
+        assert!(r < 0.0);
+        assert!(r > -1.0);
+    }
+
+    #[test]
+    fn empty_graph_none() {
+        assert_eq!(degree_assortativity(&GraphBuilder::new(3).build()), None);
+    }
+
+    #[test]
+    fn knn_profile_star() {
+        let mut b = GraphBuilder::new(5);
+        for i in 1..5u32 {
+            b.add_edge(NodeId(0), NodeId(i));
+        }
+        let knn = mean_neighbor_degree_profile(&b.build());
+        // Degree-1 leaves see the hub (degree 4); the hub sees leaves (1).
+        assert_eq!(knn[1], 4.0);
+        assert_eq!(knn[4], 1.0);
+        assert_eq!(knn[0], 0.0);
+        assert_eq!(knn[2], 0.0);
+    }
+
+    #[test]
+    fn knn_profile_decreasing_for_disassortative_ppi() {
+        let g = hypergen_free_powerlaw_like();
+        let knn = mean_neighbor_degree_profile(&g);
+        // Low-degree nodes attach to hubs; hubs attach to leaves.
+        let low = knn[1];
+        let high = knn[knn.len() - 1];
+        assert!(low > high, "knn[1]={low} vs knn[max]={high}");
+    }
+
+    /// Small deterministic hub-and-spoke graph (no external deps).
+    fn hypergen_free_powerlaw_like() -> Graph {
+        let mut b = GraphBuilder::new(40);
+        // Two hubs with many leaves; hubs connected.
+        for i in 2..21u32 {
+            b.add_edge(NodeId(0), NodeId(i));
+        }
+        for i in 21..40u32 {
+            b.add_edge(NodeId(1), NodeId(i));
+        }
+        b.add_edge(NodeId(0), NodeId(1));
+        b.build()
+    }
+}

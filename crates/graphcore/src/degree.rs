@@ -1,0 +1,104 @@
+//! Degree statistics and histograms for plain graphs.
+
+use crate::graph::Graph;
+
+/// Summary statistics of a degree sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree (0 for the empty graph).
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Number of nodes with degree exactly 1.
+    pub count_degree_one: usize,
+    /// Number of isolated (degree 0) nodes.
+    pub count_isolated: usize,
+}
+
+impl DegreeStats {
+    /// Compute from a graph.
+    pub fn of(g: &Graph) -> DegreeStats {
+        let degrees: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+        DegreeStats::of_sequence(&degrees)
+    }
+
+    /// Compute from a raw degree sequence.
+    pub fn of_sequence(degrees: &[usize]) -> DegreeStats {
+        if degrees.is_empty() {
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                count_degree_one: 0,
+                count_isolated: 0,
+            };
+        }
+        let sum: usize = degrees.iter().sum();
+        DegreeStats {
+            min: *degrees.iter().min().unwrap(),
+            max: *degrees.iter().max().unwrap(),
+            mean: sum as f64 / degrees.len() as f64,
+            count_degree_one: degrees.iter().filter(|&&d| d == 1).count(),
+            count_isolated: degrees.iter().filter(|&&d| d == 0).count(),
+        }
+    }
+}
+
+/// Histogram of node degrees: `hist[d]` = number of nodes of degree `d`,
+/// for `d = 0..=max_degree`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for u in g.nodes() {
+        hist[g.degree(u)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, NodeId};
+
+    #[test]
+    fn stats_of_star() {
+        // Star K_{1,4}: center degree 4, leaves degree 1.
+        let mut b = GraphBuilder::new(5);
+        for i in 1..5u32 {
+            b.add_edge(NodeId(0), NodeId(i));
+        }
+        let g = b.build();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.count_degree_one, 4);
+        assert_eq!(s.count_isolated, 0);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_of_star() {
+        let mut b = GraphBuilder::new(5);
+        for i in 1..5u32 {
+            b.add_edge(NodeId(0), NodeId(i));
+        }
+        let hist = degree_histogram(&b.build());
+        assert_eq!(hist, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let s = DegreeStats::of_sequence(&[]);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn isolated_counted() {
+        let g = GraphBuilder::new(3).build();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.count_isolated, 3);
+        assert_eq!(degree_histogram(&g), vec![3]);
+    }
+}

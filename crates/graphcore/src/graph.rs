@@ -1,0 +1,233 @@
+//! Frozen CSR representation of a simple undirected graph.
+
+use std::fmt;
+
+/// Identifier of a node, a dense index in `0..num_nodes`.
+///
+/// A newtype over `u32`: graphs in this workspace are bounded by a few
+/// million nodes, and halving the index width keeps CSR adjacency arrays in
+/// cache (per the perf-book guidance on compact indices).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node index as a `usize`, for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A simple undirected graph in compressed-sparse-row (CSR) form.
+///
+/// Construction goes through [`crate::GraphBuilder`], which deduplicates
+/// parallel edges and drops self-loops; the frozen structure is therefore
+/// always a *simple* graph, and every algorithm in this crate may rely on
+/// that invariant.
+///
+/// Storage is two flat arrays: `offsets` (length `n + 1`) and `adjacency`
+/// (length `2m`, each undirected edge appearing once per endpoint, sorted
+/// within each node's slice).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    adjacency: Vec<NodeId>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Assemble a graph from raw CSR parts.
+    ///
+    /// `offsets.len()` must be `n + 1`, `offsets[0] == 0`, offsets must be
+    /// non-decreasing and end at `adjacency.len()`. Neighbour slices must be
+    /// sorted, duplicate-free, and loop-free. This is checked in debug
+    /// builds; the public way to build a graph is [`crate::GraphBuilder`].
+    pub(crate) fn from_csr(offsets: Vec<u32>, adjacency: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(offsets[0], 0);
+        debug_assert_eq!(*offsets.last().unwrap() as usize, adjacency.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert_eq!(adjacency.len() % 2, 0);
+        let num_edges = adjacency.len() / 2;
+        let g = Graph {
+            offsets,
+            adjacency,
+            num_edges,
+        };
+        #[cfg(debug_assertions)]
+        for u in g.nodes() {
+            let nbrs = g.neighbors(u);
+            debug_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted/dup nbrs");
+            debug_assert!(nbrs.iter().all(|&v| v != u), "self-loop");
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// `true` if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_nodes() == 0
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        (self.offsets[u.index() + 1] - self.offsets[u.index()]) as usize
+    }
+
+    /// Sorted, duplicate-free slice of `u`'s neighbours.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let lo = self.offsets[u.index()] as usize;
+        let hi = self.offsets[u.index() + 1] as usize;
+        &self.adjacency[lo..hi]
+    }
+
+    /// `true` iff the edge `{u, v}` is present (binary search).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        // Search from the lower-degree endpoint.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone + '_ {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Iterator over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Sum of all degrees (`2m`).
+    #[inline]
+    pub fn degree_sum(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Bytes of heap storage used by the CSR arrays — the space-accounting
+    /// primitive behind the paper's O(n) vs O(n²) projection argument.
+    pub fn storage_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.adjacency.len() * std::mem::size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path3() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = path3();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert_eq!(g.degree_sum(), 4);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(3), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(0));
+        b.add_edge(NodeId(1), NodeId(2));
+        let g = b.build();
+        assert_eq!(
+            g.neighbors(NodeId(1)),
+            &[NodeId(0), NodeId(2), NodeId(3)][..]
+        );
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = path3();
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g.has_edge(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = path3();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert!(g.is_empty());
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_allowed() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.num_nodes(), 5);
+        assert!(g.nodes().all(|u| g.degree(u) == 0));
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let g = path3();
+        // offsets: 4 u32, adjacency: 4 NodeId.
+        assert_eq!(g.storage_bytes(), 4 * 4 + 4 * 4);
+    }
+}

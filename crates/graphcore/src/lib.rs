@@ -1,0 +1,58 @@
+//! `graphcore` — a compact, dependency-free substrate for simple undirected
+//! graphs, used by the hypergraph library for everything that reduces to a
+//! plain graph: the bipartite drawing graph `B(H)` of a hypergraph, the
+//! protein–protein interaction (PPI) baselines from DIP, and the lossy
+//! clique/star/intersection projections the paper argues against.
+//!
+//! The design follows the Rust performance-book idioms for graph kernels:
+//! a frozen CSR ([`Graph`]) built once from an edge list ([`GraphBuilder`]),
+//! `u32` node ids ([`NodeId`]), flat `Vec` storage, and no per-node
+//! allocation on any hot path.
+//!
+//! # Quick start
+//!
+//! ```
+//! use graphcore::{GraphBuilder, NodeId};
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(NodeId(0), NodeId(1));
+//! b.add_edge(NodeId(1), NodeId(2));
+//! b.add_edge(NodeId(2), NodeId(0));
+//! b.add_edge(NodeId(2), NodeId(3));
+//! let g = b.build();
+//!
+//! assert_eq!(g.num_nodes(), 4);
+//! assert_eq!(g.num_edges(), 4);
+//! assert_eq!(g.degree(NodeId(2)), 3);
+//!
+//! // The triangle {0,1,2} is the maximum (2-)core; node 3 dangles off it.
+//! let cores = graphcore::core_decomposition(&g);
+//! assert_eq!(cores.max_core, 2);
+//! assert_eq!(cores.core_number(NodeId(3)), 1);
+//! ```
+
+pub mod bfs;
+pub mod centrality;
+pub mod builder;
+pub mod clustering;
+pub mod components;
+pub mod correlation;
+pub mod degree;
+pub mod graph;
+pub mod kcore;
+pub mod pajek;
+pub mod unionfind;
+
+pub use bfs::{average_path_length, bfs_distances, diameter, eccentricity, DistanceStats};
+pub use centrality::{betweenness, betweenness_normalized};
+pub use builder::GraphBuilder;
+pub use clustering::{global_clustering_coefficient, local_clustering, mean_local_clustering};
+pub use components::{connected_components, Components};
+pub use correlation::{degree_assortativity, mean_neighbor_degree_profile};
+pub use degree::{degree_histogram, DegreeStats};
+pub use graph::{Graph, NodeId};
+pub use kcore::{core_decomposition, k_core_subgraph, CoreDecomposition};
+pub use unionfind::UnionFind;
+
+/// Distance value used throughout: `u32::MAX` encodes "unreachable".
+pub const UNREACHABLE: u32 = u32::MAX;

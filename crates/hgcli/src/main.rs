@@ -1,0 +1,436 @@
+//! `hg` — hypergraph toolkit for the yeast protein complex reproduction.
+//!
+//! ```text
+//! hg stats <file.hgr>                         structural statistics
+//! hg kcore <file.hgr> [--k K] [--par]         k-core / maximum core
+//! hg fit <file.hgr>                           power-law fit of degrees
+//! hg cover <file.hgr> [--weights unit|deg2] [--multicover R]
+//! hg gen <what> [--seed S] [-o out.hgr]       generate datasets
+//! hg export-pajek <file.hgr> -o <base>        write base.net / base.clu
+//! hg repro [e1..e8|a1..a4|all] [-o dir]       regenerate paper artifacts
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hgcli::repro;
+use hgcli::table::Table;
+use hgcli::{cells, format_time, timed};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("hg: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE]\n  hg export-pajek <file.hgr> -o <base>\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\n".to_string()
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "stats" => cmd_stats(&args[1..]),
+        "kcore" => cmd_kcore(&args[1..]),
+        "fit" => cmd_fit(&args[1..]),
+        "cover" => cmd_cover(&args[1..]),
+        "ks-core" => cmd_ks_core(&args[1..]),
+        "reduce" => cmd_reduce(&args[1..]),
+        "dual" => cmd_dual(&args[1..]),
+        "tap-sim" => cmd_tap_sim(&args[1..]),
+        "gen" => cmd_gen(&args[1..]),
+        "export-pajek" => cmd_export_pajek(&args[1..]),
+        "repro" => cmd_repro(&args[1..]),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn load(path: &str) -> Result<hypergraph::Hypergraph, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".mtx") {
+        let m = matrixmarket::parse_mtx(&text).map_err(|e| e.to_string())?;
+        Ok(matrixmarket::row_net(&m))
+    } else {
+        hypergraph::io::read_hgr(&text).map_err(|e| e.to_string())
+    }
+}
+
+/// Pull `--flag value` out of an argument list; returns (value, rest).
+fn take_opt(args: &[String], flag: &str) -> (Option<String>, Vec<String>) {
+    let mut value = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            value = it.next().cloned();
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (value, rest)
+}
+
+fn take_switch(args: &[String], flag: &str) -> (bool, Vec<String>) {
+    let present = args.iter().any(|a| a == flag);
+    (present, args.iter().filter(|a| *a != flag).cloned().collect())
+}
+
+fn cmd_stats(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or_else(usage)?;
+    let h = load(path)?;
+    let cc = hypergraph::hypergraph_components(&h);
+    let ov = hypergraph::OverlapTable::build(&h);
+    let mut t = Table::new(&["statistic", "value"]);
+    t.row(cells!["vertices |V|", h.num_vertices()]);
+    t.row(cells!["hyperedges |F|", h.num_edges()]);
+    t.row(cells!["pins |E|", h.num_pins()]);
+    t.row(cells!["max vertex degree dV", h.max_vertex_degree()]);
+    t.row(cells!["max hyperedge degree dF", h.max_edge_degree()]);
+    t.row(cells!["max hyperedge degree-2 d2F", ov.max_d2_edge()]);
+    t.row(cells!["connected components", cc.count()]);
+    if let Some(big) = cc.largest() {
+        t.row(cells![
+            "largest component (|V|, |F|)",
+            format!(
+                "({}, {})",
+                cc.summary[big].num_vertices, cc.summary[big].num_edges
+            )
+        ]);
+    }
+    t.row(cells!["storage bytes", h.storage_bytes()]);
+    Ok(t.render())
+}
+
+fn cmd_kcore(args: &[String]) -> Result<String, String> {
+    let (k_opt, rest) = take_opt(args, "--k");
+    let (par, rest) = take_switch(&rest, "--par");
+    let path = rest.first().ok_or_else(usage)?;
+    let h = load(path)?;
+
+    let (core, secs) = match k_opt {
+        Some(ks) => {
+            let k: u32 = ks.parse().map_err(|e| format!("bad --k: {e}"))?;
+            let (c, s) = if par {
+                timed(|| parcore::par_hypergraph_kcore(&h, k))
+            } else {
+                timed(|| hypergraph::hypergraph_kcore(&h, k))
+            };
+            (Some(c), s)
+        }
+        None => {
+            if par {
+                timed(|| parcore::par_max_core(&h))
+            } else {
+                timed(|| hypergraph::max_core(&h))
+            }
+        }
+    };
+    match core {
+        Some(c) if !c.is_empty() => Ok(format!(
+            "{}-core: {} vertices, {} hyperedges, {} pins ({})\n",
+            c.k,
+            c.vertices.len(),
+            c.edges.len(),
+            c.sub.num_pins(),
+            format_time(secs)
+        )),
+        _ => Ok(format!("core is empty ({})\n", format_time(secs))),
+    }
+}
+
+fn cmd_fit(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or_else(usage)?;
+    let h = load(path)?;
+    let hist = hypergraph::vertex_degree_histogram(&h);
+    match hypergraph::fit_power_law(&hist) {
+        Some(fit) => Ok(format!(
+            "power law P(d) = c*d^-gamma: log10 c = {:.3}, gamma = {:.3}, R^2 = {:.3} ({} points)\n",
+            fit.log10_c, fit.gamma, fit.r_squared, fit.points
+        )),
+        None => Ok("not enough distinct degrees to fit a power law\n".to_string()),
+    }
+}
+
+fn cmd_cover(args: &[String]) -> Result<String, String> {
+    let (weights, rest) = take_opt(args, "--weights");
+    let (multi, rest) = take_opt(&rest, "--multicover");
+    let path = rest.first().ok_or_else(usage)?;
+    let h = load(path)?;
+
+    let weight: Box<dyn Fn(hypergraph::VertexId) -> f64> = match weights.as_deref() {
+        None | Some("unit") => Box::new(|_| 1.0),
+        Some("deg2") => {
+            let degs: Vec<f64> = h.vertices().map(|v| h.vertex_degree(v) as f64).collect();
+            Box::new(move |v: hypergraph::VertexId| degs[v.index()] * degs[v.index()])
+        }
+        Some(other) => return Err(format!("unknown --weights `{other}` (unit|deg2)")),
+    };
+
+    let (cover, secs) = match multi {
+        Some(rs) => {
+            let r: u32 = rs.parse().map_err(|e| format!("bad --multicover: {e}"))?;
+            timed(|| {
+                hypergraph::greedy_multicover(&h, &weight, |f| {
+                    r.min(h.edge_degree(f) as u32)
+                })
+            })
+        }
+        None => timed(|| hypergraph::greedy_vertex_cover(&h, &weight)),
+    };
+    let cover = cover.map_err(|e| e.to_string())?;
+    Ok(format!(
+        "cover: {} vertices, total weight {:.1}, average degree {:.2} ({})\n",
+        cover.vertices.len(),
+        cover.total_weight,
+        cover.average_degree(&h),
+        format_time(secs)
+    ))
+}
+
+fn cmd_ks_core(args: &[String]) -> Result<String, String> {
+    let (k, rest) = take_opt(args, "--k");
+    let (s, rest) = take_opt(&rest, "--s");
+    let path = rest.first().ok_or_else(usage)?;
+    let k: u32 = k
+        .ok_or("ks-core requires --k")?
+        .parse()
+        .map_err(|e| format!("bad --k: {e}"))?;
+    let s: u32 = s
+        .ok_or("ks-core requires --s")?
+        .parse()
+        .map_err(|e| format!("bad --s: {e}"))?;
+    let h = load(path)?;
+    let (core, secs) = timed(|| hypergraph::ks_core(&h, k, s));
+    Ok(format!(
+        "({k}, {s})-core: {} vertices, {} hyperedges, {} pins ({})\n",
+        core.vertices.len(),
+        core.edges.len(),
+        core.sub.num_pins(),
+        format_time(secs)
+    ))
+}
+
+fn write_or_print(h: &hypergraph::Hypergraph, out: Option<String>, what: &str) -> Result<String, String> {
+    let text = hypergraph::io::write_hgr(h);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!(
+                "wrote {what} to {path} ({} vertices, {} hyperedges, {} pins)\n",
+                h.num_vertices(),
+                h.num_edges(),
+                h.num_pins()
+            ))
+        }
+        None => Ok(text),
+    }
+}
+
+fn cmd_reduce(args: &[String]) -> Result<String, String> {
+    let (out, rest) = take_opt(args, "-o");
+    let path = rest.first().ok_or_else(usage)?;
+    let h = load(path)?;
+    let (reduced, kept) = hypergraph::reduce(&h);
+    let removed = h.num_edges() - kept.len();
+    let mut msg = write_or_print(&reduced, out, "reduced hypergraph")?;
+    if msg.starts_with("wrote") {
+        msg.push_str(&format!("removed {removed} non-maximal hyperedges\n"));
+    }
+    Ok(msg)
+}
+
+fn cmd_dual(args: &[String]) -> Result<String, String> {
+    let (out, rest) = take_opt(args, "-o");
+    let path = rest.first().ok_or_else(usage)?;
+    let h = load(path)?;
+    let d = hypergraph::dual(&h);
+    write_or_print(&d, out, "dual hypergraph")
+}
+
+fn cmd_tap_sim(args: &[String]) -> Result<String, String> {
+    let (baits_opt, rest) = take_opt(args, "--baits");
+    let (p_opt, rest) = take_opt(&rest, "--p");
+    let (seed_opt, rest) = take_opt(&rest, "--seed");
+    let path = rest.first().ok_or_else(usage)?;
+    let h = load(path)?;
+
+    let p: f64 = p_opt
+        .map(|s| s.parse().map_err(|e| format!("bad --p: {e}")))
+        .transpose()?
+        .unwrap_or(0.7);
+    let seed: u64 = seed_opt
+        .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(7);
+
+    let baits: Vec<hypergraph::VertexId> = match baits_opt.as_deref() {
+        None | Some("cover") => {
+            hypergraph::greedy_vertex_cover(&h, |v| {
+                let d = h.vertex_degree(v) as f64;
+                d * d
+            })
+            .map_err(|e| e.to_string())?
+            .vertices
+        }
+        Some("multicover") => hypergraph::greedy_multicover(
+            &h,
+            |v| {
+                let d = h.vertex_degree(v) as f64;
+                d * d
+            },
+            |f| 2u32.min(h.edge_degree(f) as u32),
+        )
+        .map_err(|e| e.to_string())?
+        .vertices,
+        Some(n) => {
+            let n: usize = n
+                .parse()
+                .map_err(|_| "--baits takes `cover`, `multicover`, or a count".to_string())?;
+            h.vertices().take(n).collect()
+        }
+    };
+
+    let cfg = proteome::TapConfig {
+        reproducibility: p,
+        detection: 0.95,
+    };
+    let run = proteome::run_tap(&h, &baits, cfg, seed);
+    let rec = proteome::evaluate_recovery(&h, &baits, &run);
+    let cands = proteome::consensus_complexes(&run, 0.6);
+    let recon = proteome::score_reconstruction(&h, &cands);
+    Ok(format!(
+        "tap-sim: {} baits ({} productive), {} pull-downs of {} attempts\n\
+         recovery: {}/{} targeted complexes ({:.1}%)\n\
+         reconstruction: {} candidates, recall {:.1}%, precision {:.1}%, mean Jaccard {:.2}\n",
+        baits.len(),
+        run.productive_baits,
+        run.pull_downs.len(),
+        run.attempts,
+        rec.complexes_recovered,
+        rec.complexes_targeted,
+        100.0 * rec.recovery_rate,
+        recon.candidates,
+        100.0 * recon.complex_recall,
+        100.0 * recon.candidate_precision,
+        recon.mean_matched_jaccard
+    ))
+}
+
+fn cmd_gen(args: &[String]) -> Result<String, String> {
+    let (seed_opt, rest) = take_opt(args, "--seed");
+    let (out, rest) = take_opt(&rest, "-o");
+    let seed: u64 = seed_opt
+        .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(proteome::CELLZOME_SEED);
+
+    let what = rest.first().ok_or_else(usage)?;
+    let h = match what.as_str() {
+        "cellzome" => proteome::cellzome_like(seed).hypergraph,
+        "uniform" => {
+            let parse = |i: usize, name: &str| -> Result<usize, String> {
+                rest.get(i)
+                    .ok_or(format!("uniform needs N M K ({name} missing)"))?
+                    .parse()
+                    .map_err(|e| format!("bad {name}: {e}"))
+            };
+            let (n, m, k) = (parse(1, "N")?, parse(2, "M")?, parse(3, "K")?);
+            hypergen::uniform_random_hypergraph(n, m, k, seed)
+        }
+        "table1" => {
+            let name = rest.get(1).ok_or("table1 needs a matrix name")?;
+            let suite = matrixmarket::table1_suite();
+            let (_, m) = suite
+                .iter()
+                .find(|(n, _)| n == name)
+                .ok_or_else(|| {
+                    format!(
+                        "unknown table1 matrix `{name}` (have: {})",
+                        suite
+                            .iter()
+                            .map(|(n, _)| *n)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })?;
+            matrixmarket::row_net(m)
+        }
+        other => return Err(format!("unknown dataset `{other}` (cellzome|uniform|table1)")),
+    };
+
+    let text = hypergraph::io::write_hgr(&h);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!(
+                "wrote {} ({} vertices, {} hyperedges, {} pins)\n",
+                path,
+                h.num_vertices(),
+                h.num_edges(),
+                h.num_pins()
+            ))
+        }
+        None => Ok(text),
+    }
+}
+
+fn cmd_export_pajek(args: &[String]) -> Result<String, String> {
+    let (out, rest) = take_opt(args, "-o");
+    let path = rest.first().ok_or_else(usage)?;
+    let base = out.ok_or("export-pajek requires -o <base>")?;
+    let h = load(path)?;
+    let core = hypergraph::max_core(&h);
+    let (cv, ce) = core
+        .as_ref()
+        .map(|c| (c.vertices.clone(), c.edges.clone()))
+        .unwrap_or_default();
+    let export = hypergraph::pajek::export_fig3(&h, None, &cv, &ce);
+    let base = PathBuf::from(base);
+    std::fs::write(base.with_extension("net"), &export.net)
+        .map_err(|e| format!("write failed: {e}"))?;
+    std::fs::write(base.with_extension("clu"), &export.clu)
+        .map_err(|e| format!("write failed: {e}"))?;
+    Ok(format!(
+        "wrote {} and {}\n",
+        base.with_extension("net").display(),
+        base.with_extension("clu").display()
+    ))
+}
+
+fn cmd_repro(args: &[String]) -> Result<String, String> {
+    let (out_dir, rest) = take_opt(args, "-o");
+    let out_dir = PathBuf::from(out_dir.unwrap_or_else(|| ".".to_string()));
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create out dir: {e}"))?;
+    let what = rest.first().map(|s| s.as_str()).unwrap_or("all");
+    let io_err = |e: std::io::Error| format!("io error: {e}");
+    match what {
+        "e1" => Ok(repro::e1_section2_stats()),
+        "e2" => Ok(repro::e2_fig1_powerlaw()),
+        "e3" => Ok(repro::e3_fig2_graph_core()),
+        "e4" => Ok(repro::e4_table1()),
+        "e5" => Ok(repro::e5_core_proteome()),
+        "e6" => Ok(repro::e6_dip_baselines()),
+        "e7" => Ok(repro::e7_covers()),
+        "e8" => repro::e8_pajek(&out_dir.join("fig3")).map_err(io_err),
+        "e9" => Ok(repro::e9_tap_reliability()),
+        "e10" => Ok(repro::e10_reconstruction()),
+        "a1" => Ok(repro::a1_space()),
+        "a2" => Ok(repro::a2_maximality()),
+        "a3" => Ok(repro::a3_cover_algorithms()),
+        "a4" => Ok(repro::a4_parallel()),
+        "all" => repro::all(&out_dir).map_err(io_err),
+        other => Err(format!("unknown experiment `{other}`")),
+    }
+}

@@ -1,0 +1,172 @@
+//! Black-box tests of the `hg` binary (spawned via the path Cargo
+//! provides to integration tests).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn hg(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hg"))
+        .args(args)
+        .output()
+        .expect("spawn hg");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hgcli_test_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, out, _) = hg(&["help"]);
+    assert!(ok);
+    assert!(out.contains("hg repro"));
+    assert!(out.contains("hg kcore"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (ok, _, err) = hg(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn gen_stats_kcore_fit_cover_roundtrip() {
+    let dir = tmpdir("pipeline");
+    let file = dir.join("cz.hgr");
+    let file_s = file.to_str().unwrap();
+
+    let (ok, out, err) = hg(&["gen", "cellzome", "-o", file_s]);
+    assert!(ok, "{err}");
+    assert!(out.contains("1361 vertices, 232 hyperedges"));
+
+    let (ok, out, _) = hg(&["stats", file_s]);
+    assert!(ok);
+    assert!(out.contains("(1263, 99)"));
+    assert!(out.contains("33"));
+
+    let (ok, out, _) = hg(&["kcore", file_s]);
+    assert!(ok);
+    assert!(out.contains("6-core: 41 vertices, 54 hyperedges"));
+
+    let (ok, out, _) = hg(&["kcore", file_s, "--k", "2", "--par"]);
+    assert!(ok, "{out}");
+    assert!(out.starts_with("2-core:"));
+
+    let (ok, out, _) = hg(&["fit", file_s]);
+    assert!(ok);
+    assert!(out.contains("gamma ="));
+
+    let (ok, out, _) = hg(&["cover", file_s, "--weights", "deg2"]);
+    assert!(ok);
+    assert!(out.contains("cover:"));
+
+    let (ok, out, _) = hg(&["cover", file_s, "--multicover", "2"]);
+    assert!(ok);
+    assert!(out.contains("cover:"));
+}
+
+#[test]
+fn gen_uniform_and_table1() {
+    let dir = tmpdir("gen");
+    let file = dir.join("u.hgr");
+    let (ok, out, err) = hg(&["gen", "uniform", "30", "20", "4", "--seed", "5", "-o", file.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert!(out.contains("30 vertices, 20 hyperedges, 80 pins"));
+
+    // Without -o the .hgr text goes to stdout.
+    let (ok, out, _) = hg(&["gen", "uniform", "5", "2", "2"]);
+    assert!(ok);
+    assert!(out.starts_with("2 5\n"));
+
+    let (ok, _, err) = hg(&["gen", "table1", "nope"]);
+    assert!(!ok);
+    assert!(err.contains("unknown table1 matrix"));
+}
+
+#[test]
+fn export_pajek_writes_files() {
+    let dir = tmpdir("pajek");
+    let file = dir.join("toy.hgr");
+    std::fs::write(&file, "2 3\n1 2 3\n2 3\n").unwrap();
+    let base = dir.join("out");
+    let (ok, out, err) = hg(&[
+        "export-pajek",
+        file.to_str().unwrap(),
+        "-o",
+        base.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("out.net"));
+    let net = std::fs::read_to_string(dir.join("out.net")).unwrap();
+    assert!(net.starts_with("*Vertices 5"));
+    assert!(dir.join("out.clu").exists());
+}
+
+#[test]
+fn repro_single_experiments_run() {
+    for exp in ["e1", "e3", "e5"] {
+        let (ok, out, err) = hg(&["repro", exp]);
+        assert!(ok, "repro {exp}: {err}");
+        assert!(out.contains("paper"), "repro {exp} output:\n{out}");
+    }
+}
+
+#[test]
+fn ks_core_reduce_dual_tap() {
+    let dir = tmpdir("newcmds");
+    let file = dir.join("cz.hgr");
+    let file_s = file.to_str().unwrap();
+    let (ok, _, err) = hg(&["gen", "cellzome", "-o", file_s]);
+    assert!(ok, "{err}");
+
+    let (ok, out, _) = hg(&["ks-core", file_s, "--k", "2", "--s", "2"]);
+    assert!(ok);
+    assert!(out.starts_with("(2, 2)-core:"));
+
+    let reduced = dir.join("red.hgr");
+    let (ok, out, _) = hg(&["reduce", file_s, "-o", reduced.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("removed"));
+    assert!(reduced.exists());
+
+    let dual = dir.join("dual.hgr");
+    let (ok, out, _) = hg(&["dual", file_s, "-o", dual.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    let text = std::fs::read_to_string(&dual).unwrap();
+    assert!(text.starts_with("1361 232\n"), "dual header: {}", &text[..20]);
+
+    let (ok, out, err) = hg(&["tap-sim", file_s, "--baits", "multicover", "--p", "0.7"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("recovery:"), "{out}");
+    assert!(out.contains("reconstruction:"));
+}
+
+#[test]
+fn mtx_input_accepted() {
+    let dir = tmpdir("mtx");
+    let file = dir.join("m.mtx");
+    std::fs::write(
+        &file,
+        "%%MatrixMarket matrix coordinate pattern general\n3 3 4\n1 1\n1 2\n2 3\n3 3\n",
+    )
+    .unwrap();
+    let (ok, out, err) = hg(&["stats", file.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert!(out.contains("hyperedges |F|"));
+    assert!(out.contains("3"));
+}
+
+#[test]
+fn bad_file_reports_error() {
+    let (ok, _, err) = hg(&["stats", "/nonexistent/definitely.hgr"]);
+    assert!(!ok);
+    assert!(err.contains("cannot read"));
+}

@@ -1,0 +1,181 @@
+//! Chung–Lu style random models with prescribed expected degrees.
+
+use graphcore::{Graph, GraphBuilder, NodeId};
+use hypergraph::{Hypergraph, HypergraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bipartite Chung–Lu hypergraph: vertex `v` has weight `w_v`, hyperedge
+/// `f` has weight `u_f`; `v ∈ f` independently with probability
+/// `min(1, w_v · u_f / S)` where `S = Σ w_v` (so expected vertex degree
+/// ≈ `w_v · Σ u_f / S`). Sampling is done per hyperedge with weighted
+/// inversion, O(d(f) log |V|) per edge in expectation.
+pub fn chung_lu_hypergraph(vertex_weights: &[f64], edge_weights: &[f64], seed: u64) -> Hypergraph {
+    assert!(vertex_weights.iter().all(|&w| w >= 0.0 && w.is_finite()));
+    assert!(edge_weights.iter().all(|&w| w >= 0.0 && w.is_finite()));
+    let s: f64 = vertex_weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = HypergraphBuilder::new(vertex_weights.len());
+
+    // Cumulative weights for proportional vertex sampling.
+    let mut cum = Vec::with_capacity(vertex_weights.len());
+    let mut acc = 0.0;
+    for &w in vertex_weights {
+        acc += w;
+        cum.push(acc);
+    }
+
+    for &uf in edge_weights {
+        // Expected size uf (weights normalized so Σu_f ≈ Σ sizes): draw a
+        // Poisson-ish count via repeated Bernoulli on a weighted sample.
+        // Practical approximation: sample round(uf) members proportionally
+        // to w_v, plus one extra with probability frac(uf); dedup.
+        let base = uf.floor() as usize;
+        let extra = usize::from(rng.gen::<f64>() < uf.fract());
+        let mut pins = Vec::with_capacity(base + extra);
+        if s > 0.0 {
+            for _ in 0..(base + extra) {
+                let t = rng.gen::<f64>() * s;
+                let v = cum.partition_point(|&c| c < t).min(vertex_weights.len() - 1);
+                pins.push(v as u32);
+            }
+        }
+        b.add_edge(pins);
+    }
+    b.build()
+}
+
+/// Chung–Lu power-law *graph* with expected degree `weights[v]` for node
+/// `v`: edge `{u, v}` present independently with probability
+/// `min(1, w_u w_v / S)`, `S = Σ w`. Implemented with the
+/// Miller–Hagberg skip-ahead so the cost is O(n + m), not O(n²):
+/// weights must be supplied in **non-increasing** order.
+///
+/// # Panics
+/// If weights are not sorted non-increasing, or not finite/non-negative.
+pub fn chung_lu_graph(weights: &[f64], seed: u64) -> Graph {
+    assert!(
+        weights.windows(2).all(|w| w[0] >= w[1]),
+        "weights must be non-increasing"
+    );
+    assert!(weights.iter().all(|&w| w >= 0.0 && w.is_finite()));
+    let n = weights.len();
+    let s: f64 = weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if s == 0.0 {
+        return b.build();
+    }
+
+    for u in 0..n {
+        let wu = weights[u];
+        if wu == 0.0 {
+            break; // sorted: all the rest are zero too
+        }
+        // Walk candidates v > u with geometric skips calibrated to the
+        // largest probability in the remaining tail (p = wu*wv/S is
+        // non-increasing in v).
+        let mut v = u + 1;
+        let mut p = (wu * weights.get(v).copied().unwrap_or(0.0) / s).min(1.0);
+        while v < n && p > 0.0 {
+            if p < 1.0 {
+                // Skip ahead geometrically with the current p.
+                let r: f64 = rng.gen::<f64>();
+                let skip = (r.ln() / (1.0 - p).ln()).floor();
+                let skip = if skip.is_finite() { skip as usize } else { n };
+                v = v.saturating_add(skip.min(n));
+            }
+            if v >= n {
+                break;
+            }
+            // Accept with the corrected probability q/p for the actual v.
+            let q = (wu * weights[v] / s).min(1.0);
+            if rng.gen::<f64>() < q / p {
+                b.add_edge(NodeId(u as u32), NodeId(v as u32));
+            }
+            p = q;
+            v += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypergraph_sizes_near_weights() {
+        let vw = vec![1.0; 200];
+        let ew = vec![8.0; 50];
+        let h = chung_lu_hypergraph(&vw, &ew, 9);
+        assert_eq!(h.num_edges(), 50);
+        let mean_size = h.num_pins() as f64 / 50.0;
+        assert!((mean_size - 8.0).abs() < 1.0, "mean size = {mean_size}");
+    }
+
+    #[test]
+    fn hypergraph_weighted_vertices_get_higher_degree() {
+        let mut vw = vec![1.0; 100];
+        vw[0] = 50.0;
+        let ew = vec![5.0; 60];
+        let h = chung_lu_hypergraph(&vw, &ew, 10);
+        let hub = h.vertex_degree(hypergraph::VertexId(0));
+        let mean: f64 = (1..100)
+            .map(|v| h.vertex_degree(hypergraph::VertexId(v)) as f64)
+            .sum::<f64>()
+            / 99.0;
+        assert!(hub as f64 > 5.0 * mean, "hub {hub} vs mean {mean}");
+    }
+
+    #[test]
+    fn graph_mean_degree_close_to_expected() {
+        let n = 2000;
+        let weights = vec![6.0; n];
+        let g = chung_lu_graph(&weights, 4);
+        let mean = g.degree_sum() as f64 / n as f64;
+        assert!((mean - 6.0).abs() < 0.8, "mean degree = {mean}");
+    }
+
+    #[test]
+    fn graph_power_law_weights_give_heavy_tail() {
+        // w_v ∝ v^(-1/(gamma-1)) gives a gamma power-law expected-degree
+        // sequence; check the realized max degree dwarfs the median.
+        let n = 3000usize;
+        let gamma = 2.5f64;
+        let mut weights: Vec<f64> = (1..=n)
+            .map(|i| 40.0 * (i as f64).powf(-1.0 / (gamma - 1.0)))
+            .collect();
+        weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let g = chung_lu_graph(&weights, 12);
+        let mut degs: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+        degs.sort_unstable();
+        let median = degs[n / 2];
+        let max = degs[n - 1];
+        assert!(max >= 10 * median.max(1), "max {max}, median {median}");
+    }
+
+    #[test]
+    fn graph_deterministic() {
+        let weights = vec![3.0; 100];
+        let a = chung_lu_graph(&weights, 5);
+        let b = chung_lu_graph(&weights, 5);
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert!(a.edges().eq(b.edges()));
+    }
+
+    #[test]
+    fn zero_weights_yield_empty() {
+        let g = chung_lu_graph(&[0.0; 10], 1);
+        assert_eq!(g.num_edges(), 0);
+        let h = chung_lu_hypergraph(&[0.0; 5], &[3.0; 4], 1);
+        assert_eq!(h.num_edges(), 4);
+        assert_eq!(h.num_pins(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn graph_requires_sorted_weights() {
+        let _ = chung_lu_graph(&[1.0, 2.0], 0);
+    }
+}

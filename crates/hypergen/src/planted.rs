@@ -1,0 +1,201 @@
+//! Generators with a planted dense core — ground truth for k-core
+//! algorithms and the scaffolding for the DIP-calibrated PPI baselines.
+
+use graphcore::{Graph, GraphBuilder, NodeId};
+use hypergraph::{Hypergraph, HypergraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Power-law graph with a planted `core_k`-core on vertices
+/// `0..core_size`.
+///
+/// * The core is a circulant graph of degree exactly `core_k` (vertex `i`
+///   joined to `i ± 1, …, i ± core_k/2` mod `core_size`), so the core's
+///   own core number is exactly `core_k`.
+/// * The periphery (`core_size..n`) is a Chung–Lu power-law graph with
+///   exponent `gamma` and mean degree `periphery_mean`, whose weights are
+///   capped so its coreness stays below `core_k`. The cap controls
+///   expected degrees only, so random fluctuation still produces small
+///   2- and 3-cores in the periphery: the planted core is the exact
+///   maximum core only when `core_k` clears the periphery's natural
+///   coreness (≈ `periphery_mean`; use `core_k >= 6` with the defaults —
+///   the DIP baselines use 8 and 10 and assert exactness in their tests).
+/// * Each periphery vertex also attaches to a random core vertex with
+///   probability `attach_prob`, keeping the graph mostly connected without
+///   deepening the core.
+///
+/// # Panics
+/// If `core_size > n`, `core_k` is odd, or `core_k >= core_size`.
+pub fn planted_core_graph(
+    n: usize,
+    core_size: usize,
+    core_k: u32,
+    gamma: f64,
+    periphery_mean: f64,
+    attach_prob: f64,
+    seed: u64,
+) -> Graph {
+    assert!(core_size <= n, "core larger than graph");
+    assert!(core_k % 2 == 0, "core_k must be even (circulant construction)");
+    assert!((core_k as usize) < core_size, "core_k must be < core_size");
+
+    let mut b = GraphBuilder::new(n);
+
+    // Planted circulant core.
+    let half = (core_k / 2) as usize;
+    for i in 0..core_size {
+        for d in 1..=half {
+            let j = (i + d) % core_size;
+            b.add_edge(NodeId(i as u32), NodeId(j as u32));
+        }
+    }
+
+    // Power-law periphery via Chung–Lu (weights sorted non-increasing;
+    // periphery vertex ids are assigned in weight order, which is fine —
+    // ids carry no meaning beyond the core prefix).
+    let np = n - core_size;
+    if np > 0 {
+        let mut weights: Vec<f64> = (1..=np)
+            .map(|i| (i as f64).powf(-1.0 / (gamma - 1.0)))
+            .collect();
+        let wsum: f64 = weights.iter().sum();
+        let scale = periphery_mean * np as f64 / wsum;
+        // Cap weights so no periphery vertex expects degree >= core_k.
+        let cap = (core_k as f64 - 1.0).max(1.0);
+        for w in &mut weights {
+            *w = (*w * scale).min(cap);
+        }
+        let pg = crate::chung_lu::chung_lu_graph(&weights, seed ^ 0x9e3779b97f4a7c15);
+        for (u, v) in pg.edges() {
+            b.add_edge(
+                NodeId((core_size + u.index()) as u32),
+                NodeId((core_size + v.index()) as u32),
+            );
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x517cc1b727220a95);
+        for p in core_size..n {
+            if rng.gen::<f64>() < attach_prob {
+                let c = rng.gen_range(0..core_size);
+                b.add_edge(NodeId(p as u32), NodeId(c as u32));
+            }
+        }
+    }
+
+    b.build()
+}
+
+/// Hypergraph with a planted core block: `core_vertices` vertices each
+/// belonging to exactly `core_vertex_degree` of the `core_edges` core
+/// hyperedges (round-robin), plus a sparse periphery of `extra_vertices`
+/// leaves each attached to `leaf_degree` random core or periphery edges
+/// of its own (pair edges). The planted block peels to a deep core; the
+/// exact maximum-core value depends on the round-robin overlap pattern,
+/// so callers assert the property they need.
+pub fn planted_core_hypergraph(
+    core_vertices: usize,
+    core_edges: usize,
+    core_vertex_degree: u32,
+    extra_vertices: usize,
+    seed: u64,
+) -> Hypergraph {
+    assert!(core_edges >= core_vertex_degree as usize);
+    let n = core_vertices + extra_vertices;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Membership lists for the core edges.
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); core_edges];
+    for v in 0..core_vertices {
+        // Spread each vertex's memberships with a varying stride so edge
+        // contents differ and containment is unlikely. Strides that are
+        // not coprime with core_edges revisit edges; top up linearly so
+        // each vertex lands in exactly core_vertex_degree distinct edges.
+        let stride = 1 + (v % (core_edges.max(2) - 1));
+        let mut chosen: std::collections::BTreeSet<usize> = (0..core_vertex_degree as usize)
+            .map(|j| (v + j * stride) % core_edges)
+            .collect();
+        let mut e = 0;
+        while chosen.len() < core_vertex_degree as usize {
+            chosen.insert(e);
+            e += 1;
+        }
+        for e in chosen {
+            members[e].push(v as u32);
+        }
+    }
+
+    let mut b = HypergraphBuilder::new(n);
+    for m in members {
+        b.add_edge(m);
+    }
+    // Periphery: each extra vertex forms a pair edge with a random earlier
+    // vertex (degree-1 leaves from the edge's perspective).
+    for x in core_vertices..n {
+        let other = rng.gen_range(0..x) as u32;
+        b.add_edge([x as u32, other]);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_core_is_exactly_planted() {
+        let g = planted_core_graph(500, 33, 10, 2.5, 3.0, 0.3, 42);
+        let d = graphcore::core_decomposition(&g);
+        assert_eq!(d.max_core, 10);
+        let core_nodes = d.max_core_nodes();
+        assert_eq!(core_nodes.len(), 33);
+        assert!(core_nodes.iter().all(|u| u.index() < 33));
+    }
+
+    #[test]
+    fn graph_periphery_has_power_law_flavour() {
+        let g = planted_core_graph(2000, 20, 8, 2.5, 3.0, 0.2, 7);
+        let hist = graphcore::degree_histogram(&g);
+        // Degree-1 and degree-2 nodes dominate.
+        let low: usize = hist.iter().take(4).sum();
+        assert!(low * 2 > g.num_nodes(), "low-degree count {low}");
+    }
+
+    #[test]
+    fn graph_deterministic() {
+        let a = planted_core_graph(300, 16, 6, 2.5, 2.0, 0.5, 3);
+        let b = planted_core_graph(300, 16, 6, 2.5, 2.0, 0.5, 3);
+        assert!(a.edges().eq(b.edges()));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_core_k_rejected() {
+        let _ = planted_core_graph(100, 10, 5, 2.5, 2.0, 0.1, 0);
+    }
+
+    #[test]
+    fn hypergraph_core_survives_peeling() {
+        let h = planted_core_hypergraph(30, 40, 6, 100, 11);
+        let mc = hypergraph::max_core(&h).expect("non-empty max core");
+        assert!(mc.k >= 4, "max core k = {}", mc.k);
+        // Core consists only of planted vertices.
+        assert!(mc.vertices.iter().all(|v| v.0 < 30));
+    }
+
+    #[test]
+    fn hypergraph_shape() {
+        let h = planted_core_hypergraph(10, 12, 3, 20, 0);
+        assert_eq!(h.num_vertices(), 30);
+        assert_eq!(h.num_edges(), 32);
+        // Planted vertices belong to exactly the target number of *core*
+        // edges (periphery pair edges may add more degree on top).
+        for v in 0..10u32 {
+            let core_deg = h
+                .edges_of(hypergraph::VertexId(v))
+                .iter()
+                .filter(|f| f.index() < 12)
+                .count();
+            assert_eq!(core_deg, 3, "vertex {v}");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Truncated discrete power-law degree sequences.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sample `n` degrees from the truncated discrete power law
+/// `P(d) ∝ d^(−gamma)` on `d ∈ [d_min, d_max]`, by inversion on the
+/// cumulative mass. Deterministic in `seed`.
+///
+/// # Panics
+/// If `d_min == 0`, `d_min > d_max`, or `gamma` is not finite.
+pub fn power_law_degrees(
+    n: usize,
+    gamma: f64,
+    d_min: u32,
+    d_max: u32,
+    seed: u64,
+) -> Vec<u32> {
+    assert!(d_min >= 1, "power law undefined at degree 0");
+    assert!(d_min <= d_max, "d_min must not exceed d_max");
+    assert!(gamma.is_finite(), "gamma must be finite");
+
+    // Cumulative mass over the support.
+    let mut cdf = Vec::with_capacity((d_max - d_min + 1) as usize);
+    let mut acc = 0.0f64;
+    for d in d_min..=d_max {
+        acc += (d as f64).powf(-gamma);
+        cdf.push(acc);
+    }
+    let total = acc;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>() * total;
+            let idx = cdf.partition_point(|&c| c < u);
+            d_min + (idx as u32).min(d_max - d_min)
+        })
+        .collect()
+}
+
+/// Deterministic (no sampling noise) power-law *histogram*: the count of
+/// vertices at each degree `d ∈ [d_min, d_max]` is `round(c · d^(−gamma))`
+/// with a floor of `min_count`. Returns `(degree, count)` pairs.
+///
+/// Used by the calibrated Cellzome generator, where the paper's Fig. 1
+/// histogram shape (not a random draw from it) is the target.
+pub fn power_law_histogram_counts(
+    c: f64,
+    gamma: f64,
+    d_min: u32,
+    d_max: u32,
+    min_count: usize,
+) -> Vec<(u32, usize)> {
+    assert!(d_min >= 1 && d_min <= d_max);
+    (d_min..=d_max)
+        .map(|d| {
+            let count = (c * (d as f64).powf(-gamma)).round() as usize;
+            (d, count.max(min_count))
+        })
+        .collect()
+}
+
+/// Expand a `(degree, count)` histogram into a flat degree sequence.
+pub fn histogram_to_sequence(hist: &[(u32, usize)]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(hist.iter().map(|&(_, c)| c).sum());
+    for &(d, count) in hist {
+        out.extend(std::iter::repeat(d).take(count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_bounds() {
+        let seq = power_law_degrees(1000, 2.5, 1, 21, 42);
+        assert_eq!(seq.len(), 1000);
+        assert!(seq.iter().all(|&d| (1..=21).contains(&d)));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = power_law_degrees(100, 2.5, 1, 20, 7);
+        let b = power_law_degrees(100, 2.5, 1, 20, 7);
+        let c = power_law_degrees(100, 2.5, 1, 20, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn heavy_tail_shape() {
+        // With gamma = 2.5, degree-1 should dominate strongly.
+        let seq = power_law_degrees(10_000, 2.5, 1, 50, 1);
+        let ones = seq.iter().filter(|&&d| d == 1).count();
+        let fives = seq.iter().filter(|&&d| d == 5).count();
+        assert!(ones > 5_000, "ones = {ones}");
+        assert!(ones > 10 * fives.max(1));
+    }
+
+    #[test]
+    fn degenerate_support() {
+        let seq = power_law_degrees(50, 3.0, 4, 4, 1);
+        assert!(seq.iter().all(|&d| d == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "degree 0")]
+    fn rejects_zero_dmin() {
+        let _ = power_law_degrees(10, 2.0, 0, 5, 1);
+    }
+
+    #[test]
+    fn histogram_counts_rounding_and_floor() {
+        let hist = power_law_histogram_counts(100.0, 2.0, 1, 5, 1);
+        assert_eq!(hist[0], (1, 100));
+        assert_eq!(hist[1], (2, 25));
+        assert_eq!(hist[4], (5, 4));
+        // Floor applies when the law rounds to zero.
+        let hist = power_law_histogram_counts(1.0, 3.0, 1, 4, 1);
+        assert!(hist.iter().all(|&(_, c)| c >= 1));
+    }
+
+    #[test]
+    fn histogram_to_sequence_expands() {
+        let seq = histogram_to_sequence(&[(1, 3), (4, 2)]);
+        assert_eq!(seq, vec![1, 1, 1, 4, 4]);
+    }
+}

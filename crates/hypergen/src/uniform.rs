@@ -1,0 +1,73 @@
+//! k-uniform Erdős–Rényi-style random hypergraphs.
+
+use hypergraph::{Hypergraph, HypergraphBuilder};
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+/// `m` hyperedges, each a uniformly random `k`-subset of `n` vertices
+/// (distinct vertices within an edge; edges drawn independently, so
+/// duplicate edges can occur). Deterministic in `seed`.
+///
+/// # Panics
+/// If `k > n`.
+pub fn uniform_random_hypergraph(n: usize, m: usize, k: usize, seed: u64) -> Hypergraph {
+    assert!(k <= n, "edge size {k} exceeds vertex count {n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = HypergraphBuilder::new(n);
+    b.reserve_pins(m * k);
+    for _ in 0..m {
+        let pins = sample(&mut rng, n, k);
+        b.add_edge(pins.iter().map(|v| v as u32));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let h = uniform_random_hypergraph(30, 12, 4, 3);
+        assert_eq!(h.num_vertices(), 30);
+        assert_eq!(h.num_edges(), 12);
+        assert!(h.edges().all(|f| h.edge_degree(f) == 4));
+        assert_eq!(h.num_pins(), 48);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = uniform_random_hypergraph(20, 8, 3, 77);
+        let b = uniform_random_hypergraph(20, 8, 3, 77);
+        assert_eq!(hypergraph::io::write_hgr(&a), hypergraph::io::write_hgr(&b));
+    }
+
+    #[test]
+    fn k_equals_n_gives_full_edges() {
+        let h = uniform_random_hypergraph(5, 3, 5, 0);
+        assert!(h.edges().all(|f| h.edge_degree(f) == 5));
+    }
+
+    #[test]
+    fn k_zero_gives_empty_edges() {
+        let h = uniform_random_hypergraph(5, 2, 0, 0);
+        assert_eq!(h.num_pins(), 0);
+        assert_eq!(h.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds vertex count")]
+    fn oversized_k_rejected() {
+        let _ = uniform_random_hypergraph(3, 1, 4, 0);
+    }
+
+    #[test]
+    fn dense_uniform_has_deep_core() {
+        // Many size-5 edges over few vertices: every vertex lands in many
+        // edges, so the max core is deep.
+        let h = uniform_random_hypergraph(12, 60, 5, 42);
+        let mc = hypergraph::max_core(&h).expect("non-empty");
+        assert!(mc.k >= 3, "max core k = {}", mc.k);
+    }
+}

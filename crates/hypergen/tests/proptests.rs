@@ -1,0 +1,117 @@
+//! Property-based tests for the generators.
+
+use proptest::prelude::*;
+
+use hypergraph::validate::check_structure;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Power-law sequences respect their bounds for any parameters.
+    #[test]
+    fn power_law_bounds(
+        n in 1usize..300,
+        gamma in 0.5f64..4.0,
+        d_min in 1u32..5,
+        width in 0u32..30,
+        seed in any::<u64>(),
+    ) {
+        let d_max = d_min + width;
+        let seq = hypergen::power_law_degrees(n, gamma, d_min, d_max, seed);
+        prop_assert_eq!(seq.len(), n);
+        prop_assert!(seq.iter().all(|&d| (d_min..=d_max).contains(&d)));
+    }
+
+    /// The configuration model uses every stub: pin count equals the
+    /// degree sum minus merged duplicates, and never exceeds it; realized
+    /// vertex degrees never exceed targets.
+    #[test]
+    fn configuration_model_respects_degrees(
+        (vdeg, edeg, seed) in (1usize..40, 1usize..15, any::<u64>()).prop_map(|(n, m, seed)| {
+            // Build degree sequences with equal sums.
+            let vdeg: Vec<u32> = (0..n).map(|i| 1 + (i % 3) as u32).collect();
+            let total: u32 = vdeg.iter().sum();
+            let base = total / m as u32;
+            let mut edeg = vec![base; m];
+            edeg[0] += total - base * m as u32;
+            (vdeg, edeg, seed)
+        })
+    ) {
+        let h = hypergen::configuration_hypergraph(&vdeg, &edeg, seed);
+        check_structure(&h).unwrap();
+        prop_assert_eq!(h.num_vertices(), vdeg.len());
+        prop_assert_eq!(h.num_edges(), edeg.len());
+        let total: usize = vdeg.iter().map(|&d| d as usize).sum();
+        prop_assert!(h.num_pins() <= total);
+        for (v, &target) in vdeg.iter().enumerate() {
+            prop_assert!(
+                h.vertex_degree(hypergraph::VertexId(v as u32)) <= target as usize
+            );
+        }
+        for (f, &target) in edeg.iter().enumerate() {
+            prop_assert!(
+                h.edge_degree(hypergraph::EdgeId(f as u32)) <= target as usize
+            );
+        }
+    }
+
+    /// Uniform hypergraphs are k-uniform and structurally valid.
+    #[test]
+    fn uniform_is_uniform(
+        n in 1usize..50,
+        m in 0usize..30,
+        seed in any::<u64>(),
+    ) {
+        let k = (n / 2).min(6);
+        let h = hypergen::uniform_random_hypergraph(n, m, k, seed);
+        check_structure(&h).unwrap();
+        prop_assert!(h.edges().all(|f| h.edge_degree(f) == k));
+    }
+
+    /// Chung–Lu graphs: simple, within bounds, deterministic.
+    #[test]
+    fn chung_lu_graph_valid(
+        n in 2usize..120,
+        w in 0.5f64..8.0,
+        seed in any::<u64>(),
+    ) {
+        let weights = vec![w; n];
+        let g = hypergen::chung_lu_graph(&weights, seed);
+        prop_assert_eq!(g.num_nodes(), n);
+        // Simple graph invariants hold by construction; determinism:
+        let g2 = hypergen::chung_lu_graph(&weights, seed);
+        prop_assert!(g.edges().eq(g2.edges()));
+    }
+
+    /// Planted-core graphs contain their core exactly, provided the
+    /// planted coreness clears the periphery's natural coreness (a
+    /// Chung–Lu graph of mean degree ~2 develops 2- and 3-cores of its
+    /// own, so the guarantee starts at core_k >= 6 — the DIP baselines
+    /// use 8 and 10).
+    #[test]
+    fn planted_graph_core_exact(
+        seed in any::<u64>(),
+        core_k in (3u32..6).prop_map(|x| x * 2),
+        extra in 0usize..400,
+    ) {
+        let core_size = (core_k as usize + 2).max(10);
+        let n = core_size + extra;
+        let g = hypergen::planted_core_graph(n, core_size, core_k, 2.5, 2.0, 0.3, seed);
+        let d = graphcore::core_decomposition(&g);
+        prop_assert_eq!(d.max_core, core_k);
+        let core_nodes = d.max_core_nodes();
+        prop_assert_eq!(core_nodes.len(), core_size);
+        prop_assert!(core_nodes.iter().all(|u| u.index() < core_size));
+    }
+
+    /// Planted-core hypergraphs keep their planted vertices in the max
+    /// core.
+    #[test]
+    fn planted_hypergraph_core_contained(seed in any::<u64>()) {
+        let h = hypergen::planted_core_hypergraph(20, 30, 5, 60, seed);
+        check_structure(&h).unwrap();
+        let mc = hypergraph::max_core(&h).expect("non-empty");
+        prop_assert!(mc.k >= 3);
+        prop_assert!(mc.vertices.iter().all(|v| v.0 < 20));
+    }
+}

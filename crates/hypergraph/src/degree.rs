@@ -1,0 +1,79 @@
+//! Degree distributions of vertices and hyperedges.
+
+use crate::hypergraph::Hypergraph;
+
+/// Histogram of vertex degrees: `hist[d]` = number of vertices belonging
+/// to exactly `d` hyperedges (the x-axis of the paper's Fig. 1).
+pub fn vertex_degree_histogram(h: &Hypergraph) -> Vec<usize> {
+    let mut hist = vec![0usize; h.max_vertex_degree() + 1];
+    for v in h.vertices() {
+        hist[h.vertex_degree(v)] += 1;
+    }
+    hist
+}
+
+/// Histogram of hyperedge degrees (complex sizes): `hist[d]` = number of
+/// hyperedges containing exactly `d` vertices.
+pub fn edge_degree_histogram(h: &Hypergraph) -> Vec<usize> {
+    let mut hist = vec![0usize; h.max_edge_degree() + 1];
+    for f in h.edges() {
+        hist[h.edge_degree(f)] += 1;
+    }
+    hist
+}
+
+/// Vertex degree sequence (one entry per vertex, in id order).
+pub fn vertex_degree_sequence(h: &Hypergraph) -> Vec<usize> {
+    h.vertices().map(|v| h.vertex_degree(v)).collect()
+}
+
+/// Hyperedge degree sequence (one entry per edge, in id order).
+pub fn edge_degree_sequence(h: &Hypergraph) -> Vec<usize> {
+    h.edges().map(|f| h.edge_degree(f)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HypergraphBuilder;
+
+    fn toy() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(4);
+        b.add_edge([0, 1, 2]);
+        b.add_edge([1, 2]);
+        b.add_edge([2]);
+        b.build()
+    }
+
+    #[test]
+    fn vertex_histogram() {
+        // degrees: v0=1 v1=2 v2=3 v3=0
+        assert_eq!(vertex_degree_histogram(&toy()), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn edge_histogram() {
+        // sizes: 3, 2, 1
+        assert_eq!(edge_degree_histogram(&toy()), vec![0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn sequences() {
+        assert_eq!(vertex_degree_sequence(&toy()), vec![1, 2, 3, 0]);
+        assert_eq!(edge_degree_sequence(&toy()), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn histogram_sums_to_counts() {
+        let h = toy();
+        assert_eq!(vertex_degree_histogram(&h).iter().sum::<usize>(), h.num_vertices());
+        assert_eq!(edge_degree_histogram(&h).iter().sum::<usize>(), h.num_edges());
+    }
+
+    #[test]
+    fn empty() {
+        let h = HypergraphBuilder::new(0).build();
+        assert_eq!(vertex_degree_histogram(&h), vec![0]);
+        assert_eq!(edge_degree_histogram(&h), vec![0]);
+    }
+}

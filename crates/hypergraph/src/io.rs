@@ -1,0 +1,143 @@
+//! Plain-text hypergraph I/O in an hMETIS-style `.hgr` format.
+//!
+//! Line 1: `<num_hyperedges> <num_vertices>`. Then one line per hyperedge
+//! listing its member vertices as **1-based** ids separated by whitespace;
+//! an empty (whitespace-only) line is an empty hyperedge. Lines starting
+//! with `%` are comments and ignored anywhere in the file.
+
+use crate::builder::HypergraphBuilder;
+use crate::hypergraph::Hypergraph;
+
+/// Serialize `h` to `.hgr` text.
+pub fn write_hgr(h: &Hypergraph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {}", h.num_edges(), h.num_vertices());
+    for f in h.edges() {
+        let mut first = true;
+        for &v in h.pins(f) {
+            if !first {
+                out.push(' ');
+            }
+            let _ = write!(out, "{}", v.0 + 1);
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Error from parsing `.hgr` text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HgrError(pub String);
+
+impl std::fmt::Display for HgrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "hgr parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for HgrError {}
+
+/// Parse `.hgr` text into a [`Hypergraph`].
+pub fn read_hgr(text: &str) -> Result<Hypergraph, HgrError> {
+    let mut lines = text
+        .lines()
+        .filter(|l| !l.trim_start().starts_with('%'));
+    let header = lines.next().ok_or_else(|| HgrError("empty document".into()))?;
+    let mut it = header.split_whitespace();
+    let m: usize = it
+        .next()
+        .ok_or_else(|| HgrError("missing hyperedge count".into()))?
+        .parse()
+        .map_err(|e| HgrError(format!("bad hyperedge count: {e}")))?;
+    let n: usize = it
+        .next()
+        .ok_or_else(|| HgrError("missing vertex count".into()))?
+        .parse()
+        .map_err(|e| HgrError(format!("bad vertex count: {e}")))?;
+
+    let mut b = HypergraphBuilder::new(n);
+    let mut parsed = 0usize;
+    for line in lines {
+        if parsed == m {
+            if !line.trim().is_empty() {
+                return Err(HgrError(format!("more than {m} hyperedge lines")));
+            }
+            continue;
+        }
+        let mut pins = Vec::new();
+        for tok in line.split_whitespace() {
+            let v: usize = tok
+                .parse()
+                .map_err(|e| HgrError(format!("bad vertex id `{tok}`: {e}")))?;
+            if v == 0 || v > n {
+                return Err(HgrError(format!("vertex id {v} out of range 1..={n}")));
+            }
+            pins.push((v - 1) as u32);
+        }
+        b.add_edge(pins);
+        parsed += 1;
+    }
+    if parsed != m {
+        return Err(HgrError(format!("expected {m} hyperedge lines, found {parsed}")));
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph::{EdgeId, VertexId};
+
+    fn toy() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(4);
+        b.add_edge([0, 1, 2]);
+        b.add_edge([2, 3]);
+        b.add_edge([]);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = toy();
+        let text = write_hgr(&h);
+        let h2 = read_hgr(&text).unwrap();
+        assert_eq!(h2.num_vertices(), h.num_vertices());
+        assert_eq!(h2.num_edges(), h.num_edges());
+        for f in h.edges() {
+            assert_eq!(h.pins(f), h2.pins(f));
+        }
+    }
+
+    #[test]
+    fn format_shape() {
+        let text = write_hgr(&toy());
+        assert_eq!(text, "3 4\n1 2 3\n3 4\n\n");
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let text = "% comment\n2 3\n1 2\n% another\n2 3\n";
+        let h = read_hgr(text).unwrap();
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.pins(EdgeId(1)), &[VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(read_hgr("").is_err());
+        assert!(read_hgr("x 3\n").is_err());
+        assert!(read_hgr("1\n").is_err());
+        assert!(read_hgr("1 2\n3\n").is_err()); // vertex out of range
+        assert!(read_hgr("1 2\n0\n").is_err()); // ids are 1-based
+        assert!(read_hgr("2 2\n1\n").is_err()); // too few edge lines
+        assert!(read_hgr("1 2\n1\n2\n").is_err()); // too many edge lines
+    }
+
+    #[test]
+    fn trailing_blank_lines_ok() {
+        let h = read_hgr("1 2\n1 2\n\n\n").unwrap();
+        assert_eq!(h.num_edges(), 1);
+    }
+}

@@ -1,0 +1,530 @@
+//! The k-core of a hypergraph (paper §3, Fig. 4).
+//!
+//! The **k-core** of `H` is the maximal sub-hypergraph that is *reduced*
+//! (no hyperedge contained in another) and in which every vertex belongs to
+//! at least `k` hyperedges. When a vertex is deleted, any hyperedge it
+//! belonged to is deleted as soon as it stops being maximal — including
+//! the special case of becoming empty.
+//!
+//! The implementation follows the paper's algorithm: peel vertices of
+//! degree < k; detect non-maximal hyperedges *without comparing vertex
+//! sets* by maintaining current degrees and pairwise overlaps
+//! ([`crate::OverlapTable`]): `f ⊆ g` exactly when
+//! `overlap(f, g) == degree(f)`. Only hyperedges whose degree was just
+//! decremented can newly become non-maximal, giving the paper's
+//! `O(|E|(Δ₂,F + Δ_V ln Δ₂,F))` bound (we use hash maps instead of
+//! balanced trees, trading the log for expected O(1)).
+//!
+//! Ties between *identical* hyperedges are broken by id: the lowest id
+//! survives. This makes the computation deterministic and keeps exactly
+//! one copy, as the reduced-hypergraph definition requires.
+
+use std::collections::HashMap;
+
+use crate::hypergraph::{EdgeId, Hypergraph, VertexId};
+use crate::overlap::OverlapTable;
+
+/// A computed k-core.
+#[derive(Clone, Debug)]
+pub struct KCore {
+    /// The threshold `k` this core was computed for.
+    pub k: u32,
+    /// Original ids of surviving vertices, ascending.
+    pub vertices: Vec<VertexId>,
+    /// Original ids of surviving hyperedges, ascending.
+    pub edges: Vec<EdgeId>,
+    /// The core as a standalone hypergraph; its vertex `i` is
+    /// `vertices[i]`, its edge `j` is `edges[j]`.
+    pub sub: Hypergraph,
+}
+
+impl KCore {
+    /// `true` when the core is empty (no vertices survive).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}
+
+/// Mutable peeling state shared by the k-core drivers.
+struct Peeler {
+    alive_v: Vec<bool>,
+    alive_e: Vec<bool>,
+    deg_v: Vec<u32>,
+    deg_e: Vec<u32>,
+    /// `ov[f]` maps raw edge id `g` to `|f ∩ g|` counted over *alive*
+    /// vertices, kept symmetric, entries to dead edges removed eagerly.
+    ov: Vec<HashMap<u32, u32>>,
+    /// Vertices awaiting deletion (deg < k), with an in-queue flag to
+    /// avoid duplicates.
+    queue: Vec<u32>,
+    queued: Vec<bool>,
+    k: u32,
+}
+
+impl Peeler {
+    fn new(h: &Hypergraph, k: u32) -> Self {
+        Peeler {
+            alive_v: vec![true; h.num_vertices()],
+            alive_e: vec![true; h.num_edges()],
+            deg_v: h.vertices().map(|v| h.vertex_degree(v) as u32).collect(),
+            deg_e: h.edges().map(|f| h.edge_degree(f) as u32).collect(),
+            ov: OverlapTable::build(h).into_maps(),
+            queue: Vec::new(),
+            queued: vec![false; h.num_vertices()],
+            k,
+        }
+    }
+
+    /// `true` iff alive `f` is currently contained in some alive `g ≠ f`
+    /// (identical sets: the higher id is the contained one), or is empty.
+    fn is_non_maximal(&self, f: usize) -> bool {
+        let df = self.deg_e[f];
+        if df == 0 {
+            return true;
+        }
+        self.ov[f].iter().any(|(&g, &c)| {
+            c == df && {
+                let dg = self.deg_e[g as usize];
+                dg > df || (dg == df && (g as usize) < f)
+            }
+        })
+    }
+
+    /// Delete hyperedge `f`: clean its overlap entries, decrement member
+    /// vertex degrees, queue vertices that fall below `k`.
+    fn delete_edge(&mut self, h: &Hypergraph, f: usize) {
+        debug_assert!(self.alive_e[f]);
+        self.alive_e[f] = false;
+        let entries = std::mem::take(&mut self.ov[f]);
+        for (&g, _) in entries.iter() {
+            self.ov[g as usize].remove(&(f as u32));
+        }
+        for &w in h.pins(EdgeId(f as u32)) {
+            let w = w.index();
+            if self.alive_v[w] {
+                self.deg_v[w] -= 1;
+                if self.deg_v[w] < self.k && !self.queued[w] {
+                    self.queued[w] = true;
+                    self.queue.push(w as u32);
+                }
+            }
+        }
+    }
+
+    /// Delete vertex `v` from every alive hyperedge containing it,
+    /// updating overlaps, then delete hyperedges that stop being maximal.
+    fn delete_vertex(&mut self, h: &Hypergraph, v: usize) {
+        debug_assert!(self.alive_v[v]);
+        self.alive_v[v] = false;
+
+        let alive_edges: Vec<u32> = h
+            .edges_of(VertexId(v as u32))
+            .iter()
+            .map(|f| f.0)
+            .filter(|&f| self.alive_e[f as usize])
+            .collect();
+
+        // All pairs of alive edges through v lose one shared vertex.
+        for (i, &f) in alive_edges.iter().enumerate() {
+            for &g in &alive_edges[i + 1..] {
+                decrement_overlap(&mut self.ov, f as usize, g as usize);
+            }
+        }
+        // Each alive edge containing v loses one member.
+        for &f in &alive_edges {
+            self.deg_e[f as usize] -= 1;
+        }
+        // Only these degree-decremented edges can newly be non-maximal.
+        for &f in &alive_edges {
+            let f = f as usize;
+            if self.alive_e[f] && self.is_non_maximal(f) {
+                self.delete_edge(h, f);
+            }
+        }
+    }
+
+    /// Initial sweep: make the hypergraph reduced before peeling, so the
+    /// result satisfies the definition even for inputs with nested or
+    /// duplicate hyperedges.
+    fn reduce_sweep(&mut self, h: &Hypergraph) {
+        for f in 0..h.num_edges() {
+            if self.alive_e[f] && self.is_non_maximal(f) {
+                self.delete_edge(h, f);
+            }
+        }
+    }
+
+    /// Queue every alive vertex currently below the threshold.
+    fn seed_queue(&mut self) {
+        for v in 0..self.alive_v.len() {
+            if self.alive_v[v] && self.deg_v[v] < self.k && !self.queued[v] {
+                self.queued[v] = true;
+                self.queue.push(v as u32);
+            }
+        }
+    }
+
+    /// Run peeling to fixpoint.
+    fn run(&mut self, h: &Hypergraph) {
+        while let Some(v) = self.queue.pop() {
+            let v = v as usize;
+            self.queued[v] = false;
+            if self.alive_v[v] {
+                self.delete_vertex(h, v);
+            }
+        }
+    }
+
+    fn extract(&self, h: &Hypergraph, k: u32) -> KCore {
+        let (sub, vmap, emap) = h.sub_hypergraph(&self.alive_v, &self.alive_e, false);
+        KCore {
+            k,
+            vertices: vmap,
+            edges: emap,
+            sub,
+        }
+    }
+}
+
+fn decrement_overlap(ov: &mut [HashMap<u32, u32>], f: usize, g: usize) {
+    for (a, b) in [(f, g), (g, f)] {
+        if let Some(c) = ov[a].get_mut(&(b as u32)) {
+            *c -= 1;
+            if *c == 0 {
+                ov[a].remove(&(b as u32));
+            }
+        }
+    }
+}
+
+/// Compute the k-core of `h` for a given `k` (paper Fig. 4).
+///
+/// The input need not be reduced: an initial sweep removes non-maximal
+/// hyperedges (keeping the lowest id among identical copies) so the output
+/// always satisfies the definition. `k = 0` therefore returns the reduced
+/// hypergraph itself (minus vertices stranded in no hyperedge — degree-0
+/// vertices trivially satisfy `d(v) ≥ 0`, so they are kept for `k = 0`).
+pub fn hypergraph_kcore(h: &Hypergraph, k: u32) -> KCore {
+    let mut p = Peeler::new(h, k);
+    p.reduce_sweep(h);
+    p.seed_queue();
+    p.run(h);
+    p.extract(h, k)
+}
+
+/// Compute the maximum core: the largest `k` for which the k-core is
+/// non-empty, together with that core.
+///
+/// Returns `None` when even the 1-core is empty (no vertices, or every
+/// hyperedge vanishes). Uses exponential doubling plus binary search on
+/// `k` (k-cores are nested, so non-emptiness is monotone in `k`): about
+/// `2 log k_max` peels instead of `k_max`, which matters for the Table 1
+/// mesh hypergraphs whose maximum cores are deep.
+pub fn max_core(h: &Hypergraph) -> Option<KCore> {
+    if hypergraph_kcore(h, 1).is_empty() {
+        return None;
+    }
+    // Doubling: find the first power-of-two-ish k with an empty core.
+    let mut lo = 1u32; // non-empty
+    let mut hi = 2u32;
+    while !hypergraph_kcore(h, hi).is_empty() {
+        lo = hi;
+        hi = hi.saturating_mul(2);
+        if hi as usize > h.max_vertex_degree() + 1 {
+            hi = h.max_vertex_degree() as u32 + 1;
+            break;
+        }
+    }
+    // Invariant: lo-core non-empty, hi-core empty.
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if hypergraph_kcore(h, mid).is_empty() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hypergraph_kcore(h, lo))
+}
+
+/// Linear-scan maximum core (k = 1, 2, …): the reference for
+/// [`max_core`]'s binary search, kept for cross-validation.
+pub fn max_core_linear(h: &Hypergraph) -> Option<KCore> {
+    let mut best: Option<KCore> = None;
+    let mut k = 1u32;
+    loop {
+        let core = hypergraph_kcore(h, k);
+        if core.is_empty() {
+            return best;
+        }
+        best = Some(core);
+        k += 1;
+    }
+}
+
+/// Sizes of the k-core for every k from 1 to the maximum:
+/// `profile[i] = (k, vertices, edges)` with `k = i + 1`.
+pub fn core_profile(h: &Hypergraph) -> Vec<(u32, usize, usize)> {
+    let mut out = Vec::new();
+    let mut k = 1u32;
+    loop {
+        let core = hypergraph_kcore(h, k);
+        if core.is_empty() {
+            return out;
+        }
+        out.push((k, core.vertices.len(), core.edges.len()));
+        k += 1;
+    }
+}
+
+/// The core number of every vertex: the largest `k` for which the vertex
+/// belongs to the k-core (0 for vertices outside even the 1-core, e.g.
+/// isolated vertices or vertices whose hyperedges all vanish).
+///
+/// Computed by sweeping `k = 1..` and stamping survivors — correct
+/// because hypergraph k-cores are nested in their vertex sets (checked
+/// by property tests); O(k_max) peels.
+pub fn core_numbers(h: &Hypergraph) -> Vec<u32> {
+    let mut core = vec![0u32; h.num_vertices()];
+    let mut k = 1u32;
+    loop {
+        let kc = hypergraph_kcore(h, k);
+        if kc.is_empty() {
+            return core;
+        }
+        for &v in &kc.vertices {
+            core[v.index()] = k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HypergraphBuilder;
+
+    /// Fan of k edges all containing a hub set: a planted 3-core.
+    /// Vertices 0..=2 each belong to edges e0..=e3 (all four edges =
+    /// {0,1,2} ∪ {distinct tail}), tails 3..=6 have degree 1.
+    fn fan() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(7);
+        b.add_edge([0, 1, 2, 3]);
+        b.add_edge([0, 1, 2, 4]);
+        b.add_edge([0, 1, 2, 5]);
+        b.add_edge([0, 1, 2, 6]);
+        b.build()
+    }
+
+    #[test]
+    fn fan_cores() {
+        let h = fan();
+        // k=1: everything survives (all degrees >= 1, edges maximal).
+        let c1 = hypergraph_kcore(&h, 1);
+        assert_eq!(c1.vertices.len(), 7);
+        assert_eq!(c1.edges.len(), 4);
+
+        // k=2: tails die; edges collapse to four copies of {0,1,2};
+        // the lowest-id copy survives, so degrees drop to 1 < 2 and
+        // everything unravels.
+        let c2 = hypergraph_kcore(&h, 2);
+        assert!(c2.is_empty(), "expected empty 2-core, got {c2:?}");
+
+        let mc = max_core(&h).unwrap();
+        assert_eq!(mc.k, 1);
+    }
+
+    /// A genuine hypergraph 2-core: vertices {0,1,2} pairwise covered by
+    /// three distinct overlapping edges that stay maximal after leaves go.
+    fn triangle_like() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(6);
+        b.add_edge([0, 1, 3]); // leaf 3
+        b.add_edge([1, 2, 4]); // leaf 4
+        b.add_edge([0, 2, 5]); // leaf 5
+        b.build()
+    }
+
+    #[test]
+    fn triangle_like_two_core() {
+        let h = triangle_like();
+        let c2 = hypergraph_kcore(&h, 2);
+        // Leaves have degree 1 and die; edges become {0,1},{1,2},{0,2}:
+        // all maximal, all core vertices keep degree 2.
+        assert_eq!(c2.vertices, vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(c2.edges.len(), 3);
+        assert!(c2.sub.vertices().all(|v| c2.sub.vertex_degree(v) >= 2));
+        let mc = max_core(&h).unwrap();
+        assert_eq!(mc.k, 2);
+    }
+
+    #[test]
+    fn unravelling_cascade() {
+        // Chain {0,1},{1,2},{2,3}: k=2 should unravel completely —
+        // endpoints have degree 1; after their removal edges nest and die.
+        let mut b = HypergraphBuilder::new(4);
+        b.add_edge([0, 1]);
+        b.add_edge([1, 2]);
+        b.add_edge([2, 3]);
+        let h = b.build();
+        assert!(hypergraph_kcore(&h, 2).is_empty());
+        assert_eq!(max_core(&h).unwrap().k, 1);
+    }
+
+    #[test]
+    fn input_reduced_before_peeling() {
+        // e1 ⊂ e0 must be removed even at k=0/k=1 with no low-degree vertex.
+        let mut b = HypergraphBuilder::new(3);
+        b.add_edge([0, 1, 2]);
+        b.add_edge([0, 1]);
+        let h = b.build();
+        let c1 = hypergraph_kcore(&h, 1);
+        assert_eq!(c1.edges, vec![EdgeId(0)]);
+        assert_eq!(c1.vertices.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_edges_keep_lowest_id() {
+        let mut b = HypergraphBuilder::new(2);
+        b.add_edge([0, 1]);
+        b.add_edge([0, 1]);
+        b.add_edge([0, 1]);
+        let h = b.build();
+        let c1 = hypergraph_kcore(&h, 1);
+        assert_eq!(c1.edges, vec![EdgeId(0)]);
+    }
+
+    #[test]
+    fn empty_edges_always_dropped() {
+        let mut b = HypergraphBuilder::new(1);
+        b.add_edge([]);
+        b.add_edge([0]);
+        let h = b.build();
+        let c1 = hypergraph_kcore(&h, 1);
+        assert_eq!(c1.edges, vec![EdgeId(1)]);
+    }
+
+    #[test]
+    fn k0_keeps_isolated_vertices() {
+        let mut b = HypergraphBuilder::new(3);
+        b.add_edge([0, 1]);
+        let h = b.build();
+        let c0 = hypergraph_kcore(&h, 0);
+        assert_eq!(c0.vertices.len(), 3);
+        let c1 = hypergraph_kcore(&h, 1);
+        assert_eq!(c1.vertices.len(), 2);
+    }
+
+    #[test]
+    fn core_profile_shrinks() {
+        let h = triangle_like();
+        let profile = core_profile(&h);
+        assert_eq!(profile.len(), 2);
+        assert_eq!(profile[0].0, 1);
+        assert_eq!(profile[1], (2, 3, 3));
+        assert!(profile[0].1 >= profile[1].1);
+    }
+
+    #[test]
+    fn core_numbers_consistent_with_cores() {
+        let h = triangle_like();
+        let nums = core_numbers(&h);
+        // Core vertices 0..=2 have core number 2; leaves 3..=5 have 1.
+        assert_eq!(nums, vec![2, 2, 2, 1, 1, 1]);
+        for k in 1..=2u32 {
+            let kc = hypergraph_kcore(&h, k);
+            let by_number: Vec<VertexId> = (0..h.num_vertices() as u32)
+                .filter(|&v| nums[v as usize] >= k)
+                .map(VertexId)
+                .collect();
+            assert_eq!(kc.vertices, by_number, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn core_numbers_zero_for_isolated() {
+        let mut b = HypergraphBuilder::new(3);
+        b.add_edge([0, 1]);
+        let h = b.build();
+        assert_eq!(core_numbers(&h), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn binary_search_matches_linear_scan() {
+        let cases: Vec<Hypergraph> = vec![
+            fan(),
+            triangle_like(),
+            {
+                let mut b = HypergraphBuilder::new(8);
+                for s in 0..8u32 {
+                    b.add_edge([s, (s + 1) % 8, (s + 2) % 8]);
+                }
+                b.build()
+            },
+        ];
+        for h in &cases {
+            let a = max_core(h).unwrap();
+            let b = max_core_linear(h).unwrap();
+            assert_eq!(a.k, b.k);
+            assert_eq!(a.vertices, b.vertices);
+            assert_eq!(a.edges, b.edges);
+        }
+    }
+
+    #[test]
+    fn max_core_of_empty_is_none() {
+        let h = HypergraphBuilder::new(0).build();
+        assert!(max_core(&h).is_none());
+        let mut b = HypergraphBuilder::new(2);
+        b.add_edge([]);
+        let h = b.build();
+        assert!(max_core(&h).is_none());
+    }
+
+    #[test]
+    fn planted_deep_core() {
+        // 6 "core" vertices each in 6 of 9 core edges (all size-4 subsets
+        // arranged round-robin), plus pendant vertices. The max core must
+        // contain exactly the 6 planted vertices with k >= 3.
+        let mut b = HypergraphBuilder::new(16);
+        // Core edges: consecutive quadruples mod 6, three rotations.
+        let mut eid = 0;
+        for r in 0..3u32 {
+            for s in 0..6u32 {
+                let vs: Vec<u32> = (0..4u32).map(|i| (s + i * (r + 1)) % 6).collect();
+                b.add_edge(vs);
+                eid += 1;
+            }
+        }
+        assert_eq!(eid, 18);
+        // Pendants.
+        for p in 6..16u32 {
+            b.add_edge([p, p.saturating_sub(1).max(6)]);
+        }
+        let h = b.build();
+        let mc = max_core(&h).unwrap();
+        assert!(mc.k >= 3, "k = {}", mc.k);
+        assert!(mc.vertices.iter().all(|v| v.0 < 6));
+        // Core invariant: every vertex has degree >= k in the core.
+        assert!(mc
+            .sub
+            .vertices()
+            .all(|v| mc.sub.vertex_degree(v) >= mc.k as usize));
+    }
+
+    #[test]
+    fn core_is_reduced_and_degrees_hold() {
+        let h = triangle_like();
+        for k in 0..=3 {
+            let core = hypergraph_kcore(&h, k);
+            crate::validate::check_structure(&core.sub).unwrap();
+            // Degrees >= k.
+            assert!(core
+                .sub
+                .vertices()
+                .all(|v| core.sub.vertex_degree(v) >= k as usize
+                    || core.sub.vertex_degree(v) == 0 && k == 0));
+            // Reduced: no containment among surviving edges.
+            assert!(crate::reduce::non_maximal_edges(&core.sub).is_empty());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! `hypergraph` — the primary contribution of Ramadan, Tarafdar & Pothen,
+//! *A Hypergraph Model for the Yeast Protein Complex Network* (IPPS 2004),
+//! as a reusable library.
+//!
+//! A hypergraph `H = (V, F)` has vertices (proteins) and hyperedges
+//! (complexes); a hyperedge is an arbitrary subset of vertices. This crate
+//! provides:
+//!
+//! * the frozen CSR [`Hypergraph`] structure and its [`HypergraphBuilder`];
+//! * the bipartite drawing graph `B(H)` ([`bipartite`]) and hypergraph
+//!   paths/distances/diameter ([`path`]) where the length of a path is the
+//!   *number of hyperedges* on it;
+//! * connected components ([`components`]) and degree statistics /
+//!   power-law fitting ([`degree`], [`powerlaw`]);
+//! * the hypergraph **k-core** ([`kcore`]): the maximal *reduced*
+//!   sub-hypergraph in which every vertex lies in at least `k` hyperedges,
+//!   with the paper's overlap-counting maximality test;
+//! * reduced hypergraphs ([`reduce`]) and pairwise overlap tables
+//!   ([`overlap`]);
+//! * greedy, dual, and primal-dual **vertex covers** and multicovers
+//!   ([`cover`], [`multicover`], [`cover_dual`]) for bait-protein selection;
+//! * the lossy graph projections the paper argues against
+//!   ([`projections`]): clique expansion, star (bait) expansion, and the
+//!   complex intersection graph, with space accounting;
+//! * text I/O ([`io`]) and Pajek export of `B(H)` ([`pajek`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use hypergraph::{HypergraphBuilder, VertexId};
+//!
+//! // Three overlapping "complexes" over five "proteins".
+//! let mut b = HypergraphBuilder::new(5);
+//! b.add_edge([0, 1, 2]);
+//! b.add_edge([1, 2, 3]);
+//! b.add_edge([2, 3, 4]);
+//! let h = b.build();
+//!
+//! assert_eq!(h.num_vertices(), 5);
+//! assert_eq!(h.num_edges(), 3);
+//! assert_eq!(h.vertex_degree(VertexId(2)), 3); // protein 2 is in all three
+//!
+//! // Vertex cover: protein 2 alone covers every complex.
+//! let cover = hypergraph::greedy_vertex_cover(&h, |_| 1.0).unwrap();
+//! assert_eq!(cover.vertices, vec![VertexId(2)]);
+//! ```
+
+pub mod bipartite;
+pub mod builder;
+pub mod components;
+pub mod cover;
+pub mod cover_dual;
+pub mod degree;
+pub mod dual;
+pub mod generalized;
+pub mod hypergraph;
+pub mod io;
+pub mod kcore;
+pub mod multicover;
+pub mod mutable;
+pub mod naive;
+pub mod overlap;
+pub mod pajek;
+pub mod path;
+pub mod powerlaw;
+pub mod projections;
+pub mod reduce;
+pub mod smallworld;
+pub mod validate;
+
+pub use bipartite::BipartiteView;
+pub use builder::HypergraphBuilder;
+pub use components::{hypergraph_components, ComponentSummary, HyperComponents};
+pub use cover::{greedy_vertex_cover, is_vertex_cover, CoverError, CoverResult};
+pub use cover_dual::{dual_lower_bound, pricing_vertex_cover};
+pub use degree::{edge_degree_histogram, vertex_degree_histogram};
+pub use dual::dual;
+pub use generalized::{ks_core, max_ks_core, KsCore};
+pub use hypergraph::{EdgeId, Hypergraph, VertexId};
+pub use kcore::{core_numbers, core_profile, hypergraph_kcore, max_core, max_core_linear, KCore};
+pub use multicover::{greedy_multicover, is_multicover};
+pub use mutable::MutableHypergraph;
+pub use overlap::OverlapTable;
+pub use path::{hyper_distance_stats, hyper_distances, HyperDistanceStats};
+pub use powerlaw::{fit_power_law, PowerLawFit};
+pub use projections::{clique_expansion, intersection_graph, star_expansion, SpaceReport};
+pub use reduce::{non_maximal_edges, reduce};
+pub use smallworld::{small_world_report, SmallWorldReport};

@@ -1,0 +1,370 @@
+//! A mutable hypergraph with incremental vertex/edge deletion and edge
+//! insertion.
+//!
+//! The frozen CSR [`crate::Hypergraph`] is right for analysis, but two
+//! workflows need mutation: peeling-style algorithms (delete until a
+//! fixpoint) and streaming construction (pull-downs arriving one at a
+//! time from an ongoing experiment). [`MutableHypergraph`] supports both,
+//! with `O(log)` per incidence update (sets are ordered, as in the
+//! paper's balanced-tree formulation), and freezes back into a CSR
+//! [`crate::Hypergraph`] plus id maps when mutation is done.
+
+use std::collections::BTreeSet;
+
+use crate::hypergraph::{EdgeId, Hypergraph, VertexId};
+
+/// Mutable hypergraph: vertices and hyperedges can be deleted (dead ids
+/// are never reused), new hyperedges can be appended, and single
+/// incidences can be removed.
+#[derive(Clone, Debug, Default)]
+pub struct MutableHypergraph {
+    /// `edges[f] = Some(pins)` while alive; `None` once deleted.
+    edges: Vec<Option<BTreeSet<u32>>>,
+    /// Alive incident edges per vertex (empty for dead vertices).
+    vertex_adj: Vec<BTreeSet<u32>>,
+    alive_vertex: Vec<bool>,
+    num_alive_vertices: usize,
+    num_alive_edges: usize,
+    pins: usize,
+}
+
+impl MutableHypergraph {
+    /// Empty mutable hypergraph with `n` vertices and no hyperedges.
+    pub fn new(n: usize) -> Self {
+        MutableHypergraph {
+            edges: Vec::new(),
+            vertex_adj: vec![BTreeSet::new(); n],
+            alive_vertex: vec![true; n],
+            num_alive_vertices: n,
+            num_alive_edges: 0,
+            pins: 0,
+        }
+    }
+
+    /// Thaw a frozen hypergraph.
+    pub fn from_hypergraph(h: &Hypergraph) -> Self {
+        let mut m = MutableHypergraph::new(h.num_vertices());
+        for f in h.edges() {
+            m.add_edge(h.pins(f).iter().map(|v| v.0));
+        }
+        m
+    }
+
+    /// Number of alive vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_alive_vertices
+    }
+
+    /// Number of alive hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.num_alive_edges
+    }
+
+    /// Number of alive incidences.
+    pub fn num_pins(&self) -> usize {
+        self.pins
+    }
+
+    /// `true` iff vertex `v` exists and is alive.
+    pub fn vertex_alive(&self, v: VertexId) -> bool {
+        self.alive_vertex.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// `true` iff hyperedge `f` exists and is alive.
+    pub fn edge_alive(&self, f: EdgeId) -> bool {
+        matches!(self.edges.get(f.index()), Some(Some(_)))
+    }
+
+    /// Degree of an alive vertex (panics on dead/unknown ids).
+    pub fn vertex_degree(&self, v: VertexId) -> usize {
+        assert!(self.vertex_alive(v), "vertex {v:?} is not alive");
+        self.vertex_adj[v.index()].len()
+    }
+
+    /// Size of an alive hyperedge (panics on dead/unknown ids).
+    pub fn edge_degree(&self, f: EdgeId) -> usize {
+        self.pins_of(f).len()
+    }
+
+    /// Pins of an alive hyperedge.
+    pub fn pins_of(&self, f: EdgeId) -> &BTreeSet<u32> {
+        self.edges
+            .get(f.index())
+            .and_then(|e| e.as_ref())
+            .unwrap_or_else(|| panic!("edge {f:?} is not alive"))
+    }
+
+    /// Alive edges containing an alive vertex.
+    pub fn edges_of(&self, v: VertexId) -> &BTreeSet<u32> {
+        assert!(self.vertex_alive(v), "vertex {v:?} is not alive");
+        &self.vertex_adj[v.index()]
+    }
+
+    /// Add a fresh vertex; returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let id = self.vertex_adj.len();
+        self.vertex_adj.push(BTreeSet::new());
+        self.alive_vertex.push(true);
+        self.num_alive_vertices += 1;
+        VertexId(id as u32)
+    }
+
+    /// Append a hyperedge over alive vertices (duplicates merged);
+    /// returns its id.
+    ///
+    /// # Panics
+    /// If any member vertex is dead or out of range.
+    pub fn add_edge(&mut self, vertices: impl IntoIterator<Item = u32>) -> EdgeId {
+        let id = self.edges.len() as u32;
+        let mut set = BTreeSet::new();
+        for v in vertices {
+            assert!(
+                self.vertex_alive(VertexId(v)),
+                "vertex {v} is dead or out of range"
+            );
+            set.insert(v);
+        }
+        for &v in &set {
+            self.vertex_adj[v as usize].insert(id);
+        }
+        self.pins += set.len();
+        self.num_alive_edges += 1;
+        self.edges.push(Some(set));
+        EdgeId(id)
+    }
+
+    /// Delete an alive hyperedge; member vertices stay.
+    pub fn delete_edge(&mut self, f: EdgeId) {
+        let set = self.edges[f.index()]
+            .take()
+            .unwrap_or_else(|| panic!("edge {f:?} already deleted"));
+        for v in &set {
+            self.vertex_adj[*v as usize].remove(&f.0);
+        }
+        self.pins -= set.len();
+        self.num_alive_edges -= 1;
+    }
+
+    /// Delete an alive vertex from the hypergraph and from every edge
+    /// containing it. Edges emptied by the deletion stay alive (empty) —
+    /// deleting them is a policy decision for the caller (the k-core
+    /// deletes them as non-maximal, a streaming pipeline might keep
+    /// them for provenance).
+    pub fn delete_vertex(&mut self, v: VertexId) {
+        assert!(self.vertex_alive(v), "vertex {v:?} already deleted");
+        let adj = std::mem::take(&mut self.vertex_adj[v.index()]);
+        for f in &adj {
+            let set = self.edges[*f as usize]
+                .as_mut()
+                .expect("adjacency points at alive edge");
+            set.remove(&v.0);
+            self.pins -= 1;
+        }
+        self.alive_vertex[v.index()] = false;
+        self.num_alive_vertices -= 1;
+    }
+
+    /// Remove a single incidence: vertex `v` leaves hyperedge `f` (both
+    /// must be alive, and `v ∈ f`).
+    pub fn remove_pin(&mut self, v: VertexId, f: EdgeId) {
+        assert!(self.vertex_alive(v));
+        let set = self.edges[f.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("edge {f:?} is not alive"));
+        assert!(set.remove(&v.0), "{v:?} is not a member of {f:?}");
+        self.vertex_adj[v.index()].remove(&f.0);
+        self.pins -= 1;
+    }
+
+    /// Iterator over alive vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.alive_vertex
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(v, _)| VertexId(v as u32))
+    }
+
+    /// Iterator over alive hyperedge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_some())
+            .map(|(f, _)| EdgeId(f as u32))
+    }
+
+    /// Freeze into a compact CSR [`Hypergraph`] over the alive entities.
+    ///
+    /// Returns `(hypergraph, vertex_map, edge_map)` where `vertex_map[i]`
+    /// / `edge_map[j]` give the original ids of the frozen hypergraph's
+    /// vertex `i` / edge `j`.
+    pub fn freeze(&self) -> (Hypergraph, Vec<VertexId>, Vec<EdgeId>) {
+        let vertex_map: Vec<VertexId> = self.vertices().collect();
+        let mut new_id = vec![u32::MAX; self.alive_vertex.len()];
+        for (i, v) in vertex_map.iter().enumerate() {
+            new_id[v.index()] = i as u32;
+        }
+        let mut b = crate::HypergraphBuilder::new(vertex_map.len());
+        let mut edge_map = Vec::with_capacity(self.num_alive_edges);
+        for f in self.edges() {
+            b.add_edge(self.pins_of(f).iter().map(|&v| new_id[v as usize]));
+            edge_map.push(f);
+        }
+        (b.build(), vertex_map, edge_map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> MutableHypergraph {
+        let mut m = MutableHypergraph::new(5);
+        m.add_edge([0, 1, 2]);
+        m.add_edge([2, 3]);
+        m.add_edge([3, 4]);
+        m
+    }
+
+    #[test]
+    fn counts_track_mutations() {
+        let mut m = toy();
+        assert_eq!((m.num_vertices(), m.num_edges(), m.num_pins()), (5, 3, 7));
+        m.delete_edge(EdgeId(1));
+        assert_eq!((m.num_edges(), m.num_pins()), (2, 5));
+        m.delete_vertex(VertexId(0));
+        assert_eq!((m.num_vertices(), m.num_pins()), (4, 4));
+        assert_eq!(m.edge_degree(EdgeId(0)), 2);
+    }
+
+    #[test]
+    fn deleting_vertex_updates_edges() {
+        let mut m = toy();
+        m.delete_vertex(VertexId(2));
+        assert_eq!(m.edge_degree(EdgeId(0)), 2);
+        assert_eq!(m.edge_degree(EdgeId(1)), 1);
+        assert!(!m.vertex_alive(VertexId(2)));
+        assert!(m.edge_alive(EdgeId(1)));
+    }
+
+    #[test]
+    fn emptied_edges_stay_alive() {
+        let mut m = MutableHypergraph::new(1);
+        let f = m.add_edge([0]);
+        m.delete_vertex(VertexId(0));
+        assert!(m.edge_alive(f));
+        assert_eq!(m.edge_degree(f), 0);
+    }
+
+    #[test]
+    fn remove_pin_is_surgical() {
+        let mut m = toy();
+        m.remove_pin(VertexId(2), EdgeId(0));
+        assert_eq!(m.edge_degree(EdgeId(0)), 2);
+        assert_eq!(m.vertex_degree(VertexId(2)), 1); // still in e1
+        assert_eq!(m.num_pins(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn remove_pin_validates_membership() {
+        let mut m = toy();
+        m.remove_pin(VertexId(0), EdgeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already deleted")]
+    fn double_delete_edge_panics() {
+        let mut m = toy();
+        m.delete_edge(EdgeId(0));
+        m.delete_edge(EdgeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dead or out of range")]
+    fn add_edge_rejects_dead_vertex() {
+        let mut m = toy();
+        m.delete_vertex(VertexId(0));
+        m.add_edge([0, 1]);
+    }
+
+    #[test]
+    fn streaming_growth() {
+        let mut m = MutableHypergraph::new(0);
+        let a = m.add_vertex();
+        let b = m.add_vertex();
+        let f = m.add_edge([a.0, b.0]);
+        assert_eq!(m.num_vertices(), 2);
+        assert_eq!(m.edge_degree(f), 2);
+        let c = m.add_vertex();
+        m.add_edge([b.0, c.0]);
+        assert_eq!(m.num_pins(), 4);
+    }
+
+    #[test]
+    fn freeze_compacts_ids() {
+        let mut m = toy();
+        m.delete_vertex(VertexId(0));
+        m.delete_edge(EdgeId(2));
+        let (h, vmap, emap) = m.freeze();
+        assert_eq!(h.num_vertices(), 4);
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(vmap, vec![VertexId(1), VertexId(2), VertexId(3), VertexId(4)]);
+        assert_eq!(emap, vec![EdgeId(0), EdgeId(1)]);
+        crate::validate::check_structure(&h).unwrap();
+        // e0 was {0,1,2}, now {1,2} -> frozen pins {0,1} in new ids.
+        assert_eq!(h.pins(EdgeId(0)), &[VertexId(0), VertexId(1)]);
+    }
+
+    #[test]
+    fn thaw_freeze_roundtrip() {
+        let mut b = crate::HypergraphBuilder::new(4);
+        b.add_edge([0, 1, 3]);
+        b.add_edge([1, 2]);
+        let h = b.build();
+        let m = MutableHypergraph::from_hypergraph(&h);
+        let (h2, vmap, emap) = m.freeze();
+        assert_eq!(h.num_pins(), h2.num_pins());
+        assert_eq!(vmap.len(), 4);
+        assert_eq!(emap.len(), 2);
+        for f in h.edges() {
+            assert_eq!(h.pins(f), h2.pins(f));
+        }
+    }
+
+    #[test]
+    fn manual_peel_matches_kcore_without_reduction() {
+        // For a hypergraph with no containment the k-core equals plain
+        // degree peeling; replay it on the mutable structure.
+        let mut b = crate::HypergraphBuilder::new(6);
+        b.add_edge([0, 1, 3]);
+        b.add_edge([1, 2, 4]);
+        b.add_edge([0, 2, 5]);
+        let h = b.build();
+        let k = 2;
+
+        let mut m = MutableHypergraph::from_hypergraph(&h);
+        loop {
+            let doomed: Vec<VertexId> = m
+                .vertices()
+                .filter(|&v| m.vertex_degree(v) < k)
+                .collect();
+            if doomed.is_empty() {
+                break;
+            }
+            for v in doomed {
+                m.delete_vertex(v);
+            }
+            // k-core policy: drop emptied/non-maximal edges; here only
+            // emptiness can occur (no containment in this instance).
+            let empty: Vec<EdgeId> = m.edges().filter(|&f| m.edge_degree(f) == 0).collect();
+            for f in empty {
+                m.delete_edge(f);
+            }
+        }
+        let survivors: Vec<VertexId> = m.vertices().collect();
+        let core = crate::hypergraph_kcore(&h, k as u32);
+        assert_eq!(survivors, core.vertices);
+    }
+}

@@ -1,0 +1,168 @@
+//! Pairwise hyperedge overlaps and degree-2 quantities.
+//!
+//! The paper's k-core algorithm avoids comparing vertex sets by keeping,
+//! for every hyperedge, its *overlaps* — the number of vertices it shares
+//! with each intersecting hyperedge. A hyperedge `f` is contained in `g`
+//! exactly when its current degree equals its current overlap with `g`.
+//!
+//! The *degree-2* of a hyperedge `f`, `d₂(f)`, is the number of hyperedges
+//! with which it shares a vertex (the hyperedges reachable from `f` by a
+//! length-two path in `B(H)`); `Δ₂,F` is the maximum over all hyperedges.
+//! These drive the complexity bound `O(|E|(Δ₂,F + Δ_V ln Δ₂,F))`.
+
+use std::collections::HashMap;
+
+use crate::hypergraph::{EdgeId, Hypergraph, VertexId};
+
+/// Symmetric table of nonzero pairwise hyperedge overlaps.
+#[derive(Clone, Debug)]
+pub struct OverlapTable {
+    /// `table[f]` maps `g` (raw id) to `|f ∩ g|`, for every `g ≠ f` with a
+    /// nonzero overlap. Symmetric: `g ∈ table[f] ⇔ f ∈ table[g]`.
+    table: Vec<HashMap<u32, u32>>,
+}
+
+impl OverlapTable {
+    /// Compute all nonzero pairwise overlaps by scanning each vertex's
+    /// adjacency list: `O(Σ_v d(v)²)` expected time with hash maps
+    /// (the paper uses balanced trees for a worst-case log factor).
+    pub fn build(h: &Hypergraph) -> Self {
+        let mut table: Vec<HashMap<u32, u32>> = vec![HashMap::new(); h.num_edges()];
+        for v in h.vertices() {
+            let adj = h.edges_of(v);
+            for (i, &f) in adj.iter().enumerate() {
+                for &g in &adj[i + 1..] {
+                    *table[f.index()].entry(g.0).or_insert(0) += 1;
+                    *table[g.index()].entry(f.0).or_insert(0) += 1;
+                }
+            }
+        }
+        OverlapTable { table }
+    }
+
+    /// `|f ∩ g|` (0 when disjoint).
+    pub fn overlap(&self, f: EdgeId, g: EdgeId) -> u32 {
+        if f == g {
+            return 0;
+        }
+        self.table[f.index()].get(&g.0).copied().unwrap_or(0)
+    }
+
+    /// Degree-2 of hyperedge `f`: number of hyperedges sharing a vertex
+    /// with it.
+    pub fn d2_edge(&self, f: EdgeId) -> usize {
+        self.table[f.index()].len()
+    }
+
+    /// `Δ₂,F`: maximum degree-2 over all hyperedges.
+    pub fn max_d2_edge(&self) -> usize {
+        self.table.iter().map(|m| m.len()).max().unwrap_or(0)
+    }
+
+    /// Iterate over the hyperedges overlapping `f` with their overlap
+    /// counts.
+    pub fn overlapping(&self, f: EdgeId) -> impl Iterator<Item = (EdgeId, u32)> + '_ {
+        self.table[f.index()].iter().map(|(&g, &c)| (EdgeId(g), c))
+    }
+
+    /// Consume into the raw per-edge overlap maps (used by the k-core
+    /// peeling, which mutates them in place as vertices are deleted).
+    pub(crate) fn into_maps(self) -> Vec<HashMap<u32, u32>> {
+        self.table
+    }
+}
+
+/// Degree-2 of a vertex `v`: the number of distinct vertices other than
+/// `v` across all hyperedges containing `v` (vertices reachable by a
+/// length-two path in `B(H)`). Drives the greedy cover bound
+/// `O(Σ_v d₂(v)) ≤ O(Δ_F |E|)`.
+pub fn d2_vertex(h: &Hypergraph, v: VertexId) -> usize {
+    let mut seen: Vec<u32> = h
+        .edges_of(v)
+        .iter()
+        .flat_map(|&f| h.pins(f).iter().map(|w| w.0))
+        .filter(|&w| w != v.0)
+        .collect();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Maximum vertex degree-2 over all vertices.
+pub fn max_d2_vertex(h: &Hypergraph) -> usize {
+    h.vertices().map(|v| d2_vertex(h, v)).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HypergraphBuilder;
+
+    fn toy() -> Hypergraph {
+        // e0={0,1,2}, e1={1,2,3}, e2={3,4}, e3={5}
+        let mut b = HypergraphBuilder::new(6);
+        b.add_edge([0, 1, 2]);
+        b.add_edge([1, 2, 3]);
+        b.add_edge([3, 4]);
+        b.add_edge([5]);
+        b.build()
+    }
+
+    #[test]
+    fn pairwise_overlaps() {
+        let t = OverlapTable::build(&toy());
+        assert_eq!(t.overlap(EdgeId(0), EdgeId(1)), 2);
+        assert_eq!(t.overlap(EdgeId(1), EdgeId(0)), 2);
+        assert_eq!(t.overlap(EdgeId(1), EdgeId(2)), 1);
+        assert_eq!(t.overlap(EdgeId(0), EdgeId(2)), 0);
+        assert_eq!(t.overlap(EdgeId(0), EdgeId(0)), 0);
+        assert_eq!(t.overlap(EdgeId(3), EdgeId(0)), 0);
+    }
+
+    #[test]
+    fn degree2_edges() {
+        let t = OverlapTable::build(&toy());
+        assert_eq!(t.d2_edge(EdgeId(0)), 1);
+        assert_eq!(t.d2_edge(EdgeId(1)), 2);
+        assert_eq!(t.d2_edge(EdgeId(3)), 0);
+        assert_eq!(t.max_d2_edge(), 2);
+    }
+
+    #[test]
+    fn degree2_vertices() {
+        let h = toy();
+        // v1 is in e0, e1 -> reaches {0,2,3}
+        assert_eq!(d2_vertex(&h, VertexId(1)), 3);
+        // v3 is in e1, e2 -> reaches {1,2,4}
+        assert_eq!(d2_vertex(&h, VertexId(3)), 3);
+        assert_eq!(d2_vertex(&h, VertexId(5)), 0);
+        assert_eq!(max_d2_vertex(&h), 3);
+    }
+
+    #[test]
+    fn overlapping_iterator_symmetric() {
+        let t = OverlapTable::build(&toy());
+        let from0: Vec<_> = t.overlapping(EdgeId(0)).collect();
+        assert_eq!(from0, vec![(EdgeId(1), 2)]);
+        let mut from1: Vec<_> = t.overlapping(EdgeId(1)).collect();
+        from1.sort_by_key(|p| p.0);
+        assert_eq!(from1, vec![(EdgeId(0), 2), (EdgeId(2), 1)]);
+    }
+
+    #[test]
+    fn identical_edges_overlap_fully() {
+        let mut b = HypergraphBuilder::new(3);
+        b.add_edge([0, 1, 2]);
+        b.add_edge([0, 1, 2]);
+        let h = b.build();
+        let t = OverlapTable::build(&h);
+        assert_eq!(t.overlap(EdgeId(0), EdgeId(1)), 3);
+    }
+
+    #[test]
+    fn empty_table() {
+        let h = HypergraphBuilder::new(0).build();
+        let t = OverlapTable::build(&h);
+        assert_eq!(t.max_d2_edge(), 0);
+    }
+}

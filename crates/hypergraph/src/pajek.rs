@@ -1,0 +1,129 @@
+//! Pajek export of the bipartite drawing graph `B(H)` — the format behind
+//! the paper's Fig. 3, where yellow/red nodes are proteins, pink/green
+//! nodes are complexes, and red/green marks membership in the maximum
+//! 6-core.
+
+use crate::bipartite::BipartiteView;
+use crate::hypergraph::{EdgeId, Hypergraph, VertexId};
+
+/// Colour classes used in the Fig. 3 partition file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum Fig3Class {
+    /// Protein outside the maximum core (yellow).
+    Protein = 0,
+    /// Complex outside the maximum core (pink).
+    Complex = 1,
+    /// Protein inside the maximum core (red).
+    CoreProtein = 2,
+    /// Complex inside the maximum core (green).
+    CoreComplex = 3,
+}
+
+/// Everything needed to reproduce Fig. 3: the `.net` network document and
+/// the `.clu` partition (colour) document.
+#[derive(Clone, Debug)]
+pub struct PajekExport {
+    /// Pajek `.net` text of `B(H)`.
+    pub net: String,
+    /// Pajek `.clu` text assigning each node a [`Fig3Class`] value.
+    pub clu: String,
+}
+
+/// Export `B(H)` with labels and a partition marking core membership.
+///
+/// `vertex_labels`, if given, must have one entry per hypergraph vertex;
+/// hyperedges are labelled `C1..Cm`. `core_vertices` / `core_edges` are
+/// the members of the maximum core (or any highlight set).
+pub fn export_fig3(
+    h: &Hypergraph,
+    vertex_labels: Option<&[String]>,
+    core_vertices: &[VertexId],
+    core_edges: &[EdgeId],
+) -> PajekExport {
+    if let Some(l) = vertex_labels {
+        assert_eq!(l.len(), h.num_vertices(), "one label per vertex required");
+    }
+    let bv = BipartiteView::new(h);
+
+    let mut labels: Vec<String> = Vec::with_capacity(h.num_vertices() + h.num_edges());
+    for v in h.vertices() {
+        labels.push(match vertex_labels {
+            Some(l) => l[v.index()].clone(),
+            None => format!("P{}", v.0 + 1),
+        });
+    }
+    for f in h.edges() {
+        labels.push(format!("C{}", f.0 + 1));
+    }
+
+    let mut class = vec![Fig3Class::Protein as u32; h.num_vertices() + h.num_edges()];
+    for f in h.edges() {
+        class[bv.edge_node(f).index()] = Fig3Class::Complex as u32;
+    }
+    for &v in core_vertices {
+        class[bv.vertex_node(v).index()] = Fig3Class::CoreProtein as u32;
+    }
+    for &f in core_edges {
+        class[bv.edge_node(f).index()] = Fig3Class::CoreComplex as u32;
+    }
+
+    PajekExport {
+        net: graphcore::pajek::write_net(&bv.graph, Some(&labels)),
+        clu: graphcore::pajek::write_clu(&class),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HypergraphBuilder;
+
+    fn toy() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(3);
+        b.add_edge([0, 1]);
+        b.add_edge([1, 2]);
+        b.build()
+    }
+
+    #[test]
+    fn export_shape() {
+        let h = toy();
+        let e = export_fig3(&h, None, &[VertexId(1)], &[EdgeId(0)]);
+        assert!(e.net.starts_with("*Vertices 5\n"));
+        assert!(e.net.contains("\"P2\""));
+        assert!(e.net.contains("\"C1\""));
+        // clu: v0=protein(0), v1=core protein(2), v2=protein(0),
+        //      e0=core complex(3), e1=complex(1)
+        assert_eq!(e.clu, "*Vertices 5\n0\n2\n0\n3\n1\n");
+    }
+
+    #[test]
+    fn net_parses_back() {
+        let h = toy();
+        let e = export_fig3(&h, None, &[], &[]);
+        let (g, labels) = graphcore::pajek::parse_net(&e.net).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), h.num_pins());
+        assert_eq!(labels[3], "C1");
+    }
+
+    #[test]
+    fn custom_labels_used() {
+        let h = toy();
+        let labels: Vec<String> = ["ADH1", "CDC28", "TUB1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let e = export_fig3(&h, Some(&labels), &[], &[]);
+        assert!(e.net.contains("\"ADH1\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per vertex")]
+    fn label_length_validated() {
+        let h = toy();
+        let labels = vec!["X".to_string()];
+        let _ = export_fig3(&h, Some(&labels), &[], &[]);
+    }
+}

@@ -1,0 +1,126 @@
+//! `matrixmarket` — Matrix Market I/O and synthetic structured sparse
+//! matrices, feeding the paper's Table 1 scalability study.
+//!
+//! The paper runs its hypergraph k-core algorithm on "larger hypergraphs
+//! obtained from scientific computing applications (from the Matrix
+//! Market)". This crate provides:
+//!
+//! * a parser/writer for the Matrix Market coordinate format ([`parse`],
+//!   [`write`]), so genuine `.mtx` files can be used when available;
+//! * deterministic synthetic matrix families of the same flavours and
+//!   scales as the (partly illegible) Table 1 matrices — banded waveguide,
+//!   finite-element meshes, 3-D stiffness, unstructured tokamak-like
+//!   ([`synth`]);
+//! * conversion from a sparse matrix to a hypergraph by the row-net or
+//!   column-net model ([`to_hypergraph`]).
+
+pub mod parse;
+pub mod synth;
+pub mod to_hypergraph;
+pub mod write;
+
+pub use parse::{parse_mtx, MtxError};
+pub use synth::{banded_matrix, fem_mesh_2d, stiffness_3d, table1_suite, tokamak_like};
+pub use to_hypergraph::{column_net, row_net};
+pub use write::write_mtx;
+
+/// A sparse matrix in coordinate (triplet) form, 0-based indices,
+/// duplicates merged, entries sorted by (row, col).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoordMatrix {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Sorted, duplicate-free `(row, col, value)` triplets.
+    pub entries: Vec<(u32, u32, f64)>,
+}
+
+impl CoordMatrix {
+    /// Build from raw triplets: sorts, merges duplicates by addition.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        mut triplets: Vec<(u32, u32, f64)>,
+    ) -> CoordMatrix {
+        assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize);
+        for &(r, c, _) in &triplets {
+            assert!(
+                (r as usize) < nrows && (c as usize) < ncols,
+                "entry ({r}, {c}) out of {nrows}x{ncols}"
+            );
+        }
+        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut entries: Vec<(u32, u32, f64)> = Vec::with_capacity(triplets.len());
+        for (r, c, v) in triplets {
+            match entries.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => entries.push((r, c, v)),
+            }
+        }
+        CoordMatrix {
+            nrows,
+            ncols,
+            entries,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of nonzeros in each row.
+    pub fn row_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nrows];
+        for &(r, _, _) in &self.entries {
+            counts[r as usize] += 1;
+        }
+        counts
+    }
+
+    /// Number of nonzeros in each column.
+    pub fn col_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.ncols];
+        for &(_, c, _) in &self.entries {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_triplets_sorts_and_merges() {
+        let m = CoordMatrix::from_triplets(
+            3,
+            3,
+            vec![(2, 1, 1.0), (0, 0, 2.0), (2, 1, 3.0), (0, 2, 1.0)],
+        );
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.entries, vec![(0, 0, 2.0), (0, 2, 1.0), (2, 1, 4.0)]);
+    }
+
+    #[test]
+    fn counts() {
+        let m = CoordMatrix::from_triplets(2, 3, vec![(0, 0, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+        assert_eq!(m.row_counts(), vec![2, 1]);
+        assert_eq!(m.col_counts(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn bounds_checked() {
+        let _ = CoordMatrix::from_triplets(2, 2, vec![(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CoordMatrix::from_triplets(0, 0, vec![]);
+        assert_eq!(m.nnz(), 0);
+        assert!(m.row_counts().is_empty());
+    }
+}

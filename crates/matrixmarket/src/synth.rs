@@ -1,0 +1,216 @@
+//! Deterministic synthetic sparse-matrix families standing in for the
+//! Matrix Market matrices of the paper's Table 1.
+//!
+//! The paper's table names are partly illegible in the surviving text
+//! (bfw…, fdp…, stk…, utm…), but the families are recognizable Matrix
+//! Market collections: **bfw** (bounded finline waveguide — banded,
+//! complex), **fidap** (FIDAP finite-element fluid dynamics — 2-D
+//! meshes), **stk** (structural stiffness — 3-D meshes), **utm**
+//! (TOKAMAK plasma — unstructured). Each generator below produces a
+//! matrix with the same structural signature at a comparable scale, and
+//! is deterministic in its seed, so Table 1 regenerates bit-identically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::CoordMatrix;
+
+/// Banded matrix (bfw-like): entries within `bandwidth` of the diagonal,
+/// present with probability `fill`, plus the full diagonal.
+pub fn banded_matrix(n: usize, bandwidth: usize, fill: f64, seed: u64) -> CoordMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Vec::new();
+    for i in 0..n {
+        t.push((i as u32, i as u32, 4.0));
+        let lo = i.saturating_sub(bandwidth);
+        let hi = (i + bandwidth).min(n - 1);
+        for j in lo..=hi {
+            if j != i && rng.gen::<f64>() < fill {
+                t.push((i as u32, j as u32, -1.0));
+            }
+        }
+    }
+    CoordMatrix::from_triplets(n, n, t)
+}
+
+/// 2-D finite-element mesh (fidap-like): 9-point stencil on an
+/// `nx × ny` grid, with a fraction `drop` of off-diagonal couplings
+/// removed to mimic irregular element shapes.
+pub fn fem_mesh_2d(nx: usize, ny: usize, drop: f64, seed: u64) -> CoordMatrix {
+    let n = nx * ny;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx = |x: usize, y: usize| (y * nx + x) as u32;
+    let mut t = Vec::new();
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            t.push((i, i, 8.0));
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let (xx, yy) = (x as i64 + dx, y as i64 + dy);
+                    if xx < 0 || yy < 0 || xx >= nx as i64 || yy >= ny as i64 {
+                        continue;
+                    }
+                    if rng.gen::<f64>() >= drop {
+                        t.push((i, idx(xx as usize, yy as usize), -1.0));
+                    }
+                }
+            }
+        }
+    }
+    CoordMatrix::from_triplets(n, n, t)
+}
+
+/// 3-D stiffness matrix (stk-like): 27-point stencil on an
+/// `nx × ny × nz` grid.
+pub fn stiffness_3d(nx: usize, ny: usize, nz: usize) -> CoordMatrix {
+    let n = nx * ny * nz;
+    let idx = |x: usize, y: usize, z: usize| ((z * ny + y) * nx + x) as u32;
+    let mut t = Vec::new();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx(x, y, z);
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let (xx, yy, zz) =
+                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            if xx < 0
+                                || yy < 0
+                                || zz < 0
+                                || xx >= nx as i64
+                                || yy >= ny as i64
+                                || zz >= nz as i64
+                            {
+                                continue;
+                            }
+                            let v = if dx == 0 && dy == 0 && dz == 0 { 26.0 } else { -1.0 };
+                            t.push((i, idx(xx as usize, yy as usize, zz as usize), v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    CoordMatrix::from_triplets(n, n, t)
+}
+
+/// Unstructured tokamak-like matrix (utm-like): a ring of width-2 local
+/// couplings (the torus cross-sections) plus heavy-tailed long-range
+/// couplings whose per-row counts vary widely, giving the irregular row
+/// degrees typical of plasma simulation matrices.
+pub fn tokamak_like(n: usize, mean_extra: f64, seed: u64) -> CoordMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Vec::new();
+    for i in 0..n {
+        let iu = i as u32;
+        t.push((iu, iu, 10.0));
+        for d in 1..=2usize {
+            let j = ((i + d) % n) as u32;
+            t.push((iu, j, -1.0));
+            t.push((j, iu, -1.0));
+        }
+        // Heavy-tailed extra couplings: count ~ mean_extra / u, capped.
+        let u: f64 = rng.gen::<f64>().max(1e-3);
+        let extra = ((mean_extra * 0.5 / u) as usize).min(64);
+        for _ in 0..extra {
+            let j = rng.gen_range(0..n) as u32;
+            if j != iu {
+                t.push((iu, j, -0.5));
+            }
+        }
+    }
+    CoordMatrix::from_triplets(n, n, t)
+}
+
+/// The five Table 1 stand-ins, scaled like the originals: name, matrix.
+///
+/// | name          | family               | n       |
+/// |---------------|----------------------|---------|
+/// | bfw782s       | banded waveguide     | 782     |
+/// | fdp2880s      | 2-D FE mesh          | 2 880   |
+/// | stk10648s     | 3-D stiffness        | 10 648  |
+/// | utm5940m      | unstructured tokamak | 5 940   |
+/// | fdp22500h     | large 2-D FE mesh    | 22 500  |
+pub fn table1_suite() -> Vec<(&'static str, CoordMatrix)> {
+    vec![
+        ("bfw782s", banded_matrix(782, 25, 0.35, 0xbf01)),
+        ("fdp2880s", fem_mesh_2d(60, 48, 0.15, 0xfd02)),
+        ("stk10648s", stiffness_3d(22, 22, 22)),
+        ("utm5940m", tokamak_like(5940, 6.0, 0x0103)),
+        ("fdp22500h", fem_mesh_2d(150, 150, 0.10, 0xfd04)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banded_stays_in_band() {
+        let m = banded_matrix(50, 3, 0.5, 1);
+        assert!(m
+            .entries
+            .iter()
+            .all(|&(r, c, _)| (r as i64 - c as i64).abs() <= 3));
+        // Diagonal complete.
+        let diag = m.entries.iter().filter(|&&(r, c, _)| r == c).count();
+        assert_eq!(diag, 50);
+    }
+
+    #[test]
+    fn fem_mesh_row_degrees_bounded_by_stencil() {
+        let m = fem_mesh_2d(10, 10, 0.0, 0);
+        let counts = m.row_counts();
+        assert!(counts.iter().all(|&c| c <= 9 && c >= 4));
+        // Interior nodes see the full 9-point stencil.
+        assert_eq!(counts[5 * 10 + 5], 9);
+    }
+
+    #[test]
+    fn stiffness_interior_has_27() {
+        let m = stiffness_3d(5, 5, 5);
+        let counts = m.row_counts();
+        let center = (2 * 5 + 2) * 5 + 2;
+        assert_eq!(counts[center], 27);
+        assert_eq!(counts[0], 8); // corner
+    }
+
+    #[test]
+    fn tokamak_rows_vary() {
+        let m = tokamak_like(500, 6.0, 2);
+        let counts = m.row_counts();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(min >= &3);
+        assert!(max > &20, "max row count {max}");
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = table1_suite();
+        let b = table1_suite();
+        for ((na, ma), (nb, mb)) in a.iter().zip(b.iter()) {
+            assert_eq!(na, nb);
+            assert_eq!(ma, mb);
+        }
+    }
+
+    #[test]
+    fn suite_scales_match_labels() {
+        for (name, m) in table1_suite() {
+            let n: usize = name
+                .trim_start_matches(|c: char| c.is_alphabetic())
+                .trim_end_matches(|c: char| c.is_alphabetic())
+                .parse()
+                .unwrap();
+            assert_eq!(m.nrows, n, "{name}");
+            assert_eq!(m.ncols, n, "{name}");
+            assert!(m.nnz() > n, "{name} too sparse");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Sparse matrix → hypergraph conversion.
+//!
+//! Two standard models from sparse-matrix partitioning (the authors'
+//! research area):
+//!
+//! * **row-net**: rows are hyperedges, columns are vertices; hyperedge `i`
+//!   contains vertex `j` iff `a_ij ≠ 0`;
+//! * **column-net**: columns are hyperedges, rows are vertices.
+//!
+//! Explicitly stored zeros are kept (they are structural nonzeros in the
+//! Matrix Market sense).
+
+use hypergraph::{Hypergraph, HypergraphBuilder};
+
+use crate::CoordMatrix;
+
+/// Row-net model: `|V| = ncols`, `|F| = nrows`.
+pub fn row_net(m: &CoordMatrix) -> Hypergraph {
+    let mut b = HypergraphBuilder::new(m.ncols);
+    b.reserve_pins(m.nnz());
+    // Entries are sorted by (row, col): walk rows in order.
+    let mut i = 0usize;
+    for r in 0..m.nrows as u32 {
+        let start = i;
+        while i < m.entries.len() && m.entries[i].0 == r {
+            i += 1;
+        }
+        b.add_edge(m.entries[start..i].iter().map(|&(_, c, _)| c));
+    }
+    b.build()
+}
+
+/// Column-net model: `|V| = nrows`, `|F| = ncols`.
+pub fn column_net(m: &CoordMatrix) -> Hypergraph {
+    let mut cols: Vec<Vec<u32>> = vec![Vec::new(); m.ncols];
+    for &(r, c, _) in &m.entries {
+        cols[c as usize].push(r);
+    }
+    let mut b = HypergraphBuilder::new(m.nrows);
+    b.reserve_pins(m.nnz());
+    for col in cols {
+        b.add_edge(col);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::{EdgeId, VertexId};
+
+    fn sample() -> CoordMatrix {
+        // 3x4:
+        // [x . x .]
+        // [. x . .]
+        // [x x . x]
+        CoordMatrix::from_triplets(
+            3,
+            4,
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 1.0),
+                (1, 1, 1.0),
+                (2, 0, 1.0),
+                (2, 1, 1.0),
+                (2, 3, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn row_net_shape() {
+        let h = row_net(&sample());
+        assert_eq!(h.num_vertices(), 4);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.num_pins(), 6);
+        assert_eq!(h.pins(EdgeId(0)), &[VertexId(0), VertexId(2)]);
+        assert_eq!(h.pins(EdgeId(2)), &[VertexId(0), VertexId(1), VertexId(3)]);
+    }
+
+    #[test]
+    fn column_net_is_transpose_of_row_net() {
+        let m = sample();
+        let h = column_net(&m);
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(h.num_edges(), 4);
+        assert_eq!(h.pins(EdgeId(0)), &[VertexId(0), VertexId(2)]);
+        assert_eq!(h.pins(EdgeId(1)), &[VertexId(1), VertexId(2)]);
+        assert_eq!(h.pins(EdgeId(2)), &[VertexId(0)]);
+        assert_eq!(h.pins(EdgeId(3)), &[VertexId(2)]);
+    }
+
+    #[test]
+    fn empty_rows_become_empty_edges() {
+        let m = CoordMatrix::from_triplets(3, 2, vec![(0, 0, 1.0)]);
+        let h = row_net(&m);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.edge_degree(EdgeId(1)), 0);
+        assert_eq!(h.edge_degree(EdgeId(2)), 0);
+    }
+
+    #[test]
+    fn pin_counts_match_nnz() {
+        let m = sample();
+        assert_eq!(row_net(&m).num_pins(), m.nnz());
+        assert_eq!(column_net(&m).num_pins(), m.nnz());
+    }
+}

@@ -1,0 +1,37 @@
+//! Matrix Market coordinate-format writer.
+
+use std::fmt::Write as _;
+
+use crate::CoordMatrix;
+
+/// Serialize a [`CoordMatrix`] as `matrix coordinate real general` text.
+pub fn write_mtx(m: &CoordMatrix) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "%%MatrixMarket matrix coordinate real general");
+    let _ = writeln!(out, "{} {} {}", m.nrows, m.ncols, m.nnz());
+    for &(r, c, v) in &m.entries {
+        let _ = writeln!(out, "{} {} {}", r + 1, c + 1, v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_shape() {
+        let m = CoordMatrix::from_triplets(2, 2, vec![(0, 1, 2.0)]);
+        let text = write_mtx(&m);
+        assert_eq!(
+            text,
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 2\n"
+        );
+    }
+
+    #[test]
+    fn empty() {
+        let m = CoordMatrix::from_triplets(0, 0, vec![]);
+        assert!(write_mtx(&m).contains("0 0 0"));
+    }
+}

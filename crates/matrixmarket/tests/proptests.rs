@@ -1,0 +1,90 @@
+//! Property-based tests for MatrixMarket I/O and hypergraph conversion.
+
+use proptest::prelude::*;
+
+use matrixmarket::{column_net, parse_mtx, row_net, write_mtx, CoordMatrix};
+
+fn arb_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CoordMatrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(r, c)| {
+        proptest::collection::vec(
+            (0..r as u32, 0..c as u32, -100i32..100),
+            0..=max_nnz,
+        )
+        .prop_map(move |trip| {
+            CoordMatrix::from_triplets(
+                r,
+                c,
+                trip.into_iter().map(|(i, j, v)| (i, j, v as f64)).collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Triplet normalization: sorted, in-bounds, duplicate-free.
+    #[test]
+    fn from_triplets_normalizes(m in arb_matrix(12, 40)) {
+        prop_assert!(m.entries.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        prop_assert!(m
+            .entries
+            .iter()
+            .all(|&(r, c, _)| (r as usize) < m.nrows && (c as usize) < m.ncols));
+        prop_assert_eq!(m.row_counts().iter().sum::<usize>(), m.nnz());
+        prop_assert_eq!(m.col_counts().iter().sum::<usize>(), m.nnz());
+    }
+
+    /// Text round-trip is exact (values are written losslessly enough
+    /// for integer-valued doubles).
+    #[test]
+    fn mtx_roundtrip(m in arb_matrix(12, 40)) {
+        let text = write_mtx(&m);
+        let m2 = parse_mtx(&text).unwrap();
+        prop_assert_eq!(m, m2);
+    }
+
+    /// Row-net and column-net are transposes of each other.
+    #[test]
+    fn nets_transpose(m in arb_matrix(10, 30)) {
+        let r = row_net(&m);
+        let c = column_net(&m);
+        hypergraph::validate::check_structure(&r).unwrap();
+        hypergraph::validate::check_structure(&c).unwrap();
+        prop_assert_eq!(r.num_pins(), m.nnz());
+        prop_assert_eq!(c.num_pins(), m.nnz());
+        prop_assert_eq!(r.num_vertices(), m.ncols);
+        prop_assert_eq!(c.num_vertices(), m.nrows);
+        for f in r.edges() {
+            for &v in r.pins(f) {
+                prop_assert!(c
+                    .pins(hypergraph::EdgeId(v.0))
+                    .contains(&hypergraph::VertexId(f.0)));
+            }
+        }
+    }
+
+    /// Synthetic generators are deterministic in their seeds.
+    #[test]
+    fn generators_deterministic(seed in any::<u64>()) {
+        let a = matrixmarket::banded_matrix(60, 5, 0.4, seed);
+        let b = matrixmarket::banded_matrix(60, 5, 0.4, seed);
+        prop_assert_eq!(a, b);
+        let a = matrixmarket::tokamak_like(80, 3.0, seed);
+        let b = matrixmarket::tokamak_like(80, 3.0, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Row degrees of the banded generator stay within the band.
+    #[test]
+    fn banded_in_band(n in 2usize..80, bw in 1usize..6, seed in any::<u64>()) {
+        let m = matrixmarket::banded_matrix(n, bw, 0.5, seed);
+        prop_assert!(m
+            .entries
+            .iter()
+            .all(|&(r, c, _)| (r as i64 - c as i64).unsigned_abs() as usize <= bw));
+        // Full diagonal present.
+        let diag = m.entries.iter().filter(|&&(r, c, _)| r == c).count();
+        prop_assert_eq!(diag, n);
+    }
+}

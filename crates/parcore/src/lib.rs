@@ -1,0 +1,37 @@
+//! `parcore` — parallel k-core and distance algorithms.
+//!
+//! The paper closes its Table 1 discussion with: *"if the numbers of
+//! vertices and hyperedges in the core are large, then the run times can
+//! be substantial; hence for large hypergraphs, a parallel algorithm will
+//! need to be designed."* This crate is that design:
+//!
+//! * [`par_kcore`] — a level-synchronous parallel hypergraph k-core:
+//!   each round peels every sub-threshold vertex at once (rayon parallel
+//!   iterators + atomic degree counters), then re-checks the affected
+//!   hyperedges for maximality in parallel by direct sorted-subset tests
+//!   against a consistent snapshot. Equivalent to the sequential
+//!   algorithm (same surviving vertices; same surviving edge contents).
+//! * [`par_graph`] — the level-synchronous parallel core decomposition of
+//!   a plain graph (the "ParK" scheme) used for the DIP baselines.
+//! * [`par_distance`] — embarrassingly parallel per-source BFS for the
+//!   hypergraph distance statistics of §2.
+//! * [`par_overlap`] — parallel construction of the pairwise hyperedge
+//!   overlap table.
+//!
+//! Memory-ordering notes: degree counters use `fetch_sub(Relaxed)` — the
+//! value is only *read* after the round's barrier (rayon's fork-join
+//! guarantees happens-before), so no acquire/release is needed on the
+//! counters themselves. Liveness flags are claimed with
+//! `compare_exchange(AcqRel)` so each vertex/edge is deleted exactly once.
+
+pub mod par_distance;
+pub mod par_graph;
+pub mod par_kcore;
+pub mod par_overlap;
+pub mod scoped;
+
+pub use par_distance::par_hyper_distance_stats;
+pub use par_graph::par_core_decomposition;
+pub use par_kcore::{par_hypergraph_kcore, par_max_core};
+pub use par_overlap::par_overlap_table;
+pub use scoped::scoped_hyper_distance_stats;

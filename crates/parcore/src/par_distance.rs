@@ -1,0 +1,96 @@
+//! Parallel hypergraph distance statistics: one BFS per source, sources
+//! distributed over threads (each with private scratch buffers), results
+//! reduced at the end. Exactly matches the sequential
+//! [`hypergraph::hyper_distance_stats`].
+
+use rayon::prelude::*;
+
+use hypergraph::path::UNREACHABLE;
+use hypergraph::{Hypergraph, HyperDistanceStats, VertexId};
+
+/// Parallel exact distance statistics (diameter, average path length)
+/// over all reachable ordered vertex pairs.
+pub fn par_hyper_distance_stats(h: &Hypergraph) -> HyperDistanceStats {
+    let sources: Vec<VertexId> = h.vertices().collect();
+    par_hyper_distance_stats_from(h, &sources)
+}
+
+/// Parallel distance statistics from the given BFS sources.
+pub fn par_hyper_distance_stats_from(
+    h: &Hypergraph,
+    sources: &[VertexId],
+) -> HyperDistanceStats {
+    let (diameter, total, pairs) = sources
+        .par_iter()
+        .fold(
+            || (0u32, 0u128, 0u64),
+            |(mut diameter, mut total, mut pairs), &s| {
+                let dist = hypergraph::hyper_distances(h, s);
+                for (v, &d) in dist.iter().enumerate() {
+                    if d != UNREACHABLE && v != s.index() {
+                        diameter = diameter.max(d);
+                        total += d as u128;
+                        pairs += 1;
+                    }
+                }
+                (diameter, total, pairs)
+            },
+        )
+        .reduce(
+            || (0u32, 0u128, 0u64),
+            |a, b| (a.0.max(b.0), a.1 + b.1, a.2 + b.2),
+        );
+    HyperDistanceStats {
+        diameter,
+        average_path_length: if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        },
+        reachable_pairs: pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::{hyper_distance_stats, HypergraphBuilder};
+
+    #[test]
+    fn matches_sequential_chain() {
+        let mut b = HypergraphBuilder::new(6);
+        for i in 0..5u32 {
+            b.add_edge([i, i + 1]);
+        }
+        let h = b.build();
+        assert_eq!(hyper_distance_stats(&h), par_hyper_distance_stats(&h));
+    }
+
+    #[test]
+    fn matches_sequential_random() {
+        for seed in 0..3u64 {
+            let h = hypergen::uniform_random_hypergraph(80, 60, 4, seed);
+            assert_eq!(hyper_distance_stats(&h), par_hyper_distance_stats(&h));
+        }
+    }
+
+    #[test]
+    fn empty() {
+        let h = HypergraphBuilder::new(0).build();
+        let s = par_hyper_distance_stats(&h);
+        assert_eq!(s.reachable_pairs, 0);
+        assert_eq!(s.diameter, 0);
+    }
+
+    #[test]
+    fn subset_of_sources() {
+        let mut b = HypergraphBuilder::new(5);
+        b.add_edge([0, 1, 2]);
+        b.add_edge([2, 3, 4]);
+        let h = b.build();
+        let some = [VertexId(0), VertexId(4)];
+        let par = par_hyper_distance_stats_from(&h, &some);
+        let seq = hypergraph::path::hyper_distance_stats_from(&h, &some);
+        assert_eq!(par, seq);
+    }
+}

@@ -1,0 +1,128 @@
+//! Level-synchronous parallel core decomposition of a plain graph
+//! (the "ParK" scheme): process levels k = 0, 1, 2, …; at each level,
+//! repeatedly peel the frontier of vertices whose current degree is ≤ k,
+//! decrementing neighbour degrees atomically. Each vertex's core number
+//! is the level at which it is peeled.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use graphcore::{CoreDecomposition, Graph, NodeId};
+use rayon::prelude::*;
+
+/// Parallel core decomposition; equivalent to
+/// [`graphcore::core_decomposition`] in `core` values and `max_core`
+/// (the `peel_order` is level-grouped rather than strictly sorted by
+/// degree-at-removal within a level).
+pub fn par_core_decomposition(g: &Graph) -> CoreDecomposition {
+    let n = g.num_nodes();
+    if n == 0 {
+        return CoreDecomposition {
+            core: Vec::new(),
+            max_core: 0,
+            peel_order: Vec::new(),
+        };
+    }
+
+    let deg: Vec<AtomicU32> = g
+        .nodes()
+        .map(|u| AtomicU32::new(g.degree(u) as u32))
+        .collect();
+    // u32::MAX = not yet assigned.
+    let core: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+
+    let mut peel_order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut remaining = n;
+    let mut k = 0u32;
+
+    while remaining > 0 {
+        loop {
+            // Frontier: unassigned vertices with degree <= k. Claim via
+            // CAS on the core slot so each vertex is peeled exactly once.
+            let frontier: Vec<u32> = (0..n as u32)
+                .into_par_iter()
+                .filter(|&v| {
+                    core[v as usize].load(Ordering::Relaxed) == u32::MAX
+                        && deg[v as usize].load(Ordering::Relaxed) <= k
+                        && core[v as usize]
+                            .compare_exchange(
+                                u32::MAX,
+                                k,
+                                Ordering::AcqRel,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                })
+                .collect();
+            if frontier.is_empty() {
+                break;
+            }
+            frontier.par_iter().for_each(|&v| {
+                for &w in g.neighbors(NodeId(v)) {
+                    if core[w.index()].load(Ordering::Relaxed) == u32::MAX {
+                        deg[w.index()].fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            remaining -= frontier.len();
+            peel_order.extend(frontier.into_iter().map(NodeId));
+        }
+        k += 1;
+    }
+
+    let core: Vec<u32> = core.into_iter().map(|c| c.into_inner()).collect();
+    let max_core = core.iter().copied().max().unwrap_or(0);
+    CoreDecomposition {
+        core,
+        max_core,
+        peel_order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::{core_decomposition, GraphBuilder};
+
+    fn assert_matches(g: &Graph) {
+        let seq = core_decomposition(g);
+        let par = par_core_decomposition(g);
+        assert_eq!(seq.core, par.core);
+        assert_eq!(seq.max_core, par.max_core);
+        assert_eq!(par.peel_order.len(), g.num_nodes());
+    }
+
+    #[test]
+    fn matches_sequential_small() {
+        let mut b = GraphBuilder::new(6);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(NodeId(u), NodeId(v));
+            }
+        }
+        b.add_edge(NodeId(0), NodeId(4));
+        b.add_edge(NodeId(4), NodeId(5));
+        assert_matches(&b.build());
+    }
+
+    #[test]
+    fn matches_sequential_random() {
+        for seed in 0..3u64 {
+            let weights = vec![5.0; 300];
+            let g = hypergen::chung_lu_graph(&weights, seed);
+            assert_matches(&g);
+        }
+    }
+
+    #[test]
+    fn matches_on_planted_core() {
+        let g = hypergen::planted_core_graph(800, 25, 8, 2.5, 3.0, 0.3, 5);
+        assert_matches(&g);
+        assert_eq!(par_core_decomposition(&g).max_core, 8);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        assert_matches(&GraphBuilder::new(0).build());
+        assert_matches(&GraphBuilder::new(7).build());
+    }
+}

@@ -1,0 +1,88 @@
+//! Parallel pairwise hyperedge overlap computation.
+//!
+//! The sequential k-core spends its setup in
+//! [`hypergraph::OverlapTable::build`], which is `O(Σ_v d(v)²)`. Here the
+//! per-vertex pair lists are generated in parallel, sorted, and reduced
+//! to per-pair counts — same information, different layout: a flat sorted
+//! vector of `(f, g, |f ∩ g|)` with `f < g`.
+
+use rayon::prelude::*;
+
+use hypergraph::{EdgeId, Hypergraph};
+#[cfg(test)]
+use hypergraph::OverlapTable;
+
+/// All nonzero pairwise overlaps as sorted `(f, g, count)` triples with
+/// `f < g`.
+pub fn par_overlap_table(h: &Hypergraph) -> Vec<(EdgeId, EdgeId, u32)> {
+    let mut pairs: Vec<(u32, u32)> = h
+        .vertices()
+        .collect::<Vec<_>>()
+        .par_iter()
+        .flat_map_iter(|&v| {
+            let adj = h.edges_of(v);
+            let mut local = Vec::with_capacity(adj.len() * adj.len().saturating_sub(1) / 2);
+            for (i, &f) in adj.iter().enumerate() {
+                for &g in &adj[i + 1..] {
+                    local.push((f.0, g.0));
+                }
+            }
+            local
+        })
+        .collect();
+    pairs.par_sort_unstable();
+
+    let mut out: Vec<(EdgeId, EdgeId, u32)> = Vec::new();
+    for (f, g) in pairs {
+        match out.last_mut() {
+            Some(last) if last.0 .0 == f && last.1 .0 == g => last.2 += 1,
+            _ => out.push((EdgeId(f), EdgeId(g), 1)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::HypergraphBuilder;
+
+    fn reference(h: &Hypergraph) -> Vec<(EdgeId, EdgeId, u32)> {
+        let t = OverlapTable::build(h);
+        let mut out = Vec::new();
+        for f in h.edges() {
+            for (g, c) in t.overlapping(f) {
+                if f < g {
+                    out.push((f, g, c));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn matches_sequential_table() {
+        let mut b = HypergraphBuilder::new(6);
+        b.add_edge([0, 1, 2]);
+        b.add_edge([1, 2, 3]);
+        b.add_edge([3, 4]);
+        b.add_edge([0, 1, 2]);
+        let h = b.build();
+        assert_eq!(par_overlap_table(&h), reference(&h));
+    }
+
+    #[test]
+    fn matches_on_random() {
+        for seed in 0..3u64 {
+            let h = hypergen::uniform_random_hypergraph(50, 60, 5, seed);
+            assert_eq!(par_overlap_table(&h), reference(&h));
+        }
+    }
+
+    #[test]
+    fn empty() {
+        let h = HypergraphBuilder::new(0).build();
+        assert!(par_overlap_table(&h).is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Hand-rolled scoped-thread parallelism (crossbeam) as a counterpoint
+//! to the rayon work-stealing implementations: static chunking of BFS
+//! sources over OS threads with explicit result reduction.
+//!
+//! Exists for the A4-style comparison: rayon's dynamic scheduling wins
+//! when per-source costs are skewed (power-law components); static
+//! chunking wins marginally when costs are uniform and the task count is
+//! small. Results are identical either way, which the tests pin down.
+
+use hypergraph::path::UNREACHABLE;
+use hypergraph::{Hypergraph, HyperDistanceStats, VertexId};
+
+/// Distance statistics via `threads` scoped OS threads, each sweeping a
+/// static chunk of BFS sources. Matches
+/// [`hypergraph::hyper_distance_stats`] exactly.
+///
+/// # Panics
+/// If `threads == 0`.
+pub fn scoped_hyper_distance_stats(h: &Hypergraph, threads: usize) -> HyperDistanceStats {
+    assert!(threads > 0, "need at least one thread");
+    let sources: Vec<VertexId> = h.vertices().collect();
+    if sources.is_empty() {
+        return HyperDistanceStats {
+            diameter: 0,
+            average_path_length: 0.0,
+            reachable_pairs: 0,
+        };
+    }
+    let chunk = sources.len().div_ceil(threads);
+
+    let partials: Vec<(u32, u128, u64)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = sources
+            .chunks(chunk)
+            .map(|chunk_sources| {
+                scope.spawn(move |_| {
+                    let mut diameter = 0u32;
+                    let mut total = 0u128;
+                    let mut pairs = 0u64;
+                    for &s in chunk_sources {
+                        let dist = hypergraph::hyper_distances(h, s);
+                        for (v, &d) in dist.iter().enumerate() {
+                            if d != UNREACHABLE && v != s.index() {
+                                diameter = diameter.max(d);
+                                total += d as u128;
+                                pairs += 1;
+                            }
+                        }
+                    }
+                    (diameter, total, pairs)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope");
+
+    let (diameter, total, pairs) = partials
+        .into_iter()
+        .fold((0u32, 0u128, 0u64), |a, b| (a.0.max(b.0), a.1 + b.1, a.2 + b.2));
+    HyperDistanceStats {
+        diameter,
+        average_path_length: if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        },
+        reachable_pairs: pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::{hyper_distance_stats, HypergraphBuilder};
+
+    #[test]
+    fn matches_sequential_across_thread_counts() {
+        let h = hypergen::uniform_random_hypergraph(60, 50, 4, 11);
+        let seq = hyper_distance_stats(&h);
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(seq, scoped_hyper_distance_stats(&h, threads), "{threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_sources_ok() {
+        let mut b = HypergraphBuilder::new(2);
+        b.add_edge([0, 1]);
+        let h = b.build();
+        let s = scoped_hyper_distance_stats(&h, 16);
+        assert_eq!(s.reachable_pairs, 2);
+        assert_eq!(s.diameter, 1);
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = HypergraphBuilder::new(0).build();
+        let s = scoped_hyper_distance_stats(&h, 4);
+        assert_eq!(s.reachable_pairs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let h = HypergraphBuilder::new(1).build();
+        let _ = scoped_hyper_distance_stats(&h, 0);
+    }
+
+    #[test]
+    fn matches_rayon_variant() {
+        let h = hypergen::uniform_random_hypergraph(80, 70, 5, 3);
+        let rayon = crate::par_hyper_distance_stats(&h);
+        let scoped = scoped_hyper_distance_stats(&h, 4);
+        assert_eq!(rayon, scoped);
+    }
+}

@@ -1,0 +1,198 @@
+//! Bait-protein selection analysis (paper §4.2).
+//!
+//! The Cellzome experiment used 589 bait proteins, of which 459 reported
+//! complexes, with an average bait degree of ≈1.85. The paper proposes
+//! choosing baits by hypergraph vertex covers instead:
+//!
+//! * unweighted greedy cover: 109 baits, average degree ≈ 3.7;
+//! * degree²-weighted greedy cover: 233 baits, average degree ≈ 1.14;
+//! * 2-multicover (each complex twice, singletons excluded): 558 baits of
+//!   average degree ≈ 1.74 covering the 229 non-singleton complexes.
+
+use hypergraph::{
+    greedy_multicover, greedy_vertex_cover, CoverResult, EdgeId, VertexId,
+};
+
+use crate::cellzome::CellzomeDataset;
+
+/// Baits used by the Cellzome study.
+pub const CELLZOME_BAITS: usize = 589;
+/// Baits that reported complexes in the Cellzome study.
+pub const CELLZOME_PRODUCTIVE_BAITS: usize = 459;
+/// Average degree of a Cellzome bait protein.
+pub const CELLZOME_BAIT_AVG_DEGREE: f64 = 1.85;
+
+/// One cover-based bait proposal.
+#[derive(Clone, Debug)]
+pub struct BaitProposal {
+    /// The cover itself.
+    pub cover: CoverResult,
+    /// Number of proposed baits.
+    pub count: usize,
+    /// Mean degree of the proposed baits.
+    pub average_degree: f64,
+}
+
+/// The three §4.2 proposals side by side.
+#[derive(Clone, Debug)]
+pub struct BaitSelectionReport {
+    /// Unweighted minimum-cardinality greedy cover (paper: 109, avg 3.7).
+    pub unweighted: BaitProposal,
+    /// Degree²-weighted greedy cover (paper: 233, avg 1.14).
+    pub degree_squared: BaitProposal,
+    /// 2-multicover excluding singleton complexes (paper: 558, avg 1.74).
+    pub multicover2: BaitProposal,
+    /// Complexes covered twice by the multicover (paper: 229).
+    pub multicover_complexes: usize,
+}
+
+fn proposal(ds: &CellzomeDataset, cover: CoverResult) -> BaitProposal {
+    let average_degree = cover.average_degree(&ds.hypergraph);
+    BaitProposal {
+        count: cover.vertices.len(),
+        average_degree,
+        cover,
+    }
+}
+
+/// Run all three §4.2 bait-selection strategies on a dataset.
+pub fn bait_selection_report(ds: &CellzomeDataset) -> BaitSelectionReport {
+    let h = &ds.hypergraph;
+
+    let unweighted = greedy_vertex_cover(h, |_| 1.0).expect("coverable");
+
+    let deg2 = greedy_vertex_cover(h, |v: VertexId| {
+        let d = h.vertex_degree(v) as f64;
+        d * d
+    })
+    .expect("coverable");
+
+    let singles: std::collections::HashSet<u32> =
+        ds.singleton_complexes.iter().map(|f| f.0).collect();
+    let req = |f: EdgeId| if singles.contains(&f.0) { 0 } else { 2 };
+    // Degree²-weighted, like the single cover: the multicover exists to
+    // improve reliability, so it should also prefer unambiguous
+    // (low-degree) baits — unit weights would pick promiscuous hubs and
+    // defeat the purpose (the paper reports average degree 1.74).
+    let mc = greedy_multicover(
+        h,
+        |v: VertexId| {
+            let d = h.vertex_degree(v) as f64;
+            d * d
+        },
+        req,
+    )
+    .expect("feasible");
+    let covered = h.num_edges() - ds.singleton_complexes.len();
+
+    BaitSelectionReport {
+        unweighted: proposal(ds, unweighted),
+        degree_squared: proposal(ds, deg2),
+        multicover2: proposal(ds, mc),
+        multicover_complexes: covered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cellzome::{cellzome_like, CELLZOME_SEED};
+    use hypergraph::{is_multicover, is_vertex_cover};
+
+    fn report() -> (CellzomeDataset, BaitSelectionReport) {
+        let ds = cellzome_like(CELLZOME_SEED);
+        let r = bait_selection_report(&ds);
+        (ds, r)
+    }
+
+    #[test]
+    fn covers_are_valid() {
+        let (ds, r) = report();
+        assert!(is_vertex_cover(&ds.hypergraph, &r.unweighted.cover.vertices));
+        assert!(is_vertex_cover(&ds.hypergraph, &r.degree_squared.cover.vertices));
+        let singles: std::collections::HashSet<u32> =
+            ds.singleton_complexes.iter().map(|f| f.0).collect();
+        assert!(is_multicover(
+            &ds.hypergraph,
+            &r.multicover2.cover.vertices,
+            |f| if singles.contains(&f.0) { 0 } else { 2 }
+        ));
+    }
+
+    #[test]
+    fn unweighted_cover_small_and_promiscuous() {
+        let (_, r) = report();
+        // Paper: 109 baits with average degree ≈ 3.7. Our calibrated
+        // dataset should land in the same regime.
+        assert!(
+            (60..=160).contains(&r.unweighted.count),
+            "unweighted count = {} (paper: 109)",
+            r.unweighted.count
+        );
+        assert!(
+            r.unweighted.average_degree > 2.0,
+            "avg degree = {} (paper: 3.7)",
+            r.unweighted.average_degree
+        );
+    }
+
+    #[test]
+    fn degree_squared_cover_prefers_low_degree_baits() {
+        let (_, r) = report();
+        // Paper: 233 baits with average degree ≈ 1.14.
+        assert!(
+            r.degree_squared.count > r.unweighted.count,
+            "deg² count {} should exceed unweighted {}",
+            r.degree_squared.count,
+            r.unweighted.count
+        );
+        assert!(
+            r.degree_squared.average_degree < 2.0,
+            "avg degree = {} (paper: 1.14; see EXPERIMENTS.md E7 note)",
+            r.degree_squared.average_degree
+        );
+        assert!(
+            r.degree_squared.average_degree < r.unweighted.average_degree / 1.5,
+            "deg² weighting must substantially reduce bait promiscuity"
+        );
+        assert!(
+            (120..=320).contains(&r.degree_squared.count),
+            "count = {} (paper: 233)",
+            r.degree_squared.count
+        );
+    }
+
+    #[test]
+    fn multicover_larger_still_lean() {
+        let (_, r) = report();
+        // Paper: 558 baits, avg 1.74, covering 229 complexes twice.
+        assert_eq!(r.multicover_complexes, 229);
+        assert!(
+            r.multicover2.count > r.degree_squared.count,
+            "2-multicover must need more baits"
+        );
+        // The paper reports 558 baits, but a greedy multicover can pick at
+        // most 2 × 229 = 458 vertices (each pick must satisfy at least one
+        // unmet requirement), so 558 cannot come from this greedy; we land
+        // lower. See EXPERIMENTS.md E7.
+        assert!(
+            (200..=458).contains(&r.multicover2.count),
+            "count = {} (paper: 558)",
+            r.multicover2.count
+        );
+        assert!(
+            r.multicover2.average_degree < 2.2,
+            "avg degree = {} (paper: 1.74)",
+            r.multicover2.average_degree
+        );
+    }
+
+    #[test]
+    fn proposals_beat_cellzome_on_bait_budget() {
+        let (_, r) = report();
+        // All single-cover proposals use fewer baits than Cellzome's 589.
+        assert!(r.unweighted.count < CELLZOME_BAITS);
+        assert!(r.degree_squared.count < CELLZOME_BAITS);
+        assert!(r.multicover2.count < CELLZOME_BAITS);
+    }
+}

@@ -1,0 +1,300 @@
+//! Consensus reconstruction of complexes from raw pull-downs.
+//!
+//! The Cellzome pipeline doesn't stop at pull-downs: repeated, partial
+//! observations of the same complex must be merged back into complex
+//! candidates. This module closes the loop on the simulated experiment
+//! ([`crate::tap`]): single-link clustering of pull-downs by Jaccard
+//! similarity, member consensus by majority vote, and
+//! precision/recall scoring against the ground truth — so bait
+//! strategies can be compared on *reconstruction quality*, not just raw
+//! recovery counts.
+
+use std::collections::HashMap;
+
+use graphcore::UnionFind;
+use hypergraph::{Hypergraph, VertexId};
+
+use crate::tap::TapRun;
+
+/// Jaccard similarity of two sorted vertex-id slices.
+pub fn jaccard(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
+/// A reconstructed complex candidate.
+#[derive(Clone, Debug)]
+pub struct ConsensusComplex {
+    /// Member vertices: those seen in at least half of the cluster's
+    /// pull-downs (majority vote), sorted.
+    pub members: Vec<VertexId>,
+    /// Number of pull-downs merged into this candidate.
+    pub support: usize,
+}
+
+/// Merge a run's pull-downs into consensus complex candidates:
+/// single-link clustering at Jaccard >= `threshold`, then majority-vote
+/// membership within each cluster.
+pub fn consensus_complexes(run: &TapRun, threshold: f64) -> Vec<ConsensusComplex> {
+    assert!((0.0..=1.0).contains(&threshold));
+    let observed: Vec<Vec<u32>> = run
+        .pull_downs
+        .iter()
+        .map(|pd| {
+            let mut v: Vec<u32> = pd.observed.iter().map(|v| v.0).collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    let n = observed.len();
+
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if jaccard(&observed[i], &observed[j]) >= threshold {
+                uf.union(i, j);
+            }
+        }
+    }
+    let (labels, count) = uf.labels();
+
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); count];
+    for (i, &l) in labels.iter().enumerate() {
+        clusters[l as usize].push(i);
+    }
+
+    clusters
+        .into_iter()
+        .filter(|c| !c.is_empty())
+        .map(|cluster| {
+            let support = cluster.len();
+            let mut votes: HashMap<u32, usize> = HashMap::new();
+            for &i in &cluster {
+                for &v in &observed[i] {
+                    *votes.entry(v).or_insert(0) += 1;
+                }
+            }
+            let mut members: Vec<VertexId> = votes
+                .into_iter()
+                .filter(|&(_, c)| 2 * c >= support)
+                .map(|(v, _)| VertexId(v))
+                .collect();
+            members.sort_unstable();
+            ConsensusComplex { members, support }
+        })
+        .collect()
+}
+
+/// Quality of a reconstruction against the ground truth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReconstructionReport {
+    /// Candidates produced.
+    pub candidates: usize,
+    /// Ground-truth complexes matched by some candidate at Jaccard >= 0.5
+    /// (each candidate matches at most one complex: its best).
+    pub complexes_matched: usize,
+    /// `complexes_matched / ground-truth complexes`.
+    pub complex_recall: f64,
+    /// Fraction of candidates that match some ground-truth complex.
+    pub candidate_precision: f64,
+    /// Mean Jaccard of matched pairs.
+    pub mean_matched_jaccard: f64,
+}
+
+/// Score candidates against the ground truth: greedy best-match at
+/// Jaccard >= 0.5.
+pub fn score_reconstruction(
+    truth: &Hypergraph,
+    candidates: &[ConsensusComplex],
+) -> ReconstructionReport {
+    let truth_sets: Vec<Vec<u32>> = truth
+        .edges()
+        .map(|f| truth.pins(f).iter().map(|v| v.0).collect())
+        .collect();
+
+    let mut matched = vec![false; truth_sets.len()];
+    let mut precision_hits = 0usize;
+    let mut jaccard_sum = 0.0f64;
+    let mut jaccard_count = 0usize;
+
+    for cand in candidates {
+        let cset: Vec<u32> = cand.members.iter().map(|v| v.0).collect();
+        let best = truth_sets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, jaccard(&cset, t)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        if let Some((i, sim)) = best {
+            if sim >= 0.5 {
+                precision_hits += 1;
+                jaccard_sum += sim;
+                jaccard_count += 1;
+                matched[i] = true;
+            }
+        }
+    }
+
+    let complexes_matched = matched.iter().filter(|&&m| m).count();
+    ReconstructionReport {
+        candidates: candidates.len(),
+        complexes_matched,
+        complex_recall: if truth_sets.is_empty() {
+            0.0
+        } else {
+            complexes_matched as f64 / truth_sets.len() as f64
+        },
+        candidate_precision: if candidates.is_empty() {
+            0.0
+        } else {
+            precision_hits as f64 / candidates.len() as f64
+        },
+        mean_matched_jaccard: if jaccard_count == 0 {
+            0.0
+        } else {
+            jaccard_sum / jaccard_count as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tap::{run_tap, TapConfig};
+    use hypergraph::HypergraphBuilder;
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
+        assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+        assert_eq!(jaccard(&[1], &[]), 0.0);
+    }
+
+    fn toy() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(9);
+        b.add_edge([0, 1, 2, 3]);
+        b.add_edge([4, 5, 6]);
+        b.add_edge([6, 7, 8]);
+        b.build()
+    }
+
+    #[test]
+    fn perfect_run_reconstructs_perfectly() {
+        let h = toy();
+        let baits = [VertexId(0), VertexId(4), VertexId(7)];
+        let cfg = TapConfig {
+            reproducibility: 1.0,
+            detection: 1.0,
+        };
+        let run = run_tap(&h, &baits, cfg, 0);
+        let cands = consensus_complexes(&run, 0.5);
+        assert_eq!(cands.len(), 3);
+        let report = score_reconstruction(&h, &cands);
+        assert_eq!(report.complexes_matched, 3);
+        assert_eq!(report.complex_recall, 1.0);
+        assert_eq!(report.candidate_precision, 1.0);
+        assert!((report.mean_matched_jaccard - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_pull_downs_merge() {
+        let h = toy();
+        // Two baits of the same complex: both pull it down perfectly;
+        // consensus must merge them into one candidate.
+        let baits = [VertexId(0), VertexId(1)];
+        let cfg = TapConfig {
+            reproducibility: 1.0,
+            detection: 1.0,
+        };
+        let run = run_tap(&h, &baits, cfg, 0);
+        assert_eq!(run.pull_downs.len(), 2);
+        let cands = consensus_complexes(&run, 0.5);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].support, 2);
+        assert_eq!(cands[0].members.len(), 4);
+    }
+
+    #[test]
+    fn majority_vote_drops_sporadic_members() {
+        // Hand-built run: three "pull-downs" of the same complex, one
+        // with a spurious... members must appear in >= half.
+        let h = toy();
+        let mk = |ids: &[u32]| crate::tap::PullDown {
+            bait: VertexId(ids[0]),
+            complex: hypergraph::EdgeId(0),
+            observed: ids.iter().map(|&v| VertexId(v)).collect(),
+        };
+        let run = TapRun {
+            pull_downs: vec![mk(&[0, 1, 2, 3]), mk(&[0, 1, 2]), mk(&[0, 1, 3])],
+            productive_baits: 3,
+            attempts: 3,
+        };
+        let cands = consensus_complexes(&run, 0.5);
+        assert_eq!(cands.len(), 1);
+        // 0,1 appear 3/3; 2 and 3 appear 2/3 >= half; all kept.
+        assert_eq!(cands[0].members.len(), 4);
+        let report = score_reconstruction(&h, &cands);
+        assert_eq!(report.complexes_matched, 1);
+    }
+
+    #[test]
+    fn empty_run_scores_zero() {
+        let h = toy();
+        let run = TapRun {
+            pull_downs: vec![],
+            productive_baits: 0,
+            attempts: 0,
+        };
+        let cands = consensus_complexes(&run, 0.5);
+        assert!(cands.is_empty());
+        let report = score_reconstruction(&h, &cands);
+        assert_eq!(report.complex_recall, 0.0);
+        assert_eq!(report.candidate_precision, 0.0);
+    }
+
+    #[test]
+    fn noisy_run_still_recovers_most() {
+        let h = toy();
+        let baits = [VertexId(0), VertexId(1), VertexId(4), VertexId(5), VertexId(7)];
+        let cfg = TapConfig {
+            reproducibility: 0.9,
+            detection: 0.9,
+        };
+        // Average over seeds: recall should be high.
+        let mut recall = 0.0;
+        for seed in 0..10 {
+            let run = run_tap(&h, &baits, cfg, seed);
+            let cands = consensus_complexes(&run, 0.4);
+            recall += score_reconstruction(&h, &cands).complex_recall;
+        }
+        assert!(recall / 10.0 > 0.7, "mean recall {}", recall / 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn threshold_validated() {
+        let run = TapRun {
+            pull_downs: vec![],
+            productive_baits: 0,
+            attempts: 0,
+        };
+        let _ = consensus_complexes(&run, 1.5);
+    }
+}

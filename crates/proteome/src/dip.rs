@@ -1,0 +1,93 @@
+//! DIP-like protein–protein interaction baselines (paper §3).
+//!
+//! The paper computes plain-graph maximum cores of the Database of
+//! Interacting Proteins networks (circa Nov 2003): the yeast network
+//! (4746 proteins) has maximum core k = 10 with 33 proteins; the
+//! drosophila network (Giot et al., ≈7048 proteins) has k = 8 with 577
+//! proteins. The DIP snapshots are not available offline, so these
+//! builders produce power-law graphs with a planted core calibrated to
+//! exactly those numbers (see DESIGN.md §2).
+
+use graphcore::Graph;
+use hypergen::planted_core_graph;
+
+/// Number of proteins in the DIP yeast network (Nov 2003).
+pub const DIP_YEAST_PROTEINS: usize = 4746;
+/// Maximum core of the DIP yeast network.
+pub const DIP_YEAST_MAX_CORE: u32 = 10;
+/// Size of the DIP yeast maximum core.
+pub const DIP_YEAST_CORE_SIZE: usize = 33;
+
+/// Number of proteins in the DIP drosophila network (Giot et al. 2003).
+pub const DIP_FLY_PROTEINS: usize = 7048;
+/// Maximum core of the DIP drosophila network.
+pub const DIP_FLY_MAX_CORE: u32 = 8;
+/// Size of the DIP drosophila maximum core.
+pub const DIP_FLY_CORE_SIZE: usize = 577;
+
+/// Calibrated yeast-like PPI graph: 4746 proteins, power-law degrees,
+/// maximum core exactly k = 10 with 33 proteins.
+pub fn dip_yeast_like(seed: u64) -> Graph {
+    planted_core_graph(
+        DIP_YEAST_PROTEINS,
+        DIP_YEAST_CORE_SIZE,
+        DIP_YEAST_MAX_CORE,
+        2.5,
+        3.0,
+        0.4,
+        seed,
+    )
+}
+
+/// Calibrated drosophila-like PPI graph: 7048 proteins, power-law
+/// degrees, maximum core exactly k = 8 with 577 proteins.
+pub fn dip_fly_like(seed: u64) -> Graph {
+    planted_core_graph(
+        DIP_FLY_PROTEINS,
+        DIP_FLY_CORE_SIZE,
+        DIP_FLY_MAX_CORE,
+        2.5,
+        2.5,
+        0.4,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::core_decomposition;
+
+    #[test]
+    fn yeast_matches_paper_numbers() {
+        let g = dip_yeast_like(2003);
+        assert_eq!(g.num_nodes(), DIP_YEAST_PROTEINS);
+        let d = core_decomposition(&g);
+        assert_eq!(d.max_core, DIP_YEAST_MAX_CORE);
+        assert_eq!(d.max_core_nodes().len(), DIP_YEAST_CORE_SIZE);
+    }
+
+    #[test]
+    fn fly_matches_paper_numbers() {
+        let g = dip_fly_like(2003);
+        assert_eq!(g.num_nodes(), DIP_FLY_PROTEINS);
+        let d = core_decomposition(&g);
+        assert_eq!(d.max_core, DIP_FLY_MAX_CORE);
+        assert_eq!(d.max_core_nodes().len(), DIP_FLY_CORE_SIZE);
+    }
+
+    #[test]
+    fn degree_distribution_heavy_tailed() {
+        let g = dip_yeast_like(2003);
+        let stats = graphcore::DegreeStats::of(&g);
+        assert!(stats.count_degree_one > g.num_nodes() / 5);
+        assert!(stats.max >= 20);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = dip_yeast_like(7);
+        let b = dip_yeast_like(7);
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

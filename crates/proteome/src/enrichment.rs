@@ -1,0 +1,167 @@
+//! Hypergeometric enrichment statistics.
+//!
+//! The paper's §3 argument — "essential proteins constitute a higher
+//! fraction of the proteins in the core" (22 of 32 known core proteins
+//! essential, vs 878 of 4036 genes genome-wide) — is an enrichment claim.
+//! This module supplies the test the paper implies: the hypergeometric
+//! upper tail P(X ≥ k) for drawing `k` successes in `n` draws from a
+//! population of `N` containing `K` successes.
+
+/// Result of an enrichment test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnrichmentResult {
+    /// Observed successes in the sample.
+    pub observed: u64,
+    /// Expected successes under the null (`n · K / N`).
+    pub expected: f64,
+    /// Fold enrichment (`observed / expected`; ∞ if expected is 0 and
+    /// observed > 0).
+    pub fold: f64,
+    /// Hypergeometric upper-tail p-value `P(X ≥ observed)`.
+    pub p_value: f64,
+}
+
+/// Natural log of `n!`, via a cumulative table (exact for the population
+/// sizes used here).
+fn ln_factorial_table(n: usize) -> Vec<f64> {
+    let mut t = Vec::with_capacity(n + 1);
+    t.push(0.0);
+    let mut acc = 0.0f64;
+    for i in 1..=n {
+        acc += (i as f64).ln();
+        t.push(acc);
+    }
+    t
+}
+
+/// Hypergeometric upper tail: probability of at least `k` successes when
+/// drawing `n` items without replacement from a population of `N` items
+/// of which `K` are successes.
+///
+/// # Panics
+/// If `K > N`, `n > N`, or `k > n`.
+pub fn hypergeometric_tail(n_population: u64, k_successes: u64, n_draws: u64, k_observed: u64) -> f64 {
+    assert!(k_successes <= n_population, "K > N");
+    assert!(n_draws <= n_population, "n > N");
+    assert!(k_observed <= n_draws, "k > n");
+    let (nn, kk, n, k) = (
+        n_population as usize,
+        k_successes as usize,
+        n_draws as usize,
+        k_observed as usize,
+    );
+    let lf = ln_factorial_table(nn);
+    let ln_choose = |a: usize, b: usize| -> Option<f64> {
+        if b > a {
+            None
+        } else {
+            Some(lf[a] - lf[b] - lf[a - b])
+        }
+    };
+    let denom = ln_choose(nn, n).expect("n <= N");
+    let mut tail = 0.0f64;
+    for i in k..=n.min(kk) {
+        let (Some(a), Some(b)) = (ln_choose(kk, i), ln_choose(nn - kk, n - i)) else {
+            continue;
+        };
+        tail += (a + b - denom).exp();
+    }
+    tail.min(1.0)
+}
+
+/// Run the enrichment test and package the result.
+pub fn enrichment(
+    n_population: u64,
+    k_successes: u64,
+    n_draws: u64,
+    k_observed: u64,
+) -> EnrichmentResult {
+    let expected = n_draws as f64 * k_successes as f64 / n_population.max(1) as f64;
+    let fold = if expected > 0.0 {
+        k_observed as f64 / expected
+    } else if k_observed > 0 {
+        f64::INFINITY
+    } else {
+        1.0
+    };
+    EnrichmentResult {
+        observed: k_observed,
+        expected,
+        fold,
+        p_value: hypergeometric_tail(n_population, k_successes, n_draws, k_observed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_at_zero_is_one() {
+        assert!((hypergeometric_tail(100, 30, 10, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_event() {
+        // Drawing 5 from a population where all 10 are successes.
+        assert!((hypergeometric_tail(10, 10, 5, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simple_exact_value() {
+        // N=5, K=2, n=2, P(X >= 2) = C(2,2)C(3,0)/C(5,2) = 1/10.
+        let p = hypergeometric_tail(5, 2, 2, 2);
+        assert!((p - 0.1).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn symmetric_mean() {
+        // P(X>=k) decreasing in k.
+        let p1 = hypergeometric_tail(50, 20, 10, 3);
+        let p2 = hypergeometric_tail(50, 20, 10, 6);
+        assert!(p1 > p2);
+    }
+
+    #[test]
+    fn paper_core_essentiality_is_significant() {
+        // Genome: 4036 genes, 878 essential. Core: 32 known proteins, 22
+        // essential. This must be extremely significant.
+        let r = enrichment(4036, 878, 32, 22);
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+        assert!(r.fold > 3.0, "fold = {}", r.fold);
+        assert!((r.expected - 32.0 * 878.0 / 4036.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_enrichment_when_sample_matches_background() {
+        // 25% background, observe 25%: p should be large (>= ~0.3).
+        let r = enrichment(1000, 250, 40, 10);
+        assert!(r.p_value > 0.3, "p = {}", r.p_value);
+        assert!((r.fold - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "K > N")]
+    fn bad_arguments_rejected() {
+        let _ = hypergeometric_tail(10, 11, 5, 1);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        // Σ_k P(X = k) = 1 -> tail(0) = 1 and tail(n+..) consistency.
+        let n_pop = 30u64;
+        let k_succ = 12u64;
+        let draws = 8u64;
+        let mut total = 0.0;
+        for k in 0..=draws {
+            let p_ge_k = hypergeometric_tail(n_pop, k_succ, draws, k);
+            let p_ge_k1 = if k == draws {
+                0.0
+            } else {
+                hypergeometric_tail(n_pop, k_succ, draws, k + 1)
+            };
+            total += p_ge_k - p_ge_k1;
+        }
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+}

@@ -1,0 +1,68 @@
+//! The paper's Fig. 2: a small graph illustrating the k-core.
+//!
+//! The figure shows a graph whose maximum core is a 3-core (the green
+//! vertices), where the entire graph is the 1-core, the 2-core equals the
+//! 3-core, and the 4-core is empty. The exact drawing is not recoverable
+//! from the text, so we construct a graph with precisely those properties:
+//! a 3-core kernel of five vertices (K4 plus a vertex tied into three of
+//! them) with a pendant tree hanging off it, arranged so that *every*
+//! non-kernel vertex has degree 1 — making the 2-core equal the 3-core.
+
+use graphcore::{Graph, GraphBuilder, NodeId};
+
+/// Number of vertices in the Fig. 2 illustration graph.
+pub const FIG2_NODES: usize = 10;
+
+/// Vertices of the maximum (3-)core of [`fig2_graph`].
+pub const FIG2_CORE: [u32; 5] = [0, 1, 2, 3, 4];
+
+/// Build the Fig. 2 illustration graph.
+pub fn fig2_graph() -> Graph {
+    let mut b = GraphBuilder::new(FIG2_NODES);
+    // Kernel: K4 on 0..=3.
+    for u in 0..4u32 {
+        for v in (u + 1)..4 {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+    }
+    // Vertex 4 tied to three kernel vertices -> also in the 3-core.
+    b.add_edge(NodeId(4), NodeId(0));
+    b.add_edge(NodeId(4), NodeId(1));
+    b.add_edge(NodeId(4), NodeId(2));
+    // Pendants (degree 1), so the 2-core adds nothing beyond the 3-core.
+    b.add_edge(NodeId(5), NodeId(0));
+    b.add_edge(NodeId(6), NodeId(1));
+    b.add_edge(NodeId(7), NodeId(4));
+    b.add_edge(NodeId(8), NodeId(3));
+    b.add_edge(NodeId(9), NodeId(3));
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::core_decomposition;
+
+    #[test]
+    fn figure_properties_hold() {
+        let g = fig2_graph();
+        let d = core_decomposition(&g);
+        // Max core is a 3-core on exactly the green vertices.
+        assert_eq!(d.max_core, 3);
+        let core: Vec<u32> = d.max_core_nodes().iter().map(|u| u.0).collect();
+        assert_eq!(core, FIG2_CORE.to_vec());
+        // The entire graph forms the 1-core.
+        assert_eq!(d.k_core_nodes(1).len(), FIG2_NODES);
+        // The 2-core is the same as the 3-core.
+        assert_eq!(d.k_core_nodes(2), d.k_core_nodes(3));
+        // The 4-core is empty.
+        assert!(d.k_core_nodes(4).is_empty());
+    }
+
+    #[test]
+    fn connected_single_component() {
+        let g = fig2_graph();
+        let cc = graphcore::connected_components(&g);
+        assert_eq!(cc.count, 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! `proteome` — the biology layer of the reproduction: a calibrated
+//! stand-in for the Cellzome (Gavin et al. 2002) yeast protein-complex
+//! dataset, essentiality/homology annotations, enrichment statistics,
+//! DIP-like PPI baselines, and bait-selection analysis.
+//!
+//! The original membership lists are not redistributable and are not
+//! available offline, so [`cellzome`] *constructs* a hypergraph that
+//! reproduces every summary statistic the paper reports about the real
+//! data (sizes, degree-1 count, maximum degree, component structure,
+//! power-law fit, and the exact 6-core of 41 proteins × 54 complexes);
+//! see DESIGN.md §2 for the substitution argument. All generators are
+//! deterministic in their seeds.
+
+pub mod annotations;
+pub mod baits;
+pub mod cellzome;
+pub mod consensus;
+pub mod dip;
+pub mod enrichment;
+pub mod fig2;
+pub mod names;
+pub mod tap;
+
+pub use annotations::{annotate, AnnotationSummary, ProteinAnnotation};
+pub use baits::{bait_selection_report, BaitSelectionReport, CELLZOME_BAITS};
+pub use cellzome::{cellzome_like, CellzomeDataset, CELLZOME_SEED};
+pub use consensus::{consensus_complexes, score_reconstruction, ConsensusComplex, ReconstructionReport};
+pub use dip::{dip_fly_like, dip_yeast_like};
+pub use enrichment::{hypergeometric_tail, EnrichmentResult};
+pub use fig2::fig2_graph;
+pub use names::protein_names;
+pub use tap::{evaluate_recovery, expected_recovery, run_tap, RecoveryReport, TapConfig, TapRun};

@@ -1,0 +1,61 @@
+//! Deterministic yeast-style protein names.
+//!
+//! Yeast ORFs have systematic names like `YOL086C`: `Y` (yeast), a
+//! chromosome letter `A`–`P`, `L`/`R` for the chromosome arm, a 3-digit
+//! ORF index, and `W`/`C` for the Watson/Crick strand. We generate
+//! plausible systematic names for synthetic proteins, with the
+//! highest-degree protein named `ADH1` — the paper's observed maximum
+//! (an alcohol dehydrogenase, degree 21).
+
+/// Generate `n` distinct protein names; index `adh1` (if in range) gets
+/// the standard name `ADH1`.
+pub fn protein_names(n: usize, adh1: Option<usize>) -> Vec<String> {
+    let chromosomes = b"ABCDEFGHIJKLMNOP";
+    (0..n)
+        .map(|i| {
+            if Some(i) == adh1 {
+                return "ADH1".to_string();
+            }
+            let chr = chromosomes[i % 16] as char;
+            let arm = if (i / 16) % 2 == 0 { 'L' } else { 'R' };
+            let num = (i / 32) % 1000;
+            let strand = if (i / 32000) % 2 == 0 { 'W' } else { 'C' };
+            format!("Y{chr}{arm}{num:03}{strand}")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let names = protein_names(2000, Some(0));
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn adh1_placed() {
+        let names = protein_names(5, Some(3));
+        assert_eq!(names[3], "ADH1");
+        assert!(names[0].starts_with('Y'));
+    }
+
+    #[test]
+    fn systematic_shape() {
+        let names = protein_names(40, None);
+        for name in &names {
+            assert_eq!(name.len(), 7, "{name}");
+            assert!(name.starts_with('Y'));
+            assert!(name.ends_with('W') || name.ends_with('C'));
+        }
+    }
+
+    #[test]
+    fn no_adh1_when_none() {
+        let names = protein_names(100, None);
+        assert!(!names.contains(&"ADH1".to_string()));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the proteome layer.
+
+use proptest::prelude::*;
+
+use hypergraph::VertexId;
+use proteome::cellzome::cellzome_like;
+use proteome::enrichment::hypergeometric_tail;
+use proteome::tap::{evaluate_recovery, run_tap, TapConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The calibrated dataset keeps its planted invariants for any seed.
+    #[test]
+    fn cellzome_invariants_any_seed(seed in any::<u64>()) {
+        let ds = cellzome_like(seed);
+        hypergraph::validate::check_structure(&ds.hypergraph).unwrap();
+        prop_assert_eq!(ds.hypergraph.num_vertices(), 1361);
+        prop_assert_eq!(ds.hypergraph.num_edges(), 232);
+        let hist = hypergraph::vertex_degree_histogram(&ds.hypergraph);
+        prop_assert_eq!(hist[1], 846);
+        prop_assert_eq!(hist.len() - 1, 21);
+        let cc = hypergraph::hypergraph_components(&ds.hypergraph);
+        prop_assert_eq!(cc.count(), 33);
+    }
+
+    /// Hypergeometric tail is a probability and is monotone in k.
+    #[test]
+    fn hypergeometric_is_probability(
+        n_pop in 1u64..200,
+        frac_k in 0.0f64..1.0,
+        frac_n in 0.0f64..1.0,
+        frac_obs in 0.0f64..1.0,
+    ) {
+        let k_succ = (n_pop as f64 * frac_k) as u64;
+        let n_draw = (n_pop as f64 * frac_n) as u64;
+        let k_obs = (n_draw as f64 * frac_obs) as u64;
+        let p = hypergeometric_tail(n_pop, k_succ, n_draw, k_obs);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+        if k_obs + 1 <= n_draw {
+            let p2 = hypergeometric_tail(n_pop, k_succ, n_draw, k_obs + 1);
+            prop_assert!(p2 <= p + 1e-12, "tail not monotone: {p2} > {p}");
+        }
+    }
+
+    /// TAP runs never fabricate complexes or members: every pull-down
+    /// recovers a complex its bait belongs to, and observed members are
+    /// true members including the bait.
+    #[test]
+    fn tap_never_fabricates(
+        seed in any::<u64>(),
+        repro in 0.0f64..=1.0,
+        detect in 0.0f64..=1.0,
+    ) {
+        let h = hypergen::uniform_random_hypergraph(40, 25, 5, seed ^ 0xabc);
+        let baits: Vec<VertexId> = (0..10).map(VertexId).collect();
+        let cfg = TapConfig { reproducibility: repro, detection: detect };
+        let run = run_tap(&h, &baits, cfg, seed);
+        for pd in &run.pull_downs {
+            prop_assert!(h.edges_of(pd.bait).contains(&pd.complex));
+            prop_assert!(pd.observed.contains(&pd.bait));
+            for &v in &pd.observed {
+                prop_assert!(h.contains(pd.complex, v));
+            }
+        }
+        let rep = evaluate_recovery(&h, &baits, &run);
+        prop_assert!(rep.complexes_recovered <= rep.complexes_targeted);
+        prop_assert!((0.0..=1.0).contains(&rep.recovery_rate));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&rep.mean_member_recall));
+    }
+
+    /// With full reproducibility and detection, recovery is total.
+    #[test]
+    fn tap_perfect_is_total(seed in any::<u64>()) {
+        let h = hypergen::uniform_random_hypergraph(30, 15, 4, seed);
+        let baits: Vec<VertexId> = h.vertices().collect();
+        let cfg = TapConfig { reproducibility: 1.0, detection: 1.0 };
+        let run = run_tap(&h, &baits, cfg, seed);
+        let rep = evaluate_recovery(&h, &baits, &run);
+        prop_assert_eq!(rep.complexes_targeted, 15);
+        prop_assert_eq!(rep.complexes_recovered, 15);
+        prop_assert_eq!(rep.mean_member_recall, 1.0);
+    }
+
+    /// Annotations are deterministic and unknown proteins never essential.
+    #[test]
+    fn annotations_valid(seed in any::<u64>()) {
+        let ds = cellzome_like(2004);
+        let ann = proteome::annotate(&ds, seed);
+        prop_assert_eq!(ann.len(), 1361);
+        prop_assert!(ann.iter().all(|a| a.known || !a.essential));
+        let s = proteome::annotations::core_summary(&ann, &ds.core_proteins);
+        prop_assert_eq!(s.core_known + s.core_unknown, 41);
+        prop_assert_eq!(s.core_known_essential, 22);
+    }
+}

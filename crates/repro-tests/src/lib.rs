@@ -1,0 +1,2 @@
+//! Shim package owning the workspace-level `/tests` integration tests;
+//! see the `[[test]]` entries in this crate's manifest.

@@ -1,0 +1,72 @@
+//! Close the loop on the Cellzome methodology: simulate the TAP
+//! experiment with cover-selected baits, merge the noisy pull-downs back
+//! into complex candidates by consensus clustering, and score the
+//! reconstruction against the ground truth.
+//!
+//! ```sh
+//! cargo run --release -p repro-examples --example tap_reconstruction
+//! ```
+
+use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
+use proteome::{
+    bait_selection_report, consensus_complexes, evaluate_recovery, run_tap,
+    score_reconstruction, TapConfig,
+};
+
+fn main() {
+    let ds = cellzome_like(CELLZOME_SEED);
+    let h = &ds.hypergraph;
+    let report = bait_selection_report(&ds);
+    let cfg = TapConfig {
+        reproducibility: 0.7,
+        detection: 0.95,
+    };
+
+    println!("== simulated TAP campaign on the Cellzome-like proteome ==");
+    println!(
+        "reproducibility {:.0}%, mass-spec detection {:.0}%\n",
+        cfg.reproducibility * 100.0,
+        cfg.detection * 100.0
+    );
+
+    for (name, baits) in [
+        ("unit-weight cover", &report.unweighted.cover.vertices),
+        ("degree² cover", &report.degree_squared.cover.vertices),
+        ("2x multicover", &report.multicover2.cover.vertices),
+    ] {
+        let run = run_tap(h, baits, cfg, 42);
+        let recovery = evaluate_recovery(h, baits, &run);
+        let candidates = consensus_complexes(&run, 0.6);
+        let recon = score_reconstruction(h, &candidates);
+
+        println!("{name} ({} baits):", baits.len());
+        println!(
+            "  pull-downs: {} successful of {} attempts ({} productive baits)",
+            run.pull_downs.len(),
+            run.attempts,
+            run.productive_baits
+        );
+        println!(
+            "  raw recovery: {}/{} targeted complexes ({:.1}%)",
+            recovery.complexes_recovered,
+            recovery.complexes_targeted,
+            100.0 * recovery.recovery_rate
+        );
+        println!(
+            "  reconstruction: {} candidates -> {}/{} complexes matched \
+             (recall {:.1}%, precision {:.1}%, mean Jaccard {:.2})\n",
+            recon.candidates,
+            recon.complexes_matched,
+            h.num_edges(),
+            100.0 * recon.complex_recall,
+            100.0 * recon.candidate_precision,
+            recon.mean_matched_jaccard
+        );
+    }
+
+    println!(
+        "takeaway: redundant coverage (the multicover) buys the biggest jump in\n\
+         raw recovery, and consensus clustering converts repeated noisy pull-downs\n\
+         into higher-fidelity complex candidates — the paper's §4 argument, measured."
+    );
+}

@@ -1,0 +1,111 @@
+//! End-to-end pipeline over the calibrated Cellzome dataset: generate →
+//! serialize → reload → characterize → core → annotate → cover → export.
+//! Exercises every public stage the way a downstream user would.
+
+use hypergraph::validate::check_structure;
+use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
+
+#[test]
+fn full_pipeline() {
+    // Generate.
+    let ds = cellzome_like(CELLZOME_SEED);
+    check_structure(&ds.hypergraph).expect("valid structure");
+
+    // Serialize and reload: must round-trip exactly.
+    let text = hypergraph::io::write_hgr(&ds.hypergraph);
+    let reloaded = hypergraph::io::read_hgr(&text).expect("parse");
+    assert_eq!(reloaded.num_vertices(), ds.hypergraph.num_vertices());
+    assert_eq!(reloaded.num_pins(), ds.hypergraph.num_pins());
+    for f in ds.hypergraph.edges() {
+        assert_eq!(ds.hypergraph.pins(f), reloaded.pins(f));
+    }
+
+    // Characterize on the reloaded copy.
+    let cc = hypergraph::hypergraph_components(&reloaded);
+    assert_eq!(cc.count(), 33);
+
+    // Core on the reloaded copy matches the planted core.
+    let core = hypergraph::max_core(&reloaded).expect("non-empty");
+    assert_eq!(core.k, 6);
+    assert_eq!(core.vertices, ds.core_proteins);
+
+    // Annotate and test enrichment.
+    let ann = proteome::annotate(&ds, CELLZOME_SEED);
+    let summary = proteome::annotations::core_summary(&ann, &core.vertices);
+    assert!(summary.essential_enrichment.p_value < 1e-6);
+
+    // Select baits.
+    let report = proteome::bait_selection_report(&ds);
+    assert!(hypergraph::is_vertex_cover(
+        &ds.hypergraph,
+        &report.degree_squared.cover.vertices
+    ));
+
+    // Export Fig. 3 and parse the .net back.
+    let export = hypergraph::pajek::export_fig3(
+        &ds.hypergraph,
+        Some(&ds.names),
+        &core.vertices,
+        &core.edges,
+    );
+    let (bip, labels) = graphcore::pajek::parse_net(&export.net).expect("net parses");
+    assert_eq!(
+        bip.num_nodes(),
+        ds.hypergraph.num_vertices() + ds.hypergraph.num_edges()
+    );
+    assert_eq!(bip.num_edges(), ds.hypergraph.num_pins());
+    assert_eq!(labels[0], "ADH1");
+}
+
+#[test]
+fn bipartite_view_consistent_with_hypergraph() {
+    let ds = cellzome_like(CELLZOME_SEED);
+    let bv = hypergraph::BipartiteView::new(&ds.hypergraph);
+    // Degrees match across the two views.
+    for v in ds.hypergraph.vertices() {
+        assert_eq!(
+            bv.graph.degree(bv.vertex_node(v)),
+            ds.hypergraph.vertex_degree(v)
+        );
+    }
+    for f in ds.hypergraph.edges() {
+        assert_eq!(
+            bv.graph.degree(bv.edge_node(f)),
+            ds.hypergraph.edge_degree(f)
+        );
+    }
+    // Component counts agree.
+    let hcc = hypergraph::hypergraph_components(&ds.hypergraph);
+    let gcc = graphcore::connected_components(&bv.graph);
+    assert_eq!(hcc.count(), gcc.count);
+}
+
+#[test]
+fn different_seeds_differ_but_keep_planted_invariants() {
+    for seed in [1u64, 99, 31415] {
+        let ds = cellzome_like(seed);
+        assert_eq!(ds.hypergraph.num_vertices(), 1361);
+        assert_eq!(ds.hypergraph.num_edges(), 232);
+        let core = hypergraph::max_core(&ds.hypergraph).expect("non-empty");
+        assert_eq!(core.k, 6, "seed {seed}");
+        assert_eq!(core.vertices.len(), 41, "seed {seed}");
+        assert_eq!(core.edges.len(), 54, "seed {seed}");
+        let cc = hypergraph::hypergraph_components(&ds.hypergraph);
+        assert_eq!(cc.count(), 33, "seed {seed}");
+    }
+}
+
+#[test]
+fn reduce_of_cellzome_removes_only_small_component_nesting() {
+    let ds = cellzome_like(CELLZOME_SEED);
+    let (reduced, kept) = hypergraph::reduce(&ds.hypergraph);
+    // The giant component's complexes are all maximal (core complexes have
+    // private decorations); removed edges live in the small components.
+    let removed = ds.hypergraph.num_edges() - reduced.num_edges();
+    assert!(removed > 0, "raw pull-down data contains nesting");
+    for f in ds.hypergraph.edges() {
+        if !kept.contains(&f) {
+            assert!(f.0 >= 99, "giant-component complex {f:?} was removed");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Golden-file guard: the calibrated Cellzome dataset (seed 2004) is
+//! checked byte-for-byte against `data/cellzome-2004.hgr`.
+//!
+//! This pins the reproduction against silent drift — a `rand` version
+//! bump, a generator refactor, or an ordering change would alter the
+//! dataset and with it every measured number in EXPERIMENTS.md. If this
+//! test fails after an *intentional* generator change, regenerate the
+//! golden (`hg gen cellzome -o data/cellzome-2004.hgr`) and re-validate
+//! EXPERIMENTS.md.
+
+use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../data/cellzome-2004.hgr")
+}
+
+#[test]
+fn generator_matches_golden_file() {
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let ds = cellzome_like(CELLZOME_SEED);
+    let current = hypergraph::io::write_hgr(&ds.hypergraph);
+    assert_eq!(
+        current, golden,
+        "calibrated dataset drifted from data/cellzome-2004.hgr; \
+         see the header of tests/golden_dataset.rs"
+    );
+}
+
+#[test]
+fn golden_file_parses_and_has_paper_statistics() {
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let h = hypergraph::io::read_hgr(&golden).expect("golden parses");
+    assert_eq!(h.num_vertices(), 1361);
+    assert_eq!(h.num_edges(), 232);
+    let core = hypergraph::max_core(&h).expect("non-empty");
+    assert_eq!((core.k, core.vertices.len(), core.edges.len()), (6, 41, 54));
+}

@@ -1,0 +1,114 @@
+//! Cross-validation of the k-core implementations against each other and
+//! against reference semantics, on realistic inputs.
+
+use hypergraph::naive::naive_kcore;
+use hypergraph::{hypergraph_kcore, max_core, max_core_linear, Hypergraph};
+use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
+
+/// Restricted edge contents (pins ∩ surviving vertices), sorted.
+fn contents(h: &Hypergraph, edges: &[hypergraph::EdgeId], alive: &[hypergraph::VertexId]) -> Vec<Vec<u32>> {
+    let alive: std::collections::HashSet<u32> = alive.iter().map(|v| v.0).collect();
+    let mut out: Vec<Vec<u32>> = edges
+        .iter()
+        .map(|&f| {
+            h.pins(f)
+                .iter()
+                .map(|v| v.0)
+                .filter(|v| alive.contains(v))
+                .collect()
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn optimized_matches_naive_on_cellzome() {
+    let h = cellzome_like(CELLZOME_SEED).hypergraph;
+    for k in [2u32, 6] {
+        let fast = hypergraph_kcore(&h, k);
+        let (nv, ne) = naive_kcore(&h, k);
+        assert_eq!(fast.vertices, nv, "k = {k}");
+        assert_eq!(
+            contents(&h, &fast.edges, &fast.vertices),
+            contents(&h, &ne, &nv),
+            "k = {k}"
+        );
+    }
+}
+
+#[test]
+fn binary_search_max_core_matches_linear_on_cellzome() {
+    let h = cellzome_like(CELLZOME_SEED).hypergraph;
+    let fast = max_core(&h).unwrap();
+    let slow = max_core_linear(&h).unwrap();
+    assert_eq!(fast.k, slow.k);
+    assert_eq!(fast.vertices, slow.vertices);
+    assert_eq!(fast.edges, slow.edges);
+}
+
+#[test]
+fn matrix_hypergraph_cores_validate() {
+    let m = matrixmarket::fem_mesh_2d(24, 24, 0.1, 7);
+    let h = matrixmarket::row_net(&m);
+    let core = max_core(&h).expect("non-empty");
+    hypergraph::validate::check_kcore_invariant(&core.sub, core.k).expect("invariant");
+    // One deeper is empty.
+    assert!(hypergraph_kcore(&h, core.k + 1).is_empty());
+}
+
+#[test]
+fn two_uniform_hypergraph_equals_graph_core_on_dip() {
+    // Build a 2-uniform hypergraph from the DIP-yeast-like PPI graph and
+    // compare its hypergraph k-core with the plain-graph k-core.
+    let g = proteome::dip_yeast_like(2003);
+    let mut b = hypergraph::HypergraphBuilder::new(g.num_nodes());
+    for (u, v) in g.edges() {
+        b.add_edge([u.0, v.0]);
+    }
+    let h = b.build();
+
+    let gd = graphcore::core_decomposition(&g);
+    for k in [2u32, 5, gd.max_core] {
+        let hv: Vec<u32> = hypergraph_kcore(&h, k).vertices.iter().map(|v| v.0).collect();
+        let gv: Vec<u32> = gd.k_core_nodes(k).iter().map(|u| u.0).collect();
+        assert_eq!(hv, gv, "k = {k}");
+    }
+    // And the max core depth agrees.
+    assert_eq!(max_core(&h).unwrap().k, gd.max_core);
+}
+
+#[test]
+fn kcore_nested_on_cellzome() {
+    let h = cellzome_like(CELLZOME_SEED).hypergraph;
+    let mut prev: Option<Vec<hypergraph::VertexId>> = None;
+    for k in 1..=7u32 {
+        let core = hypergraph_kcore(&h, k);
+        if let Some(prev) = &prev {
+            let prev: std::collections::HashSet<_> = prev.iter().collect();
+            assert!(
+                core.vertices.iter().all(|v| prev.contains(v)),
+                "{k}-core not nested in {}-core",
+                k - 1
+            );
+        }
+        prev = Some(core.vertices);
+    }
+}
+
+#[test]
+fn reduce_then_kcore_equals_kcore() {
+    // Reducing first must not change the k-core (the algorithm's initial
+    // sweep does the same thing).
+    let h = cellzome_like(CELLZOME_SEED).hypergraph;
+    let (reduced, kept) = hypergraph::reduce(&h);
+    for k in [1u32, 3, 6] {
+        let direct = hypergraph_kcore(&h, k);
+        let via_reduce = hypergraph_kcore(&reduced, k);
+        assert_eq!(direct.vertices, via_reduce.vertices, "k = {k}");
+        // Translate reduced edge ids back to original ids.
+        let translated: Vec<hypergraph::EdgeId> =
+            via_reduce.edges.iter().map(|f| kept[f.index()]).collect();
+        assert_eq!(direct.edges, translated, "k = {k}");
+    }
+}
