@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
-use hypergraph::reduce::non_maximal_edges_naive;
 use hypergraph::non_maximal_edges;
+use hypergraph::reduce::non_maximal_edges_naive;
 use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
 
 fn bench(c: &mut Criterion) {

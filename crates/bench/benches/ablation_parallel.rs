@@ -38,11 +38,9 @@ fn bench(c: &mut Criterion) {
             .num_threads(threads)
             .build()
             .expect("pool");
-        g.bench_with_input(
-            BenchmarkId::new("parallel_threads", threads),
-            &h,
-            |b, h| b.iter(|| pool.install(|| par_hypergraph_kcore(black_box(h), k))),
-        );
+        g.bench_with_input(BenchmarkId::new("parallel_threads", threads), &h, |b, h| {
+            b.iter(|| pool.install(|| par_hypergraph_kcore(black_box(h), k)))
+        });
     }
     g.finish();
 }

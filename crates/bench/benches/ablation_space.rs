@@ -29,7 +29,11 @@ fn bench(c: &mut Criterion) {
     g.bench_function("cellzome/star_expansion", |b| {
         b.iter(|| {
             star_expansion(black_box(&ds.hypergraph), |f| {
-                ds.hypergraph.pins(f).first().copied().unwrap_or(hypergraph::VertexId(0))
+                ds.hypergraph
+                    .pins(f)
+                    .first()
+                    .copied()
+                    .unwrap_or(hypergraph::VertexId(0))
             })
         })
     });

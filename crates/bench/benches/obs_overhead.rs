@@ -1,0 +1,92 @@
+//! Observability overhead — the cost of threading `hgobs` through the
+//! hot algorithms, measured on the Cellzome hypergraph.
+//!
+//! Two claims are checked:
+//!
+//! 1. `kcore/disabled` vs `kcore/enabled` benchmark the instrumented
+//!    maximum-core computation with the sink off and on; the disabled
+//!    numbers are directly comparable to the pre-instrumentation
+//!    `table1_kcore` bench.
+//! 2. A derived bound pins the disabled-path cost under 2%: time a tight
+//!    loop of disabled `counter!` / `Span::enter` calls, multiply the
+//!    per-op cost by the number of recording operations an enabled run
+//!    actually performs (read from its report), and compare against the
+//!    measured disabled runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use hypergraph::max_core;
+use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
+
+/// Nanoseconds per disabled recording call (counter + span pair),
+/// measured over a tight loop long enough to swamp timer resolution.
+fn disabled_ns_per_op() -> f64 {
+    hgobs::disable();
+    const OPS: u64 = 4_000_000;
+    let start = Instant::now();
+    for i in 0..OPS {
+        hgobs::counter!("obs.overhead.probe", black_box(i));
+        let _s = hgobs::Span::enter("obs.overhead.probe");
+    }
+    start.elapsed().as_nanos() as f64 / OPS as f64
+}
+
+/// Number of recording operations (counter flushes + hist records +
+/// span enters) one enabled `max_core` run performs.
+fn recording_ops(h: &hypergraph::Hypergraph) -> u64 {
+    hgobs::reset();
+    hgobs::enable();
+    let _ = max_core(h);
+    hgobs::disable();
+    let r = hgobs::take_report();
+    let counters = r.counters.len() as u64;
+    let hist_records: u64 = r.histograms.values().map(|h| h.count).sum();
+    let span_enters: u64 = r.spans.values().map(|s| s.count).sum();
+    counters + hist_records + span_enters
+}
+
+fn bench(c: &mut Criterion) {
+    let ds = cellzome_like(CELLZOME_SEED);
+    let h = &ds.hypergraph;
+
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+
+    hgobs::disable();
+    g.bench_function("kcore/disabled", |b| {
+        b.iter(|| max_core(black_box(h)).unwrap())
+    });
+
+    hgobs::enable();
+    g.bench_function("kcore/enabled", |b| {
+        b.iter(|| max_core(black_box(h)).unwrap())
+    });
+    hgobs::disable();
+    hgobs::reset();
+    g.finish();
+
+    // Derived disabled-path overhead bound, reported to stderr so it
+    // rides along with the criterion output.
+    let ns_per_op = disabled_ns_per_op();
+    let ops = recording_ops(h);
+    let start = Instant::now();
+    let _ = max_core(black_box(h));
+    let run_ns = start.elapsed().as_nanos() as f64;
+    let overhead = ns_per_op * ops as f64 / run_ns;
+    eprintln!(
+        "obs_overhead: {ops} recording sites x {ns_per_op:.2} ns disabled = \
+         {:.4}% of a {:.1} ms run (bound: 2%)",
+        100.0 * overhead,
+        run_ns / 1e6,
+    );
+    assert!(
+        overhead < 0.02,
+        "disabled-sink overhead {:.4}% exceeds the 2% budget",
+        100.0 * overhead
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

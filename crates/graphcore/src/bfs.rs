@@ -77,6 +77,8 @@ pub struct DistanceStats {
 /// O(n (n + m)). Exact is fine at Cellzome scale (~1.4k + 232 nodes in
 /// the bipartite view); for larger inputs see [`distance_stats_sampled`].
 pub fn distance_stats_exact(g: &Graph) -> DistanceStats {
+    let _span = hgobs::Span::enter("graph.bfs.sweep");
+    hgobs::counter!("graph.bfs.sources", g.num_nodes());
     let mut diameter = 0u32;
     let mut total = 0u128;
     let mut pairs = 0u64;
@@ -107,6 +109,8 @@ pub fn distance_stats_exact(g: &Graph) -> DistanceStats {
 /// caller (e.g. a random sample). The diameter estimate is a lower bound;
 /// the average is over pairs (s, v) with s in `sources`.
 pub fn distance_stats_sampled(g: &Graph, sources: &[NodeId]) -> DistanceStats {
+    let _span = hgobs::Span::enter("graph.bfs.sweep");
+    hgobs::counter!("graph.bfs.sources", sources.len());
     let mut diameter = 0u32;
     let mut total = 0u128;
     let mut pairs = 0u64;

@@ -53,8 +53,8 @@ pub fn betweenness(g: &Graph) -> Vec<f64> {
         }
         while let Some(w) = stack.pop() {
             for &v in &preds[w as usize] {
-                delta[v as usize] += sigma[v as usize] / sigma[w as usize]
-                    * (1.0 + delta[w as usize]);
+                delta[v as usize] +=
+                    sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
             }
             if w != s {
                 centrality[w as usize] += delta[w as usize];

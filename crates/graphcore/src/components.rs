@@ -70,10 +70,7 @@ mod tests {
         assert_eq!(cc.sizes_desc(), vec![3, 2, 1]);
         let big = cc.largest().unwrap();
         assert_eq!(cc.size[big], 3);
-        assert_eq!(
-            cc.members(big),
-            vec![NodeId(0), NodeId(1), NodeId(2)]
-        );
+        assert_eq!(cc.members(big), vec![NodeId(0), NodeId(1), NodeId(2)]);
     }
 
     #[test]

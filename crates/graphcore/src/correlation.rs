@@ -47,8 +47,12 @@ pub fn mean_neighbor_degree_profile(g: &Graph) -> Vec<f64> {
         if d == 0 {
             continue;
         }
-        let mean: f64 =
-            g.neighbors(u).iter().map(|&v| g.degree(v) as f64).sum::<f64>() / d as f64;
+        let mean: f64 = g
+            .neighbors(u)
+            .iter()
+            .map(|&v| g.degree(v) as f64)
+            .sum::<f64>()
+            / d as f64;
         sum[d] += mean;
         count[d] += 1;
     }

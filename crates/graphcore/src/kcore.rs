@@ -65,6 +65,7 @@ impl CoreDecomposition {
 /// with bucket starts `bin`, then peel in degree order, moving each
 /// affected neighbour one bucket down (constant time per degree decrement).
 pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
+    let _span = hgobs::Span::enter("graph.kcore");
     let n = g.num_nodes();
     if n == 0 {
         return CoreDecomposition {
@@ -102,6 +103,7 @@ pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
     let mut core = vec![0u32; n];
     let mut max_core = 0u32;
     let mut peel_order = Vec::with_capacity(n);
+    let mut degree_decrements: u64 = 0;
 
     for i in 0..n {
         let u = vert[i] as usize;
@@ -127,9 +129,13 @@ pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
                 }
                 starts[dv] += 1;
                 degree[v] -= 1;
+                degree_decrements += 1;
             }
         }
     }
+
+    hgobs::counter!("graph.kcore.nodes_peeled", n);
+    hgobs::counter!("graph.kcore.degree_decrements", degree_decrements);
 
     // The peeling assigns core[u] = degree at removal; because degrees only
     // decrease as neighbours are peeled, this equals the core number.
@@ -199,7 +205,10 @@ mod tests {
         let g = fig2_like();
         let d = core_decomposition(&g);
         assert_eq!(d.max_core, 3);
-        assert_eq!(d.max_core_nodes(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            d.max_core_nodes(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
         // 1-core is everything, 2-core == 3-core, 4-core empty.
         assert_eq!(d.k_core_nodes(1).len(), 6);
         assert_eq!(d.k_core_nodes(2), d.k_core_nodes(3));
@@ -281,9 +290,13 @@ mod tests {
         let mut b = GraphBuilder::new(n as usize);
         let mut x = 12345u64;
         for _ in 0..300 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = (x >> 33) % n;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 33) % n;
             if u != v {
                 b.add_edge(NodeId(u as u32), NodeId(v as u32));

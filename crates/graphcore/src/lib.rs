@@ -32,8 +32,8 @@
 //! ```
 
 pub mod bfs;
-pub mod centrality;
 pub mod builder;
+pub mod centrality;
 pub mod clustering;
 pub mod components;
 pub mod correlation;
@@ -44,8 +44,8 @@ pub mod pajek;
 pub mod unionfind;
 
 pub use bfs::{average_path_length, bfs_distances, diameter, eccentricity, DistanceStats};
-pub use centrality::{betweenness, betweenness_normalized};
 pub use builder::GraphBuilder;
+pub use centrality::{betweenness, betweenness_normalized};
 pub use clustering::{global_clustering_coefficient, local_clustering, mean_local_clustering};
 pub use components::{connected_components, Components};
 pub use correlation::{degree_assortativity, mean_neighbor_degree_profile};

@@ -3,24 +3,22 @@
 use proptest::prelude::*;
 
 use graphcore::{
-    bfs_distances, betweenness, connected_components, core_decomposition,
-    degree_assortativity, k_core_subgraph, Graph, GraphBuilder, NodeId, UNREACHABLE,
+    betweenness, bfs_distances, connected_components, core_decomposition, degree_assortativity,
+    k_core_subgraph, Graph, GraphBuilder, NodeId, UNREACHABLE,
 };
 
 /// Random simple graph on up to `max_n` nodes.
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
     (1..=max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m).prop_map(
-            move |edges| {
-                let mut b = GraphBuilder::new(n);
-                for (u, v) in edges {
-                    if u != v {
-                        b.add_edge(NodeId(u), NodeId(v));
-                    }
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(NodeId(u), NodeId(v));
                 }
-                b.build()
-            },
-        )
+            }
+            b.build()
+        })
     })
 }
 

@@ -5,10 +5,16 @@
 //! hg kcore <file.hgr> [--k K] [--par]         k-core / maximum core
 //! hg fit <file.hgr>                           power-law fit of degrees
 //! hg cover <file.hgr> [--weights unit|deg2] [--multicover R]
+//! hg profile <file.hgr>... [--algo A]         per-algorithm metrics JSON
 //! hg gen <what> [--seed S] [-o out.hgr]       generate datasets
 //! hg export-pajek <file.hgr> -o <base>        write base.net / base.clu
-//! hg repro [e1..e8|a1..a4|all] [-o dir]       regenerate paper artifacts
+//! hg repro [e1..e10|a1..a4|all] [-o dir]      regenerate paper artifacts
 //! ```
+//!
+//! Every subcommand accepts the global `--metrics <file.json>` flag,
+//! which enables the observability sink and writes the run's counters,
+//! histograms, and timing spans as a schema-versioned JSON report.
+//! `HG_LOG=info|debug` turns on structured tracing to stderr.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,10 +38,28 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE]\n  hg export-pajek <file.hgr> -o <base>\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\n".to_string()
+    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE]\n  hg export-pajek <file.hgr> -o <base>\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
 }
 
 fn run(args: &[String]) -> Result<String, String> {
+    let (metrics, args) = take_opt(args, "--metrics")?;
+    hgobs::log::init_from_env();
+    if metrics.is_some() || hgobs::log::debug_enabled() {
+        hgobs::enable();
+    }
+    let result = {
+        let _total = hgobs::Span::enter("total");
+        dispatch(&args)
+    };
+    if let Some(path) = metrics {
+        let mut json = hgobs::take_report().to_json();
+        json.push('\n');
+        std::fs::write(&path, json).map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+    }
+    result
+}
+
+fn dispatch(args: &[String]) -> Result<String, String> {
     let Some(cmd) = args.first() else {
         return Err(usage());
     };
@@ -45,6 +69,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "fit" => cmd_fit(&args[1..]),
         "cover" => cmd_cover(&args[1..]),
         "ks-core" => cmd_ks_core(&args[1..]),
+        "profile" => cmd_profile(&args[1..]),
         "reduce" => cmd_reduce(&args[1..]),
         "dual" => cmd_dual(&args[1..]),
         "tap-sim" => cmd_tap_sim(&args[1..]),
@@ -57,8 +82,7 @@ fn run(args: &[String]) -> Result<String, String> {
 }
 
 fn load(path: &str) -> Result<hypergraph::Hypergraph, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if path.ends_with(".mtx") {
         let m = matrixmarket::parse_mtx(&text).map_err(|e| e.to_string())?;
         Ok(matrixmarket::row_net(&m))
@@ -68,23 +92,52 @@ fn load(path: &str) -> Result<hypergraph::Hypergraph, String> {
 }
 
 /// Pull `--flag value` out of an argument list; returns (value, rest).
-fn take_opt(args: &[String], flag: &str) -> (Option<String>, Vec<String>) {
+/// A flag with no following value is an error, not a silent None.
+fn take_opt(args: &[String], flag: &str) -> Result<(Option<String>, Vec<String>), String> {
     let mut value = None;
     let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == flag {
-            value = it.next().cloned();
+            value = Some(
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("missing value after {flag}"))?,
+            );
         } else {
             rest.push(a.clone());
         }
     }
-    (value, rest)
+    Ok((value, rest))
 }
 
 fn take_switch(args: &[String], flag: &str) -> (bool, Vec<String>) {
     let present = args.iter().any(|a| a == flag);
-    (present, args.iter().filter(|a| *a != flag).cloned().collect())
+    (
+        present,
+        args.iter().filter(|a| *a != flag).cloned().collect(),
+    )
+}
+
+/// Run `f` with the metrics sink enabled and append its phase breakdown
+/// to the output. The drained report is absorbed back into the registry
+/// so a surrounding `--metrics` report still carries the run's totals.
+fn with_phases(f: impl FnOnce() -> Result<String, String>) -> Result<String, String> {
+    let was_enabled = hgobs::enabled();
+    hgobs::enable();
+    let result = f();
+    let report = hgobs::take_report();
+    hgobs::absorb(&report);
+    if !was_enabled {
+        hgobs::disable();
+    }
+    let mut out = result?;
+    let text = report.render_text();
+    if !text.is_empty() {
+        out.push('\n');
+        out.push_str(&text);
+    }
+    Ok(out)
 }
 
 fn cmd_stats(args: &[String]) -> Result<String, String> {
@@ -114,7 +167,7 @@ fn cmd_stats(args: &[String]) -> Result<String, String> {
 }
 
 fn cmd_kcore(args: &[String]) -> Result<String, String> {
-    let (k_opt, rest) = take_opt(args, "--k");
+    let (k_opt, rest) = take_opt(args, "--k")?;
     let (par, rest) = take_switch(&rest, "--par");
     let path = rest.first().ok_or_else(usage)?;
     let h = load(path)?;
@@ -164,8 +217,8 @@ fn cmd_fit(args: &[String]) -> Result<String, String> {
 }
 
 fn cmd_cover(args: &[String]) -> Result<String, String> {
-    let (weights, rest) = take_opt(args, "--weights");
-    let (multi, rest) = take_opt(&rest, "--multicover");
+    let (weights, rest) = take_opt(args, "--weights")?;
+    let (multi, rest) = take_opt(&rest, "--multicover")?;
     let path = rest.first().ok_or_else(usage)?;
     let h = load(path)?;
 
@@ -181,11 +234,7 @@ fn cmd_cover(args: &[String]) -> Result<String, String> {
     let (cover, secs) = match multi {
         Some(rs) => {
             let r: u32 = rs.parse().map_err(|e| format!("bad --multicover: {e}"))?;
-            timed(|| {
-                hypergraph::greedy_multicover(&h, &weight, |f| {
-                    r.min(h.edge_degree(f) as u32)
-                })
-            })
+            timed(|| hypergraph::greedy_multicover(&h, &weight, |f| r.min(h.edge_degree(f) as u32)))
         }
         None => timed(|| hypergraph::greedy_vertex_cover(&h, &weight)),
     };
@@ -200,8 +249,8 @@ fn cmd_cover(args: &[String]) -> Result<String, String> {
 }
 
 fn cmd_ks_core(args: &[String]) -> Result<String, String> {
-    let (k, rest) = take_opt(args, "--k");
-    let (s, rest) = take_opt(&rest, "--s");
+    let (k, rest) = take_opt(args, "--k")?;
+    let (s, rest) = take_opt(&rest, "--s")?;
     let path = rest.first().ok_or_else(usage)?;
     let k: u32 = k
         .ok_or("ks-core requires --k")?
@@ -222,7 +271,95 @@ fn cmd_ks_core(args: &[String]) -> Result<String, String> {
     ))
 }
 
-fn write_or_print(h: &hypergraph::Hypergraph, out: Option<String>, what: &str) -> Result<String, String> {
+fn cmd_profile(args: &[String]) -> Result<String, String> {
+    let (algo, files) = take_opt(args, "--algo")?;
+    let algo = algo.unwrap_or_else(|| "all".to_string());
+    if !matches!(algo.as_str(), "all" | "kcore" | "bfs" | "cover") {
+        return Err(format!("unknown --algo `{algo}` (all|kcore|bfs|cover)"));
+    }
+    if files.is_empty() {
+        return Err(usage());
+    }
+
+    let was_enabled = hgobs::enabled();
+    hgobs::enable();
+    // Stash anything already recorded this run, then profile; the drained
+    // per-algo sections are folded into `total` and absorbed back so a
+    // surrounding `--metrics` report still sees the whole run.
+    let mut total = hgobs::take_report();
+    let result = profile_files(&files, &algo, &mut total);
+    hgobs::absorb(&total);
+    if !was_enabled {
+        hgobs::disable();
+    }
+    result
+}
+
+fn profile_files(
+    files: &[String],
+    algo: &str,
+    total: &mut hgobs::Report,
+) -> Result<String, String> {
+    let mut w = hgobs::json::JsonWriter::new();
+    w.begin_object();
+    w.key("schema").string("hg-profile/1");
+    w.key("algo").string(algo);
+    w.key("files").begin_array();
+    for path in files {
+        let h = load(path)?;
+        w.begin_object();
+        w.key("file").string(path);
+        w.key("vertices").uint(h.num_vertices() as u64);
+        w.key("edges").uint(h.num_edges() as u64);
+        w.key("algos").begin_object();
+        if matches!(algo, "all" | "kcore") {
+            profile_section(&mut w, total, "kcore", || {
+                let _ = hypergraph::max_core(&h);
+            });
+        }
+        if matches!(algo, "all" | "bfs") {
+            profile_section(&mut w, total, "bfs", || {
+                let _ = hypergraph::hyper_distance_stats(&h);
+            });
+        }
+        if matches!(algo, "all" | "cover") {
+            profile_section(&mut w, total, "cover", || {
+                let _ = hypergraph::greedy_vertex_cover(&h, |_| 1.0);
+                let _ = hypergraph::pricing_vertex_cover(&h, |_| 1.0);
+            });
+        }
+        w.end_object(); // algos
+        w.end_object(); // file entry
+    }
+    w.end_array();
+    w.end_object();
+    let mut out = w.finish();
+    out.push('\n');
+    Ok(out)
+}
+
+/// Run one algorithm against a clean registry and emit its drained
+/// metrics as a named JSON section.
+fn profile_section(
+    w: &mut hgobs::json::JsonWriter,
+    total: &mut hgobs::Report,
+    name: &str,
+    run: impl FnOnce(),
+) {
+    hgobs::reset();
+    run();
+    let rep = hgobs::take_report();
+    w.key(name).begin_object();
+    rep.write_body(w);
+    w.end_object();
+    total.merge(&rep);
+}
+
+fn write_or_print(
+    h: &hypergraph::Hypergraph,
+    out: Option<String>,
+    what: &str,
+) -> Result<String, String> {
     let text = hypergraph::io::write_hgr(h);
     match out {
         Some(path) => {
@@ -239,7 +376,7 @@ fn write_or_print(h: &hypergraph::Hypergraph, out: Option<String>, what: &str) -
 }
 
 fn cmd_reduce(args: &[String]) -> Result<String, String> {
-    let (out, rest) = take_opt(args, "-o");
+    let (out, rest) = take_opt(args, "-o")?;
     let path = rest.first().ok_or_else(usage)?;
     let h = load(path)?;
     let (reduced, kept) = hypergraph::reduce(&h);
@@ -252,7 +389,7 @@ fn cmd_reduce(args: &[String]) -> Result<String, String> {
 }
 
 fn cmd_dual(args: &[String]) -> Result<String, String> {
-    let (out, rest) = take_opt(args, "-o");
+    let (out, rest) = take_opt(args, "-o")?;
     let path = rest.first().ok_or_else(usage)?;
     let h = load(path)?;
     let d = hypergraph::dual(&h);
@@ -260,9 +397,9 @@ fn cmd_dual(args: &[String]) -> Result<String, String> {
 }
 
 fn cmd_tap_sim(args: &[String]) -> Result<String, String> {
-    let (baits_opt, rest) = take_opt(args, "--baits");
-    let (p_opt, rest) = take_opt(&rest, "--p");
-    let (seed_opt, rest) = take_opt(&rest, "--seed");
+    let (baits_opt, rest) = take_opt(args, "--baits")?;
+    let (p_opt, rest) = take_opt(&rest, "--p")?;
+    let (seed_opt, rest) = take_opt(&rest, "--seed")?;
     let path = rest.first().ok_or_else(usage)?;
     let h = load(path)?;
 
@@ -284,16 +421,18 @@ fn cmd_tap_sim(args: &[String]) -> Result<String, String> {
             .map_err(|e| e.to_string())?
             .vertices
         }
-        Some("multicover") => hypergraph::greedy_multicover(
-            &h,
-            |v| {
-                let d = h.vertex_degree(v) as f64;
-                d * d
-            },
-            |f| 2u32.min(h.edge_degree(f) as u32),
-        )
-        .map_err(|e| e.to_string())?
-        .vertices,
+        Some("multicover") => {
+            hypergraph::greedy_multicover(
+                &h,
+                |v| {
+                    let d = h.vertex_degree(v) as f64;
+                    d * d
+                },
+                |f| 2u32.min(h.edge_degree(f) as u32),
+            )
+            .map_err(|e| e.to_string())?
+            .vertices
+        }
         Some(n) => {
             let n: usize = n
                 .parse()
@@ -329,8 +468,8 @@ fn cmd_tap_sim(args: &[String]) -> Result<String, String> {
 }
 
 fn cmd_gen(args: &[String]) -> Result<String, String> {
-    let (seed_opt, rest) = take_opt(args, "--seed");
-    let (out, rest) = take_opt(&rest, "-o");
+    let (seed_opt, rest) = take_opt(args, "--seed")?;
+    let (out, rest) = take_opt(&rest, "-o")?;
     let seed: u64 = seed_opt
         .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
         .transpose()?
@@ -352,22 +491,19 @@ fn cmd_gen(args: &[String]) -> Result<String, String> {
         "table1" => {
             let name = rest.get(1).ok_or("table1 needs a matrix name")?;
             let suite = matrixmarket::table1_suite();
-            let (_, m) = suite
-                .iter()
-                .find(|(n, _)| n == name)
-                .ok_or_else(|| {
-                    format!(
-                        "unknown table1 matrix `{name}` (have: {})",
-                        suite
-                            .iter()
-                            .map(|(n, _)| *n)
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    )
-                })?;
+            let (_, m) = suite.iter().find(|(n, _)| n == name).ok_or_else(|| {
+                format!(
+                    "unknown table1 matrix `{name}` (have: {})",
+                    suite.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+                )
+            })?;
             matrixmarket::row_net(m)
         }
-        other => return Err(format!("unknown dataset `{other}` (cellzome|uniform|table1)")),
+        other => {
+            return Err(format!(
+                "unknown dataset `{other}` (cellzome|uniform|table1)"
+            ))
+        }
     };
 
     let text = hypergraph::io::write_hgr(&h);
@@ -387,7 +523,7 @@ fn cmd_gen(args: &[String]) -> Result<String, String> {
 }
 
 fn cmd_export_pajek(args: &[String]) -> Result<String, String> {
-    let (out, rest) = take_opt(args, "-o");
+    let (out, rest) = take_opt(args, "-o")?;
     let path = rest.first().ok_or_else(usage)?;
     let base = out.ok_or("export-pajek requires -o <base>")?;
     let h = load(path)?;
@@ -410,27 +546,56 @@ fn cmd_export_pajek(args: &[String]) -> Result<String, String> {
 }
 
 fn cmd_repro(args: &[String]) -> Result<String, String> {
-    let (out_dir, rest) = take_opt(args, "-o");
+    let (out_dir, rest) = take_opt(args, "-o")?;
     let out_dir = PathBuf::from(out_dir.unwrap_or_else(|| ".".to_string()));
     std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create out dir: {e}"))?;
     let what = rest.first().map(|s| s.as_str()).unwrap_or("all");
     let io_err = |e: std::io::Error| format!("io error: {e}");
     match what {
-        "e1" => Ok(repro::e1_section2_stats()),
-        "e2" => Ok(repro::e2_fig1_powerlaw()),
-        "e3" => Ok(repro::e3_fig2_graph_core()),
-        "e4" => Ok(repro::e4_table1()),
-        "e5" => Ok(repro::e5_core_proteome()),
-        "e6" => Ok(repro::e6_dip_baselines()),
-        "e7" => Ok(repro::e7_covers()),
-        "e8" => repro::e8_pajek(&out_dir.join("fig3")).map_err(io_err),
-        "e9" => Ok(repro::e9_tap_reliability()),
-        "e10" => Ok(repro::e10_reconstruction()),
-        "a1" => Ok(repro::a1_space()),
-        "a2" => Ok(repro::a2_maximality()),
-        "a3" => Ok(repro::a3_cover_algorithms()),
-        "a4" => Ok(repro::a4_parallel()),
-        "all" => repro::all(&out_dir).map_err(io_err),
+        "e1" => with_phases(|| Ok(repro::e1_section2_stats())),
+        "e2" => with_phases(|| Ok(repro::e2_fig1_powerlaw())),
+        "e3" => with_phases(|| Ok(repro::e3_fig2_graph_core())),
+        "e4" => with_phases(|| Ok(repro::e4_table1())),
+        "e5" => with_phases(|| Ok(repro::e5_core_proteome())),
+        "e6" => with_phases(|| Ok(repro::e6_dip_baselines())),
+        "e7" => with_phases(|| Ok(repro::e7_covers())),
+        "e8" => with_phases(|| repro::e8_pajek(&out_dir.join("fig3")).map_err(io_err)),
+        "e9" => with_phases(|| Ok(repro::e9_tap_reliability())),
+        "e10" => with_phases(|| Ok(repro::e10_reconstruction())),
+        "a1" => with_phases(|| Ok(repro::a1_space())),
+        "a2" => with_phases(|| Ok(repro::a2_maximality())),
+        "a3" => with_phases(|| Ok(repro::a3_cover_algorithms())),
+        "a4" => with_phases(|| Ok(repro::a4_parallel())),
+        "all" => with_phases(|| repro::all(&out_dir).map_err(io_err)),
         other => Err(format!("unknown experiment `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::take_opt;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn take_opt_extracts_value_and_rest() {
+        let (val, rest) = take_opt(&v(&["a", "--k", "3", "b"]), "--k").unwrap();
+        assert_eq!(val.as_deref(), Some("3"));
+        assert_eq!(rest, v(&["a", "b"]));
+    }
+
+    #[test]
+    fn take_opt_absent_flag_is_none() {
+        let (val, rest) = take_opt(&v(&["a", "b"]), "--k").unwrap();
+        assert!(val.is_none());
+        assert_eq!(rest, v(&["a", "b"]));
+    }
+
+    #[test]
+    fn take_opt_missing_value_is_an_error() {
+        let err = take_opt(&v(&["a", "--k"]), "--k").unwrap_err();
+        assert!(err.contains("missing value after --k"), "{err}");
     }
 }

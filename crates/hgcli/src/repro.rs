@@ -9,8 +9,7 @@
 
 use graphcore::core_decomposition;
 use hypergraph::{
-    fit_power_law, hyper_distance_stats, hypergraph_components, max_core,
-    vertex_degree_histogram,
+    fit_power_law, hyper_distance_stats, hypergraph_components, max_core, vertex_degree_histogram,
 };
 use matrixmarket::{row_net, table1_suite};
 use proteome::annotations::{annotate, core_summary};
@@ -57,7 +56,10 @@ pub fn e1_section2_stats() -> String {
         2.568,
         format!("{:.3}", dist.average_path_length)
     ]);
-    format!("E1: yeast protein complex hypergraph, section 2 statistics\n{}", t.render())
+    format!(
+        "E1: yeast protein complex hypergraph, section 2 statistics\n{}",
+        t.render()
+    )
 }
 
 /// E2 — Fig. 1: power-law fit of the protein degree distribution.
@@ -217,7 +219,10 @@ pub fn e6_dip_baselines() -> String {
             format_time(secs)
         ]);
     }
-    format!("E6: plain-graph maximum cores of DIP-calibrated PPI networks\n{}", t.render())
+    format!(
+        "E6: plain-graph maximum cores of DIP-calibrated PPI networks\n{}",
+        t.render()
+    )
 }
 
 /// E7 — §4.2: bait selection by vertex covers.
@@ -225,7 +230,13 @@ pub fn e7_covers() -> String {
     let ds = cellzome_like(CELLZOME_SEED);
     let (r, secs) = timed(|| bait_selection_report(&ds));
 
-    let mut t = Table::new(&["strategy", "baits (paper)", "baits", "avg degree (paper)", "avg degree"]);
+    let mut t = Table::new(&[
+        "strategy",
+        "baits (paper)",
+        "baits",
+        "avg degree (paper)",
+        "avg degree",
+    ]);
     t.row(cells![
         "greedy cover, unit weights",
         109,
@@ -375,8 +386,14 @@ pub fn e10_reconstruction() -> String {
     ]);
     for (name, baits) in [
         ("greedy cover (unit)", &report.unweighted.cover.vertices),
-        ("greedy cover (degree^2)", &report.degree_squared.cover.vertices),
-        ("2-multicover (degree^2)", &report.multicover2.cover.vertices),
+        (
+            "greedy cover (degree^2)",
+            &report.degree_squared.cover.vertices,
+        ),
+        (
+            "2-multicover (degree^2)",
+            &report.multicover2.cover.vertices,
+        ),
     ] {
         let mut cands = 0usize;
         let mut recall = 0.0;
@@ -432,7 +449,13 @@ pub fn a1_space() -> String {
 
 /// A2 — ablation: overlap-counting vs naive subset-testing maximality.
 pub fn a2_maximality() -> String {
-    let mut t = Table::new(&["hypergraph", "|F|", "overlap method", "naive method", "agree"]);
+    let mut t = Table::new(&[
+        "hypergraph",
+        "|F|",
+        "overlap method",
+        "naive method",
+        "agree",
+    ]);
     for (name, h) in [
         ("cellzome", cellzome_like(CELLZOME_SEED).hypergraph),
         (
@@ -450,7 +473,10 @@ pub fn a2_maximality() -> String {
             fast == naive
         ]);
     }
-    format!("A2: non-maximal hyperedge detection, overlap counters vs subset tests\n{}", t.render())
+    format!(
+        "A2: non-maximal hyperedge detection, overlap counters vs subset tests\n{}",
+        t.render()
+    )
 }
 
 /// A3 — ablation: greedy vs primal-dual cover quality.
@@ -464,7 +490,13 @@ pub fn a3_cover_algorithms() -> String {
     let (greedy, t_g) = timed(|| hypergraph::greedy_vertex_cover(h, weight).expect("cover"));
     let (pricing, t_p) = timed(|| hypergraph::pricing_vertex_cover(h, weight).expect("cover"));
 
-    let mut t = Table::new(&["algorithm", "cover size", "total weight", "time", "guarantee"]);
+    let mut t = Table::new(&[
+        "algorithm",
+        "cover size",
+        "total weight",
+        "time",
+        "guarantee",
+    ]);
     t.row(cells![
         "greedy (H_m approx)",
         greedy.vertices.len(),

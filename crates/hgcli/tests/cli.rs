@@ -77,7 +77,17 @@ fn gen_stats_kcore_fit_cover_roundtrip() {
 fn gen_uniform_and_table1() {
     let dir = tmpdir("gen");
     let file = dir.join("u.hgr");
-    let (ok, out, err) = hg(&["gen", "uniform", "30", "20", "4", "--seed", "5", "-o", file.to_str().unwrap()]);
+    let (ok, out, err) = hg(&[
+        "gen",
+        "uniform",
+        "30",
+        "20",
+        "4",
+        "--seed",
+        "5",
+        "-o",
+        file.to_str().unwrap(),
+    ]);
     assert!(ok, "{err}");
     assert!(out.contains("30 vertices, 20 hyperedges, 80 pins"));
 
@@ -141,7 +151,11 @@ fn ks_core_reduce_dual_tap() {
     let (ok, out, _) = hg(&["dual", file_s, "-o", dual.to_str().unwrap()]);
     assert!(ok, "{out}");
     let text = std::fs::read_to_string(&dual).unwrap();
-    assert!(text.starts_with("1361 232\n"), "dual header: {}", &text[..20]);
+    assert!(
+        text.starts_with("1361 232\n"),
+        "dual header: {}",
+        &text[..20]
+    );
 
     let (ok, out, err) = hg(&["tap-sim", file_s, "--baits", "multicover", "--p", "0.7"]);
     assert!(ok, "{err}");
@@ -169,4 +183,221 @@ fn bad_file_reports_error() {
     let (ok, _, err) = hg(&["stats", "/nonexistent/definitely.hgr"]);
     assert!(!ok);
     assert!(err.contains("cannot read"));
+}
+
+#[test]
+fn flag_with_missing_value_errors() {
+    let (ok, _, err) = hg(&["kcore", "whatever.hgr", "--k"]);
+    assert!(!ok);
+    assert!(err.contains("missing value after --k"), "{err}");
+
+    let (ok, _, err) = hg(&["repro", "e1", "-o"]);
+    assert!(!ok);
+    assert!(err.contains("missing value after -o"), "{err}");
+}
+
+/// Minimal recursive-descent JSON validity check (no parse tree): enough
+/// to catch unbalanced braces, stray commas, and broken string escaping
+/// in the hand-rolled emitter.
+fn check_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    fn ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+    fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+        ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    string(b, i)?;
+                    ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("expected ':' at {i}"));
+                    }
+                    *i += 1;
+                    value(b, i)?;
+                    ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    value(b, i)?;
+                    ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or ']' at {i}")),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(_) => {
+                // number / true / false / null
+                let start = *i;
+                while *i < b.len() && !b",}] \t\n\r".contains(&b[*i]) {
+                    *i += 1;
+                }
+                if *i == start {
+                    Err(format!("empty value at {i}"))
+                } else {
+                    Ok(())
+                }
+            }
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+    fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+        ws(b, i);
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected '\"' at {i}"));
+        }
+        *i += 1;
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'\\' => *i += 2,
+                b'"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+    value(b, &mut i)?;
+    ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing garbage at {i}"));
+    }
+    Ok(())
+}
+
+/// The counters section of a report is deterministic; extract it for
+/// run-to-run comparison (spans carry wall-clock noise).
+fn counters_section(json: &str) -> &str {
+    let start = json.find("\"counters\":").expect("counters key");
+    let end = json.find("\"histograms\":").expect("histograms key");
+    &json[start..end]
+}
+
+#[test]
+fn metrics_flag_writes_valid_json_report() {
+    let dir = tmpdir("metrics");
+    let file = dir.join("cz.hgr");
+    let file_s = file.to_str().unwrap();
+    let (ok, _, err) = hg(&["gen", "cellzome", "-o", file_s]);
+    assert!(ok, "{err}");
+
+    let report = dir.join("out.json");
+    let report_s = report.to_str().unwrap();
+    let (ok, _, err) = hg(&["kcore", file_s, "--metrics", report_s]);
+    assert!(ok, "{err}");
+
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.starts_with("{\"schema\":\"hgobs/1\""), "{json}");
+    check_json(json.trim()).unwrap_or_else(|e| panic!("invalid JSON ({e}):\n{json}"));
+
+    // max_core runs the peeler once per probed k, so at least one round.
+    let rounds: u64 = json
+        .split("\"kcore.rounds\":")
+        .nth(1)
+        .expect("kcore.rounds counter present")
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap();
+    assert!(rounds >= 1, "kcore.rounds = {rounds}");
+
+    // The whole-run span wraps everything.
+    assert!(json.contains("\"total\":{\"count\":1,"), "{json}");
+    assert!(json.contains("total/kcore.max_core_search"), "{json}");
+}
+
+#[test]
+fn metrics_counters_are_deterministic_across_runs() {
+    let dir = tmpdir("metrics_det");
+    let file = dir.join("cz.hgr");
+    let file_s = file.to_str().unwrap();
+    let (ok, _, err) = hg(&["gen", "cellzome", "-o", file_s]);
+    assert!(ok, "{err}");
+
+    let mut sections = Vec::new();
+    for run in 0..2 {
+        let report = dir.join(format!("out{run}.json"));
+        let report_s = report.to_str().unwrap();
+        let (ok, _, err) = hg(&["kcore", file_s, "--metrics", report_s]);
+        assert!(ok, "{err}");
+        let json = std::fs::read_to_string(&report).unwrap();
+        sections.push(counters_section(&json).to_string());
+    }
+    assert_eq!(sections[0], sections[1]);
+    assert!(sections[0].contains("kcore.rounds"), "{}", sections[0]);
+}
+
+#[test]
+fn profile_emits_per_algorithm_sections() {
+    let dir = tmpdir("profile");
+    let file = dir.join("cz.hgr");
+    let file_s = file.to_str().unwrap();
+    let (ok, _, err) = hg(&["gen", "cellzome", "-o", file_s]);
+    assert!(ok, "{err}");
+
+    let report = dir.join("report.json");
+    let report_s = report.to_str().unwrap();
+    let (ok, out, err) = hg(&["profile", file_s, "--algo", "all", "--metrics", report_s]);
+    assert!(ok, "{err}");
+    assert!(out.starts_with("{\"schema\":\"hg-profile/1\""), "{out}");
+    check_json(out.trim()).unwrap_or_else(|e| panic!("invalid profile JSON ({e}):\n{out}"));
+    for section in ["\"kcore\":{", "\"bfs\":{", "\"cover\":{"] {
+        assert!(out.contains(section), "missing {section} in:\n{out}");
+    }
+    assert!(out.contains("\"vertices\":1361"), "{out}");
+    assert!(out.contains("kcore.rounds"), "{out}");
+    assert!(out.contains("bfs.sources"), "{out}");
+    assert!(out.contains("cover.picks"), "{out}");
+
+    // The global --metrics report still carries the profiled totals.
+    let global = std::fs::read_to_string(&report).unwrap();
+    check_json(global.trim()).unwrap_or_else(|e| panic!("invalid JSON ({e}):\n{global}"));
+    assert!(global.contains("kcore.rounds"), "{global}");
+    assert!(global.contains("cover.dual_raises"), "{global}");
+
+    let (ok, _, err) = hg(&["profile", file_s, "--algo", "frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown --algo"), "{err}");
+}
+
+#[test]
+fn repro_appends_phase_breakdown() {
+    let (ok, out, err) = hg(&["repro", "e3"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("phase breakdown:"), "{out}");
+    assert!(out.contains("graph.kcore"), "{out}");
 }

@@ -1,0 +1,83 @@
+//! `HG_LOG` env-filtered stderr logging (`off` < `info` < `debug`).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Off = 0,
+    Info = 1,
+    Debug = 2,
+}
+
+const UNSET: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+/// Parse `HG_LOG` (once) and return the active level. Unknown values
+/// and an unset variable both mean [`Level::Off`].
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Info,
+        2 => Level::Debug,
+        _ => init_from_env(),
+    }
+}
+
+/// Read `HG_LOG` and fix the level for the process lifetime.
+pub fn init_from_env() -> Level {
+    let lvl = match std::env::var("HG_LOG").as_deref() {
+        Ok("debug") => Level::Debug,
+        Ok("info") => Level::Info,
+        _ => Level::Off,
+    };
+    set_level(lvl);
+    lvl
+}
+
+pub fn set_level(lvl: Level) {
+    LEVEL.store(lvl as u8, Ordering::Relaxed);
+}
+
+#[inline]
+pub fn debug_enabled() -> bool {
+    level() >= Level::Debug
+}
+
+#[inline]
+pub fn info_enabled() -> bool {
+    level() >= Level::Info
+}
+
+/// Log at info level (lazy: the closure only runs when enabled).
+pub fn info(msg: impl FnOnce() -> String) {
+    if info_enabled() {
+        eprintln!("[hg] {}", msg());
+    }
+}
+
+/// Log at debug level (lazy: the closure only runs when enabled).
+pub fn debug(msg: impl FnOnce() -> String) {
+    if debug_enabled() {
+        eprintln!("[hg] {}", msg());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order() {
+        assert!(Level::Off < Level::Info && Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn set_level_wins() {
+        set_level(Level::Debug);
+        assert!(debug_enabled() && info_enabled());
+        set_level(Level::Info);
+        assert!(!debug_enabled() && info_enabled());
+        set_level(Level::Off);
+        assert!(!info_enabled());
+    }
+}

@@ -1,0 +1,283 @@
+//! Snapshot of one run's metrics, with JSON and plain-text renderings.
+
+use std::collections::BTreeMap;
+
+use crate::json::JsonWriter;
+
+/// Version tag written into every JSON report; bump when the layout of
+/// the report object changes incompatibly.
+pub const SCHEMA_VERSION: &str = "hgobs/1";
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl HistSummary {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanSummary {
+    pub count: u64,
+    pub total_ns: u64,
+}
+
+impl SpanSummary {
+    pub fn seconds(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+}
+
+/// Drained registry contents. Maps are ordered, so renders are stable.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistSummary>,
+    pub spans: BTreeMap<String, SpanSummary>,
+}
+
+/// Drain the global registry into a [`Report`]; subsequent recording
+/// starts from empty.
+pub fn take_report() -> Report {
+    let reg = crate::metrics::drain();
+    Report {
+        counters: reg.counters,
+        histograms: reg
+            .hists
+            .into_iter()
+            .map(|(k, h)| {
+                (
+                    k,
+                    HistSummary {
+                        count: h.count,
+                        sum: h.sum,
+                        min: if h.count == 0 { 0 } else { h.min },
+                        max: h.max,
+                    },
+                )
+            })
+            .collect(),
+        spans: reg
+            .spans
+            .into_iter()
+            .map(|(k, s)| {
+                (
+                    k,
+                    SpanSummary {
+                        count: s.count,
+                        total_ns: s.total_ns,
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Merge `report` back into the global registry (counters add, span and
+/// histogram statistics combine), regardless of the enabled flag. Lets a
+/// caller drain per-phase sections while keeping whole-run totals
+/// available for a final report.
+pub fn absorb(report: &Report) {
+    crate::metrics::absorb_report(report);
+}
+
+impl Report {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.spans.is_empty()
+    }
+
+    /// Fold `other` into `self`: counters and span/histogram statistics
+    /// combine exactly as the registry would have aggregated them.
+    pub fn merge(&mut self, other: &Report) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            let e = self.histograms.entry(k.clone()).or_insert(HistSummary {
+                count: 0,
+                sum: 0,
+                min: u64::MAX,
+                max: 0,
+            });
+            e.count += h.count;
+            e.sum = e.sum.saturating_add(h.sum);
+            if h.count > 0 {
+                e.min = e.min.min(h.min);
+                e.max = e.max.max(h.max);
+            }
+            if e.count == 0 {
+                e.min = 0;
+            }
+        }
+        for (k, s) in &other.spans {
+            let e = self.spans.entry(k.clone()).or_insert(SpanSummary {
+                count: 0,
+                total_ns: 0,
+            });
+            e.count += s.count;
+            e.total_ns = e.total_ns.saturating_add(s.total_ns);
+        }
+    }
+
+    /// Write this report as a JSON object into `w` (no surrounding
+    /// schema field; see [`Report::to_json`] for the standalone form).
+    pub fn write_body(&self, w: &mut JsonWriter) {
+        w.key("counters").begin_object();
+        for (k, v) in &self.counters {
+            w.key(k).uint(*v);
+        }
+        w.end_object();
+
+        w.key("histograms").begin_object();
+        for (k, h) in &self.histograms {
+            w.key(k).begin_object();
+            w.key("count").uint(h.count);
+            w.key("sum").uint(h.sum);
+            w.key("min").uint(h.min);
+            w.key("max").uint(h.max);
+            w.key("mean").float(h.mean());
+            w.end_object();
+        }
+        w.end_object();
+
+        w.key("spans").begin_object();
+        for (k, s) in &self.spans {
+            w.key(k).begin_object();
+            w.key("count").uint(s.count);
+            w.key("total_ns").uint(s.total_ns);
+            w.key("seconds").float(s.seconds());
+            w.end_object();
+        }
+        w.end_object();
+    }
+
+    /// Standalone schema-versioned JSON document. Counters come first
+    /// so deterministic sections precede timing-dependent ones.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string(SCHEMA_VERSION);
+        self.write_body(&mut w);
+        w.end_object();
+        w.finish()
+    }
+
+    /// Human-readable phase breakdown for CLI output: spans sorted by
+    /// path (parents before children), then counters, then histograms.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("phase breakdown:\n");
+            let width = self.spans.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (path, s) in &self.spans {
+                let indent = path.matches('/').count() * 2;
+                out.push_str(&format!(
+                    "  {:indent$}{:<width$}  {:>10}  x{}\n",
+                    "",
+                    path,
+                    crate::format_time(s.seconds()),
+                    s.count,
+                    indent = indent,
+                    width = width.saturating_sub(indent),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {k}: n={} mean={:.2} min={} max={}\n",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::default();
+        r.counters.insert("kcore.rounds".into(), 3);
+        r.histograms.insert(
+            "bfs.frontier".into(),
+            HistSummary {
+                count: 4,
+                sum: 10,
+                min: 1,
+                max: 4,
+            },
+        );
+        r.spans.insert(
+            "total".into(),
+            SpanSummary {
+                count: 1,
+                total_ns: 2_000_000,
+            },
+        );
+        r.spans.insert(
+            "total/kcore".into(),
+            SpanSummary {
+                count: 2,
+                total_ns: 1_000_000,
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn json_shape() {
+        let js = sample().to_json();
+        assert_eq!(
+            js,
+            "{\"schema\":\"hgobs/1\",\
+             \"counters\":{\"kcore.rounds\":3},\
+             \"histograms\":{\"bfs.frontier\":{\"count\":4,\"sum\":10,\"min\":1,\"max\":4,\"mean\":2.5}},\
+             \"spans\":{\"total\":{\"count\":1,\"total_ns\":2000000,\"seconds\":0.002},\
+             \"total/kcore\":{\"count\":2,\"total_ns\":1000000,\"seconds\":0.001}}}"
+        );
+    }
+
+    #[test]
+    fn text_breakdown_lists_phases_and_counters() {
+        let text = sample().render_text();
+        assert!(text.contains("phase breakdown:"));
+        assert!(text.contains("total"));
+        assert!(text.contains("total/kcore"));
+        assert!(text.contains("kcore.rounds = 3"));
+        assert!(text.contains("bfs.frontier: n=4 mean=2.50 min=1 max=4"));
+    }
+
+    #[test]
+    fn empty_report_renders_empty() {
+        let r = Report::default();
+        assert!(r.is_empty());
+        assert_eq!(r.render_text(), "");
+        assert_eq!(
+            r.to_json(),
+            "{\"schema\":\"hgobs/1\",\"counters\":{},\"histograms\":{},\"spans\":{}}"
+        );
+    }
+}

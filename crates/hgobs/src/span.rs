@@ -1,0 +1,68 @@
+//! RAII timing spans with thread-local nesting.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+struct Active {
+    path: String,
+    start: Instant,
+}
+
+/// A timing span: `let _s = Span::enter("kcore.peel");` times the
+/// enclosing scope. Nested spans aggregate under slash-joined paths
+/// (`"total/kcore.peel"`). When the sink is disabled this is a single
+/// atomic load and no allocation.
+pub struct Span {
+    active: Option<Active>,
+}
+
+impl Span {
+    #[inline]
+    pub fn enter(name: &'static str) -> Span {
+        if !crate::enabled() {
+            return Span { active: None };
+        }
+        Span {
+            active: Some(Self::enter_live(name)),
+        }
+    }
+
+    #[cold]
+    fn enter_live(name: &'static str) -> Active {
+        let path = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(name);
+            s.join("/")
+        });
+        if crate::log::debug_enabled() {
+            eprintln!("[hg] -> {path}");
+        }
+        Active {
+            path,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let ns = active.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+            if crate::log::debug_enabled() {
+                eprintln!(
+                    "[hg] <- {} ({})",
+                    active.path,
+                    crate::format_time(ns as f64 / 1e9)
+                );
+            }
+            crate::metrics::record_span(active.path, ns);
+        }
+    }
+}

@@ -36,7 +36,9 @@ pub fn chung_lu_hypergraph(vertex_weights: &[f64], edge_weights: &[f64], seed: u
         if s > 0.0 {
             for _ in 0..(base + extra) {
                 let t = rng.gen::<f64>() * s;
-                let v = cum.partition_point(|&c| c < t).min(vertex_weights.len() - 1);
+                let v = cum
+                    .partition_point(|&c| c < t)
+                    .min(vertex_weights.len() - 1);
                 pins.push(v as u32);
             }
         }

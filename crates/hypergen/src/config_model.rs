@@ -32,7 +32,7 @@ pub fn configuration_hypergraph(
     // Vertex stub multiset, shuffled once.
     let mut stubs: Vec<u32> = Vec::with_capacity(vsum as usize);
     for (v, &d) in vertex_degrees.iter().enumerate() {
-        stubs.extend(std::iter::repeat(v as u32).take(d as usize));
+        stubs.extend(std::iter::repeat_n(v as u32, d as usize));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     stubs.shuffle(&mut rng);
@@ -63,10 +63,7 @@ mod tests {
         assert_eq!(h.num_edges(), 4);
         assert_eq!(h.num_pins(), 4);
         for (v, &d) in vdeg.iter().enumerate() {
-            assert_eq!(
-                h.vertex_degree(hypergraph::VertexId(v as u32)),
-                d as usize
-            );
+            assert_eq!(h.vertex_degree(hypergraph::VertexId(v as u32)), d as usize);
         }
     }
 

@@ -36,7 +36,10 @@ pub fn planted_core_graph(
     seed: u64,
 ) -> Graph {
     assert!(core_size <= n, "core larger than graph");
-    assert!(core_k % 2 == 0, "core_k must be even (circulant construction)");
+    assert!(
+        core_k % 2 == 0,
+        "core_k must be even (circulant construction)"
+    );
     assert!((core_k as usize) < core_size, "core_k must be < core_size");
 
     let mut b = GraphBuilder::new(n);

@@ -9,13 +9,7 @@ use rand::{Rng, SeedableRng};
 ///
 /// # Panics
 /// If `d_min == 0`, `d_min > d_max`, or `gamma` is not finite.
-pub fn power_law_degrees(
-    n: usize,
-    gamma: f64,
-    d_min: u32,
-    d_max: u32,
-    seed: u64,
-) -> Vec<u32> {
+pub fn power_law_degrees(n: usize, gamma: f64, d_min: u32, d_max: u32, seed: u64) -> Vec<u32> {
     assert!(d_min >= 1, "power law undefined at degree 0");
     assert!(d_min <= d_max, "d_min must not exceed d_max");
     assert!(gamma.is_finite(), "gamma must be finite");
@@ -65,7 +59,7 @@ pub fn power_law_histogram_counts(
 pub fn histogram_to_sequence(hist: &[(u32, usize)]) -> Vec<u32> {
     let mut out = Vec::with_capacity(hist.iter().map(|&(_, c)| c).sum());
     for &(d, count) in hist {
-        out.extend(std::iter::repeat(d).take(count));
+        out.extend(std::iter::repeat_n(d, count));
     }
     out
 }

@@ -20,7 +20,10 @@ pub struct HypergraphBuilder {
 impl HypergraphBuilder {
     /// Builder over the vertex set `0..num_vertices`.
     pub fn new(num_vertices: usize) -> Self {
-        assert!(num_vertices <= u32::MAX as usize, "vertex count exceeds u32");
+        assert!(
+            num_vertices <= u32::MAX as usize,
+            "vertex count exceeds u32"
+        );
         HypergraphBuilder {
             num_vertices,
             pins: Vec::new(),
@@ -74,7 +77,10 @@ impl HypergraphBuilder {
             }
         }
         self.pins.truncate(write);
-        assert!(self.pins.len() <= u32::MAX as usize, "pin count exceeds u32");
+        assert!(
+            self.pins.len() <= u32::MAX as usize,
+            "pin count exceeds u32"
+        );
         self.offsets.push(self.pins.len() as u32);
         EdgeId(self.offsets.len() as u32 - 2)
     }
@@ -180,10 +186,7 @@ mod tests {
     #[test]
     fn adjacency_lists_sorted_by_edge_id() {
         let h = hypergraph_from_edges(2, &[&[0, 1], &[0], &[0, 1]]);
-        assert_eq!(
-            h.edges_of(VertexId(0)),
-            &[EdgeId(0), EdgeId(1), EdgeId(2)]
-        );
+        assert_eq!(h.edges_of(VertexId(0)), &[EdgeId(0), EdgeId(1), EdgeId(2)]);
         assert_eq!(h.edges_of(VertexId(1)), &[EdgeId(0), EdgeId(2)]);
     }
 

@@ -139,7 +139,10 @@ mod tests {
                 num_edges: 2
             }
         );
-        assert_eq!(cc.vertex_members(big), vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(
+            cc.vertex_members(big),
+            vec![VertexId(0), VertexId(1), VertexId(2)]
+        );
         assert_eq!(cc.edge_members(big), vec![EdgeId(0), EdgeId(1)]);
     }
 

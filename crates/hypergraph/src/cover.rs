@@ -35,7 +35,9 @@ impl std::fmt::Display for CoverError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CoverError::EmptyEdge(e) => write!(f, "hyperedge {e:?} is empty and cannot be covered"),
-            CoverError::BadWeight(v) => write!(f, "vertex {v:?} has a negative or non-finite weight"),
+            CoverError::BadWeight(v) => {
+                write!(f, "vertex {v:?} has a negative or non-finite weight")
+            }
             CoverError::InfeasibleRequirement(e) => write!(
                 f,
                 "hyperedge {e:?} requires more cover vertices than it contains"
@@ -93,6 +95,7 @@ pub fn greedy_vertex_cover(
     h: &Hypergraph,
     weight: impl Fn(VertexId) -> f64,
 ) -> Result<CoverResult, CoverError> {
+    let _span = hgobs::Span::enter("cover.greedy");
     let weights: Vec<f64> = h.vertices().map(&weight).collect();
     for v in h.vertices() {
         let w = weights[v.index()];
@@ -125,6 +128,8 @@ pub fn greedy_vertex_cover(
         total_weight: 0.0,
         iterations: 0,
     };
+    let mut heap_refreshes: u64 = 0;
+    let mut edges_covered: u64 = 0;
 
     while remaining > 0 {
         let Reverse((_, vid, count_at_push)) = heap
@@ -136,6 +141,7 @@ pub fn greedy_vertex_cover(
         }
         if uncovered_adj[v] != count_at_push {
             // Stale: cost has risen since push; refresh and retry.
+            heap_refreshes += 1;
             let c = weights[v] / uncovered_adj[v] as f64;
             heap.push(Reverse((FiniteF64(c), vid, uncovered_adj[v])));
             continue;
@@ -151,12 +157,16 @@ pub fn greedy_vertex_cover(
             }
             covered[f.index()] = true;
             remaining -= 1;
+            edges_covered += 1;
             for &w in h.pins(f) {
                 uncovered_adj[w.index()] -= 1;
             }
         }
     }
 
+    hgobs::counter!("cover.picks", result.iterations);
+    hgobs::counter!("cover.heap_refreshes", heap_refreshes);
+    hgobs::counter!("cover.edges_covered", edges_covered);
     Ok(result)
 }
 

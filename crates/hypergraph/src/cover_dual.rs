@@ -37,6 +37,7 @@ pub fn pricing_vertex_cover(
     h: &Hypergraph,
     weight: impl Fn(VertexId) -> f64,
 ) -> Result<PricingCover, CoverError> {
+    let _span = hgobs::Span::enter("cover.pricing");
     let weights: Vec<f64> = h.vertices().map(&weight).collect();
     for v in h.vertices() {
         let w = weights[v.index()];
@@ -52,6 +53,8 @@ pub fn pricing_vertex_cover(
     let mut in_cover = vec![false; h.num_vertices()];
     let mut order: Vec<VertexId> = Vec::new();
     let mut dual_sum = 0.0f64;
+    let mut dual_raises: u64 = 0;
+    let mut pruned: u64 = 0;
 
     for f in h.edges() {
         if h.pins(f).iter().any(|v| in_cover[v.index()]) {
@@ -63,6 +66,7 @@ pub fn pricing_vertex_cover(
             .map(|v| residual[v.index()])
             .fold(f64::INFINITY, f64::min);
         dual_sum += eps;
+        dual_raises += 1;
         for &v in h.pins(f) {
             residual[v.index()] -= eps;
             if residual[v.index()] <= 1e-12 && !in_cover[v.index()] {
@@ -82,6 +86,7 @@ pub fn pricing_vertex_cover(
     for &v in order.iter().rev() {
         let removable = h.edges_of(v).iter().all(|f| cover_count[f.index()] >= 2);
         if removable {
+            pruned += 1;
             in_cover[v.index()] = false;
             for &f in h.edges_of(v) {
                 cover_count[f.index()] -= 1;
@@ -89,7 +94,14 @@ pub fn pricing_vertex_cover(
         }
     }
 
-    let vertices: Vec<VertexId> = order.iter().copied().filter(|v| in_cover[v.index()]).collect();
+    let vertices: Vec<VertexId> = order
+        .iter()
+        .copied()
+        .filter(|v| in_cover[v.index()])
+        .collect();
+    hgobs::counter!("cover.dual_raises", dual_raises);
+    hgobs::counter!("cover.pruned", pruned);
+    hgobs::counter!("cover.pricing_picks", vertices.len());
     let total_weight: f64 = vertices.iter().map(|&v| weights[v.index()]).sum();
     let certified_ratio = if dual_sum > 0.0 {
         total_weight / dual_sum
@@ -113,7 +125,10 @@ pub fn pricing_vertex_cover(
 /// Just the dual lower bound `Σ y_f` from a pricing pass — a certified
 /// lower bound on the minimum-weight vertex cover, usable to report
 /// empirical approximation ratios for *any* cover algorithm.
-pub fn dual_lower_bound(h: &Hypergraph, weight: impl Fn(VertexId) -> f64) -> Result<f64, CoverError> {
+pub fn dual_lower_bound(
+    h: &Hypergraph,
+    weight: impl Fn(VertexId) -> f64,
+) -> Result<f64, CoverError> {
     pricing_vertex_cover(h, weight).map(|p| p.dual_lower_bound)
 }
 
@@ -208,8 +223,7 @@ mod tests {
     #[test]
     fn zero_weight_vertices_tighten_immediately() {
         let h = path_edges();
-        let p = pricing_vertex_cover(&h, |v| if v.0 == 1 || v.0 == 2 { 0.0 } else { 5.0 })
-            .unwrap();
+        let p = pricing_vertex_cover(&h, |v| if v.0 == 1 || v.0 == 2 { 0.0 } else { 5.0 }).unwrap();
         assert!(is_vertex_cover(&h, &p.cover.vertices));
         assert_eq!(p.cover.total_weight, 0.0);
         assert_eq!(p.certified_ratio, 1.0);

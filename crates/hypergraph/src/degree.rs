@@ -66,8 +66,14 @@ mod tests {
     #[test]
     fn histogram_sums_to_counts() {
         let h = toy();
-        assert_eq!(vertex_degree_histogram(&h).iter().sum::<usize>(), h.num_vertices());
-        assert_eq!(edge_degree_histogram(&h).iter().sum::<usize>(), h.num_edges());
+        assert_eq!(
+            vertex_degree_histogram(&h).iter().sum::<usize>(),
+            h.num_vertices()
+        );
+        assert_eq!(
+            edge_degree_histogram(&h).iter().sum::<usize>(),
+            h.num_edges()
+        );
     }
 
     #[test]

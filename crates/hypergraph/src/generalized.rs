@@ -108,10 +108,7 @@ mod tests {
         let core = ks_core(&h, 1, 3);
         // Pair edges die immediately; vertices 5, 6 follow; 0..=4 stay.
         assert_eq!(core.edges, vec![EdgeId(0), EdgeId(1)]);
-        assert_eq!(
-            core.vertices,
-            (0..5).map(VertexId).collect::<Vec<_>>()
-        );
+        assert_eq!(core.vertices, (0..5).map(VertexId).collect::<Vec<_>>());
     }
 
     #[test]
@@ -130,15 +127,9 @@ mod tests {
         // then e0 = {1,2,3} (still size 3), e1 = {1,2,3,4}; 4 has degree
         // 1 -> dies; e1 = {1,2,3}. Vertices 1,2,3 keep degree 2. Stable.
         let core = ks_core(&h, 2, 3);
-        assert_eq!(
-            core.vertices,
-            vec![VertexId(1), VertexId(2), VertexId(3)]
-        );
+        assert_eq!(core.vertices, vec![VertexId(1), VertexId(2), VertexId(3)]);
         assert_eq!(core.edges.len(), 2);
-        assert!(core
-            .sub
-            .vertices()
-            .all(|v| core.sub.vertex_degree(v) >= 2));
+        assert!(core.sub.vertices().all(|v| core.sub.vertex_degree(v) >= 2));
         assert!(core.sub.edges().all(|f| core.sub.edge_degree(f) >= 3));
     }
 
@@ -151,7 +142,9 @@ mod tests {
             for _ in 0..40 {
                 let mut pins = Vec::new();
                 for _ in 0..(1 + (x >> 60) % 5) {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     pins.push(((x >> 33) % 30) as u32);
                 }
                 b.add_edge(pins);
@@ -164,7 +157,10 @@ mod tests {
                     .sub
                     .vertices()
                     .all(|v| core.sub.vertex_degree(v) >= k as usize));
-                assert!(core.sub.edges().all(|f| core.sub.edge_degree(f) >= s as usize));
+                assert!(core
+                    .sub
+                    .edges()
+                    .all(|f| core.sub.edge_degree(f) >= s as usize));
             }
         }
     }

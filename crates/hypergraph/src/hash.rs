@@ -1,0 +1,61 @@
+//! Deterministic hashing for the overlap tables.
+//!
+//! `std`'s default hasher is randomly seeded per process, so `HashMap`
+//! iteration order — and with it the short-circuit point of the k-core
+//! maximality scan — changes from run to run. That leaves results
+//! correct but makes work metrics (e.g. `kcore.overlap_probes`)
+//! nondeterministic. FNV-1a is unseeded, so two runs over the same
+//! input probe in the same order and report identical counts.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a, 64-bit.
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// A `HashMap` with deterministic (unseeded) hashing and therefore
+/// deterministic iteration order for a given key set.
+pub type DetMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<Fnv1a>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_order_is_reproducible() {
+        let build = || {
+            let mut m: DetMap<u32, u32> = DetMap::default();
+            for k in [7u32, 3, 99, 12, 0, 41] {
+                m.insert(k, k * 2);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        let mut h = Fnv1a::default();
+        h.write(b"a");
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

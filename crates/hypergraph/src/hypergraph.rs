@@ -180,7 +180,8 @@ impl Hypergraph {
 
     /// A vertex of maximum degree, if any vertex exists.
     pub fn argmax_vertex_degree(&self) -> Option<VertexId> {
-        self.vertices().max_by_key(|&v| (self.vertex_degree(v), std::cmp::Reverse(v.0)))
+        self.vertices()
+            .max_by_key(|&v| (self.vertex_degree(v), std::cmp::Reverse(v.0)))
     }
 
     /// Bytes of heap storage used by the four CSR arrays — the paper's

@@ -41,10 +41,10 @@ impl std::error::Error for HgrError {}
 
 /// Parse `.hgr` text into a [`Hypergraph`].
 pub fn read_hgr(text: &str) -> Result<Hypergraph, HgrError> {
-    let mut lines = text
-        .lines()
-        .filter(|l| !l.trim_start().starts_with('%'));
-    let header = lines.next().ok_or_else(|| HgrError("empty document".into()))?;
+    let mut lines = text.lines().filter(|l| !l.trim_start().starts_with('%'));
+    let header = lines
+        .next()
+        .ok_or_else(|| HgrError("empty document".into()))?;
     let mut it = header.split_whitespace();
     let m: usize = it
         .next()
@@ -80,7 +80,9 @@ pub fn read_hgr(text: &str) -> Result<Hypergraph, HgrError> {
         parsed += 1;
     }
     if parsed != m {
-        return Err(HgrError(format!("expected {m} hyperedge lines, found {parsed}")));
+        return Err(HgrError(format!(
+            "expected {m} hyperedge lines, found {parsed}"
+        )));
     }
     Ok(b.build())
 }

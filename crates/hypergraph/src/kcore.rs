@@ -19,8 +19,9 @@
 //! survives. This makes the computation deterministic and keeps exactly
 //! one copy, as the reduced-hypergraph definition requires.
 
-use std::collections::HashMap;
+use std::cell::Cell;
 
+use crate::hash::DetMap;
 use crate::hypergraph::{EdgeId, Hypergraph, VertexId};
 use crate::overlap::OverlapTable;
 
@@ -53,12 +54,19 @@ struct Peeler {
     deg_e: Vec<u32>,
     /// `ov[f]` maps raw edge id `g` to `|f ∩ g|` counted over *alive*
     /// vertices, kept symmetric, entries to dead edges removed eagerly.
-    ov: Vec<HashMap<u32, u32>>,
+    ov: Vec<DetMap<u32, u32>>,
     /// Vertices awaiting deletion (deg < k), with an in-queue flag to
     /// avoid duplicates.
     queue: Vec<u32>,
     queued: Vec<bool>,
     k: u32,
+    /// Metric accumulators, flushed once per peel (plain locals keep the
+    /// hot loops free of sink calls; `Cell` because maximality checks
+    /// run under `&self`).
+    vertices_peeled: u64,
+    edges_deleted: u64,
+    nonmax_checks: Cell<u64>,
+    overlap_probes: Cell<u64>,
 }
 
 impl Peeler {
@@ -72,17 +80,23 @@ impl Peeler {
             queue: Vec::new(),
             queued: vec![false; h.num_vertices()],
             k,
+            vertices_peeled: 0,
+            edges_deleted: 0,
+            nonmax_checks: Cell::new(0),
+            overlap_probes: Cell::new(0),
         }
     }
 
     /// `true` iff alive `f` is currently contained in some alive `g ≠ f`
     /// (identical sets: the higher id is the contained one), or is empty.
     fn is_non_maximal(&self, f: usize) -> bool {
+        self.nonmax_checks.set(self.nonmax_checks.get() + 1);
         let df = self.deg_e[f];
         if df == 0 {
             return true;
         }
         self.ov[f].iter().any(|(&g, &c)| {
+            self.overlap_probes.set(self.overlap_probes.get() + 1);
             c == df && {
                 let dg = self.deg_e[g as usize];
                 dg > df || (dg == df && (g as usize) < f)
@@ -95,6 +109,7 @@ impl Peeler {
     fn delete_edge(&mut self, h: &Hypergraph, f: usize) {
         debug_assert!(self.alive_e[f]);
         self.alive_e[f] = false;
+        self.edges_deleted += 1;
         let entries = std::mem::take(&mut self.ov[f]);
         for (&g, _) in entries.iter() {
             self.ov[g as usize].remove(&(f as u32));
@@ -116,6 +131,7 @@ impl Peeler {
     fn delete_vertex(&mut self, h: &Hypergraph, v: usize) {
         debug_assert!(self.alive_v[v]);
         self.alive_v[v] = false;
+        self.vertices_peeled += 1;
 
         let alive_edges: Vec<u32> = h
             .edges_of(VertexId(v as u32))
@@ -175,6 +191,14 @@ impl Peeler {
         }
     }
 
+    /// Flush the accumulated counters to the sink (no-op when disabled).
+    fn flush_metrics(&self) {
+        hgobs::counter!("kcore.vertices_peeled", self.vertices_peeled);
+        hgobs::counter!("kcore.edges_deleted", self.edges_deleted);
+        hgobs::counter!("kcore.nonmax_checks", self.nonmax_checks.get());
+        hgobs::counter!("kcore.overlap_probes", self.overlap_probes.get());
+    }
+
     fn extract(&self, h: &Hypergraph, k: u32) -> KCore {
         let (sub, vmap, emap) = h.sub_hypergraph(&self.alive_v, &self.alive_e, false);
         KCore {
@@ -186,7 +210,7 @@ impl Peeler {
     }
 }
 
-fn decrement_overlap(ov: &mut [HashMap<u32, u32>], f: usize, g: usize) {
+fn decrement_overlap(ov: &mut [DetMap<u32, u32>], f: usize, g: usize) {
     for (a, b) in [(f, g), (g, f)] {
         if let Some(c) = ov[a].get_mut(&(b as u32)) {
             *c -= 1;
@@ -205,10 +229,22 @@ fn decrement_overlap(ov: &mut [HashMap<u32, u32>], f: usize, g: usize) {
 /// hypergraph itself (minus vertices stranded in no hyperedge — degree-0
 /// vertices trivially satisfy `d(v) ≥ 0`, so they are kept for `k = 0`).
 pub fn hypergraph_kcore(h: &Hypergraph, k: u32) -> KCore {
-    let mut p = Peeler::new(h, k);
-    p.reduce_sweep(h);
+    let _span = hgobs::Span::enter("kcore");
+    hgobs::counter!("kcore.rounds");
+    let mut p = {
+        let _s = hgobs::Span::enter("build_state");
+        Peeler::new(h, k)
+    };
+    {
+        let _s = hgobs::Span::enter("reduce_sweep");
+        p.reduce_sweep(h);
+    }
     p.seed_queue();
-    p.run(h);
+    {
+        let _s = hgobs::Span::enter("peel");
+        p.run(h);
+    }
+    p.flush_metrics();
     p.extract(h, k)
 }
 
@@ -221,6 +257,7 @@ pub fn hypergraph_kcore(h: &Hypergraph, k: u32) -> KCore {
 /// `2 log k_max` peels instead of `k_max`, which matters for the Table 1
 /// mesh hypergraphs whose maximum cores are deep.
 pub fn max_core(h: &Hypergraph) -> Option<KCore> {
+    let _span = hgobs::Span::enter("kcore.max_core_search");
     if hypergraph_kcore(h, 1).is_empty() {
         return None;
     }
@@ -450,17 +487,13 @@ mod tests {
 
     #[test]
     fn binary_search_matches_linear_scan() {
-        let cases: Vec<Hypergraph> = vec![
-            fan(),
-            triangle_like(),
-            {
-                let mut b = HypergraphBuilder::new(8);
-                for s in 0..8u32 {
-                    b.add_edge([s, (s + 1) % 8, (s + 2) % 8]);
-                }
-                b.build()
-            },
-        ];
+        let cases: Vec<Hypergraph> = vec![fan(), triangle_like(), {
+            let mut b = HypergraphBuilder::new(8);
+            for s in 0..8u32 {
+                b.add_edge([s, (s + 1) % 8, (s + 2) % 8]);
+            }
+            b.build()
+        }];
         for h in &cases {
             let a = max_core(h).unwrap();
             let b = max_core_linear(h).unwrap();

@@ -53,6 +53,7 @@ pub mod cover_dual;
 pub mod degree;
 pub mod dual;
 pub mod generalized;
+pub mod hash;
 pub mod hypergraph;
 pub mod io;
 pub mod kcore;

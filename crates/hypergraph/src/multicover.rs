@@ -38,6 +38,7 @@ pub fn greedy_multicover(
     weight: impl Fn(VertexId) -> f64,
     requirement: impl Fn(EdgeId) -> u32,
 ) -> Result<CoverResult, CoverError> {
+    let _span = hgobs::Span::enter("cover.multicover");
     let weights: Vec<f64> = h.vertices().map(&weight).collect();
     for v in h.vertices() {
         let w = weights[v.index()];
@@ -59,12 +60,7 @@ pub fn greedy_multicover(
     let mut remaining = active.iter().filter(|&&a| a).count();
     let mut useful: Vec<u32> = h
         .vertices()
-        .map(|v| {
-            h.edges_of(v)
-                .iter()
-                .filter(|f| active[f.index()])
-                .count() as u32
-        })
+        .map(|v| h.edges_of(v).iter().filter(|f| active[f.index()]).count() as u32)
         .collect();
     let mut in_cover = vec![false; h.num_vertices()];
 
@@ -120,6 +116,7 @@ pub fn greedy_multicover(
         }
     }
 
+    hgobs::counter!("cover.multicover_picks", result.iterations);
     Ok(result)
 }
 
@@ -210,8 +207,7 @@ mod tests {
         // Make vertex 1 prohibitively expensive: cover {0,2} suffices for
         // requirement 1 everywhere.
         let h = triangle_edges();
-        let mc =
-            greedy_multicover(&h, |v| if v.0 == 1 { 100.0 } else { 1.0 }, |_| 1).unwrap();
+        let mc = greedy_multicover(&h, |v| if v.0 == 1 { 100.0 } else { 1.0 }, |_| 1).unwrap();
         assert!(is_multicover(&h, &mc.vertices, |_| 1));
         assert!(!mc.vertices.contains(&VertexId(1)));
     }

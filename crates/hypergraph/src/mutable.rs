@@ -310,7 +310,10 @@ mod tests {
         let (h, vmap, emap) = m.freeze();
         assert_eq!(h.num_vertices(), 4);
         assert_eq!(h.num_edges(), 2);
-        assert_eq!(vmap, vec![VertexId(1), VertexId(2), VertexId(3), VertexId(4)]);
+        assert_eq!(
+            vmap,
+            vec![VertexId(1), VertexId(2), VertexId(3), VertexId(4)]
+        );
         assert_eq!(emap, vec![EdgeId(0), EdgeId(1)]);
         crate::validate::check_structure(&h).unwrap();
         // e0 was {0,1,2}, now {1,2} -> frozen pins {0,1} in new ids.
@@ -346,10 +349,7 @@ mod tests {
 
         let mut m = MutableHypergraph::from_hypergraph(&h);
         loop {
-            let doomed: Vec<VertexId> = m
-                .vertices()
-                .filter(|&v| m.vertex_degree(v) < k)
-                .collect();
+            let doomed: Vec<VertexId> = m.vertices().filter(|&v| m.vertex_degree(v) < k).collect();
             if doomed.is_empty() {
                 break;
             }

@@ -45,8 +45,7 @@ pub fn naive_kcore(h: &Hypergraph, k: u32) -> (Vec<VertexId>, Vec<EdgeId>) {
                         return false;
                     }
                     let Some(sg) = sg else { return false };
-                    (sg.len() > sf.len() || (sg.len() == sf.len() && g < f))
-                        && sf.is_subset(sg)
+                    (sg.len() > sf.len() || (sg.len() == sf.len() && g < f)) && sf.is_subset(sg)
                 });
             if non_maximal {
                 alive_e[f] = false;
@@ -59,11 +58,7 @@ pub fn naive_kcore(h: &Hypergraph, k: u32) -> (Vec<VertexId>, Vec<EdgeId>) {
             if !alive_v[v.index()] {
                 continue;
             }
-            let deg = h
-                .edges_of(v)
-                .iter()
-                .filter(|f| alive_e[f.index()])
-                .count() as u32;
+            let deg = h.edges_of(v).iter().filter(|f| alive_e[f.index()]).count() as u32;
             if deg < k {
                 alive_v[v.index()] = false;
                 changed = true;
@@ -90,7 +85,10 @@ pub fn naive_kcore(h: &Hypergraph, k: u32) -> (Vec<VertexId>, Vec<EdgeId>) {
 /// tiny instances (`num_vertices ≤ 20`). Returns `None` when no cover
 /// exists (some hyperedge is empty). Ties are broken toward fewer
 /// vertices, then lexicographically smallest vertex set.
-pub fn exhaustive_min_cover(h: &Hypergraph, weight: impl Fn(VertexId) -> f64) -> Option<Vec<VertexId>> {
+pub fn exhaustive_min_cover(
+    h: &Hypergraph,
+    weight: impl Fn(VertexId) -> f64,
+) -> Option<Vec<VertexId>> {
     let n = h.num_vertices();
     assert!(n <= 20, "exhaustive cover limited to 20 vertices");
     if h.edges().any(|f| h.edge_degree(f) == 0) {
@@ -99,9 +97,9 @@ pub fn exhaustive_min_cover(h: &Hypergraph, weight: impl Fn(VertexId) -> f64) ->
 
     let mut best: Option<(f64, u32, Vec<VertexId>)> = None;
     for mask in 0u32..(1 << n) {
-        let covers_all = h.edges().all(|f| {
-            h.pins(f).iter().any(|v| mask & (1 << v.0) != 0)
-        });
+        let covers_all = h
+            .edges()
+            .all(|f| h.pins(f).iter().any(|v| mask & (1 << v.0) != 0));
         if !covers_all {
             continue;
         }
@@ -115,7 +113,8 @@ pub fn exhaustive_min_cover(h: &Hypergraph, weight: impl Fn(VertexId) -> f64) ->
             None => true,
             Some((bw, bc, bm)) => {
                 w < *bw - 1e-12
-                    || ((w - *bw).abs() <= 1e-12 && (count < *bc || (count == *bc && members < *bm)))
+                    || ((w - *bw).abs() <= 1e-12
+                        && (count < *bc || (count == *bc && members < *bm)))
             }
         };
         if better {

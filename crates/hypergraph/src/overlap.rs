@@ -10,8 +10,7 @@
 //! length-two path in `B(H)`); `Δ₂,F` is the maximum over all hyperedges.
 //! These drive the complexity bound `O(|E|(Δ₂,F + Δ_V ln Δ₂,F))`.
 
-use std::collections::HashMap;
-
+use crate::hash::DetMap;
 use crate::hypergraph::{EdgeId, Hypergraph, VertexId};
 
 /// Symmetric table of nonzero pairwise hyperedge overlaps.
@@ -19,7 +18,9 @@ use crate::hypergraph::{EdgeId, Hypergraph, VertexId};
 pub struct OverlapTable {
     /// `table[f]` maps `g` (raw id) to `|f ∩ g|`, for every `g ≠ f` with a
     /// nonzero overlap. Symmetric: `g ∈ table[f] ⇔ f ∈ table[g]`.
-    table: Vec<HashMap<u32, u32>>,
+    /// Deterministic hashing keeps scan order — and the work counters
+    /// derived from it — identical across runs.
+    table: Vec<DetMap<u32, u32>>,
 }
 
 impl OverlapTable {
@@ -27,16 +28,20 @@ impl OverlapTable {
     /// adjacency list: `O(Σ_v d(v)²)` expected time with hash maps
     /// (the paper uses balanced trees for a worst-case log factor).
     pub fn build(h: &Hypergraph) -> Self {
-        let mut table: Vec<HashMap<u32, u32>> = vec![HashMap::new(); h.num_edges()];
+        let _span = hgobs::Span::enter("overlap.build");
+        let mut pairs: u64 = 0;
+        let mut table: Vec<DetMap<u32, u32>> = vec![DetMap::default(); h.num_edges()];
         for v in h.vertices() {
             let adj = h.edges_of(v);
             for (i, &f) in adj.iter().enumerate() {
                 for &g in &adj[i + 1..] {
+                    pairs += 1;
                     *table[f.index()].entry(g.0).or_insert(0) += 1;
                     *table[g.index()].entry(f.0).or_insert(0) += 1;
                 }
             }
         }
+        hgobs::counter!("overlap.pairs", pairs);
         OverlapTable { table }
     }
 
@@ -67,7 +72,7 @@ impl OverlapTable {
 
     /// Consume into the raw per-edge overlap maps (used by the k-core
     /// peeling, which mutates them in place as vertices are deleted).
-    pub(crate) fn into_maps(self) -> Vec<HashMap<u32, u32>> {
+    pub(crate) fn into_maps(self) -> Vec<DetMap<u32, u32>> {
         self.table
     }
 }

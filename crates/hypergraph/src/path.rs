@@ -40,7 +40,37 @@ pub fn hyper_distances(h: &Hypergraph, source: VertexId) -> Vec<u32> {
             }
         }
     }
+    hgobs::counter!("bfs.sources");
+    if hgobs::enabled() {
+        record_bfs_shape(&dist);
+    }
     dist
+}
+
+/// Record eccentricity and per-level frontier-size histograms for one BFS.
+/// Kept out of line so the common disabled path pays only the `enabled()`
+/// check at the call site.
+#[cold]
+fn record_bfs_shape(dist: &[u32]) {
+    let ecc = dist
+        .iter()
+        .copied()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0);
+    hgobs::hist!("bfs.eccentricity", ecc);
+    if ecc == 0 {
+        return;
+    }
+    let mut level_counts = vec![0u64; ecc as usize + 1];
+    for &d in dist {
+        if d != UNREACHABLE {
+            level_counts[d as usize] += 1;
+        }
+    }
+    for &c in &level_counts[1..] {
+        hgobs::hist!("bfs.frontier", c);
+    }
 }
 
 /// Aggregate vertex-pair distance statistics (paper §2).
@@ -63,6 +93,8 @@ pub fn hyper_distance_stats(h: &Hypergraph) -> HyperDistanceStats {
 /// Statistics restricted to BFS sources chosen by the caller (sampling
 /// for large hypergraphs; diameter becomes a lower bound).
 pub fn hyper_distance_stats_from(h: &Hypergraph, sources: &[VertexId]) -> HyperDistanceStats {
+    let _span = hgobs::Span::enter("bfs.sweep");
+    hgobs::counter!("bfs.sources", sources.len());
     let mut diameter = 0u32;
     let mut total = 0u128;
     let mut pairs = 0u64;
@@ -90,6 +122,9 @@ pub fn hyper_distance_stats_from(h: &Hypergraph, sources: &[VertexId]) -> HyperD
                     }
                 }
             }
+        }
+        if hgobs::enabled() {
+            record_bfs_shape(&dist);
         }
         for (v, &d) in dist.iter().enumerate() {
             if d != UNREACHABLE && v != s.index() {
@@ -184,7 +219,10 @@ mod tests {
     fn sampled_equals_exact_with_all_sources() {
         let h = chain();
         let all: Vec<_> = h.vertices().collect();
-        assert_eq!(hyper_distance_stats(&h), hyper_distance_stats_from(&h, &all));
+        assert_eq!(
+            hyper_distance_stats(&h),
+            hyper_distance_stats_from(&h, &all)
+        );
     }
 
     #[test]

@@ -102,10 +102,15 @@ mod tests {
     #[test]
     fn exact_power_law_recovered() {
         // P(d) = 1000 d^-2 at d = 1..=10, rounded to integers.
-        let mut hist = vec![0usize; 11];
-        for d in 1..=10usize {
-            hist[d] = (1000.0 / (d * d) as f64).round() as usize;
-        }
+        let hist: Vec<usize> = (0..=10usize)
+            .map(|d| {
+                if d == 0 {
+                    0
+                } else {
+                    (1000.0 / (d * d) as f64).round() as usize
+                }
+            })
+            .collect();
         let fit = fit_power_law(&hist).unwrap();
         assert!((fit.gamma - 2.0).abs() < 0.05, "gamma = {}", fit.gamma);
         assert!((fit.log10_c - 3.0).abs() < 0.05);
@@ -159,14 +164,24 @@ mod tests {
     fn noisy_exponential_fits_worse_than_power_law() {
         // Exponential decay P(d) = 1000 * 0.5^d is convex on log-log; its
         // linear fit R² must be worse than for a true power law.
-        let mut exp_hist = vec![0usize; 12];
-        for d in 1..=11usize {
-            exp_hist[d] = (1000.0 * 0.5f64.powi(d as i32)).round() as usize;
-        }
-        let mut pl_hist = vec![0usize; 12];
-        for d in 1..=11usize {
-            pl_hist[d] = (1000.0 * (d as f64).powf(-2.5)).round().max(1.0) as usize;
-        }
+        let exp_hist: Vec<usize> = (0..=11usize)
+            .map(|d| {
+                if d == 0 {
+                    0
+                } else {
+                    (1000.0 * 0.5f64.powi(d as i32)).round() as usize
+                }
+            })
+            .collect();
+        let pl_hist: Vec<usize> = (0..=11usize)
+            .map(|d| {
+                if d == 0 {
+                    0
+                } else {
+                    (1000.0 * (d as f64).powf(-2.5)).round().max(1.0) as usize
+                }
+            })
+            .collect();
         let exp_fit = fit_power_law(&exp_hist).unwrap();
         let pl_fit = fit_power_law(&pl_hist).unwrap();
         assert!(pl_fit.r_squared > exp_fit.r_squared);

@@ -100,9 +100,7 @@ pub struct SpaceReport {
 /// Build all projections and measure their storage.
 pub fn space_report(h: &Hypergraph) -> SpaceReport {
     let clique = clique_expansion(h);
-    let star = star_expansion(h, |f| {
-        h.pins(f).first().copied().unwrap_or(VertexId(0))
-    });
+    let star = star_expansion(h, |f| h.pins(f).first().copied().unwrap_or(VertexId(0)));
     let (inter, _) = intersection_graph(h);
     SpaceReport {
         hypergraph_bytes: h.storage_bytes(),

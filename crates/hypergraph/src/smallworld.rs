@@ -9,9 +9,9 @@
 //! rather than eyeballed.
 
 use crate::hypergraph::Hypergraph;
+use crate::hypergraph::VertexId;
 use crate::overlap::d2_vertex;
 use crate::path::{hyper_distance_stats, hyper_distance_stats_from, HyperDistanceStats};
-use crate::hypergraph::VertexId;
 
 /// Small-world summary of a hypergraph.
 #[derive(Clone, Copy, Debug, PartialEq)]

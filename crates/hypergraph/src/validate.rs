@@ -28,7 +28,9 @@ pub fn check_structure(h: &Hypergraph) -> Result<(), StructureError> {
         let pins = h.pins(f);
         pin_total += pins.len();
         if !pins.windows(2).all(|w| w[0] < w[1]) {
-            return Err(StructureError(format!("pins of {f:?} unsorted or duplicated")));
+            return Err(StructureError(format!(
+                "pins of {f:?} unsorted or duplicated"
+            )));
         }
         if let Some(v) = pins.iter().find(|v| v.index() >= n) {
             return Err(StructureError(format!("pin {v:?} of {f:?} out of range")));

@@ -16,7 +16,11 @@ use hypergraph::{
 
 /// Random hypergraph: up to `max_v` vertices, up to `max_e` edges of
 /// size 0..=max_size (so empty and duplicate edges do occur).
-fn arb_hypergraph(max_v: usize, max_e: usize, max_size: usize) -> impl Strategy<Value = Hypergraph> {
+fn arb_hypergraph(
+    max_v: usize,
+    max_e: usize,
+    max_size: usize,
+) -> impl Strategy<Value = Hypergraph> {
     (1..=max_v).prop_flat_map(move |n| {
         proptest::collection::vec(
             proptest::collection::vec(0..n as u32, 0..=max_size),
@@ -35,7 +39,11 @@ fn arb_hypergraph(max_v: usize, max_e: usize, max_size: usize) -> impl Strategy<
 /// Pin-sets of selected edges, restricted to `alive` vertices, as a
 /// sorted multiset of sorted vertex lists. Restriction matters: a
 /// surviving edge's effective content excludes peeled vertices.
-fn edge_contents(h: &Hypergraph, edges: &[hypergraph::EdgeId], alive: &[VertexId]) -> Vec<Vec<u32>> {
+fn edge_contents(
+    h: &Hypergraph,
+    edges: &[hypergraph::EdgeId],
+    alive: &[VertexId],
+) -> Vec<Vec<u32>> {
     let alive: std::collections::HashSet<u32> = alive.iter().map(|v| v.0).collect();
     let mut out: Vec<Vec<u32>> = edges
         .iter()

@@ -38,7 +38,10 @@ pub fn parse_mtx(text: &str) -> Result<CoordMatrix, MtxError> {
         return Err(err(format!("unsupported object `{}`", fields[1])));
     }
     if fields[2] != "coordinate" {
-        return Err(err(format!("unsupported format `{}` (only coordinate)", fields[2])));
+        return Err(err(format!(
+            "unsupported format `{}` (only coordinate)",
+            fields[2]
+        )));
     }
     let field = fields[3].as_str();
     let values_per_entry = match field {
@@ -105,7 +108,9 @@ pub fn parse_mtx(text: &str) -> Result<CoordMatrix, MtxError> {
             .parse()
             .map_err(|e| err(format!("bad column index: {e}")))?;
         if r == 0 || c == 0 || r > nrows || c > ncols {
-            return Err(err(format!("entry ({r}, {c}) out of 1..={nrows} x 1..={ncols}")));
+            return Err(err(format!(
+                "entry ({r}, {c}) out of 1..={nrows} x 1..={ncols}"
+            )));
         }
         let v = match values_per_entry {
             0 => 1.0,
@@ -198,8 +203,12 @@ mod tests {
     fn errors() {
         assert!(parse_mtx("").is_err());
         assert!(parse_mtx("%%MatrixMarket matrix array real general\n").is_err());
-        assert!(parse_mtx("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n").is_err());
-        assert!(parse_mtx("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n").is_err());
+        assert!(
+            parse_mtx("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n").is_err()
+        );
+        assert!(
+            parse_mtx("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n").is_err()
+        );
         assert!(
             parse_mtx("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1\n2 2 1\n")
                 .is_err()

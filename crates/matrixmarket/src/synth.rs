@@ -77,8 +77,7 @@ pub fn stiffness_3d(nx: usize, ny: usize, nz: usize) -> CoordMatrix {
                 for dz in -1i64..=1 {
                     for dy in -1i64..=1 {
                         for dx in -1i64..=1 {
-                            let (xx, yy, zz) =
-                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                             if xx < 0
                                 || yy < 0
                                 || zz < 0
@@ -88,7 +87,11 @@ pub fn stiffness_3d(nx: usize, ny: usize, nz: usize) -> CoordMatrix {
                             {
                                 continue;
                             }
-                            let v = if dx == 0 && dy == 0 && dz == 0 { 26.0 } else { -1.0 };
+                            let v = if dx == 0 && dy == 0 && dz == 0 {
+                                26.0
+                            } else {
+                                -1.0
+                            };
                             t.push((i, idx(xx as usize, yy as usize, zz as usize), v));
                         }
                     }
@@ -166,7 +169,7 @@ mod tests {
     fn fem_mesh_row_degrees_bounded_by_stencil() {
         let m = fem_mesh_2d(10, 10, 0.0, 0);
         let counts = m.row_counts();
-        assert!(counts.iter().all(|&c| c <= 9 && c >= 4));
+        assert!(counts.iter().all(|&c| (4..=9).contains(&c)));
         // Interior nodes see the full 9-point stencil.
         assert_eq!(counts[5 * 10 + 5], 9);
     }

@@ -6,17 +6,15 @@ use matrixmarket::{column_net, parse_mtx, row_net, write_mtx, CoordMatrix};
 
 fn arb_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CoordMatrix> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(move |(r, c)| {
-        proptest::collection::vec(
-            (0..r as u32, 0..c as u32, -100i32..100),
-            0..=max_nnz,
+        proptest::collection::vec((0..r as u32, 0..c as u32, -100i32..100), 0..=max_nnz).prop_map(
+            move |trip| {
+                CoordMatrix::from_triplets(
+                    r,
+                    c,
+                    trip.into_iter().map(|(i, j, v)| (i, j, v as f64)).collect(),
+                )
+            },
         )
-        .prop_map(move |trip| {
-            CoordMatrix::from_triplets(
-                r,
-                c,
-                trip.into_iter().map(|(i, j, v)| (i, j, v as f64)).collect(),
-            )
-        })
     })
 }
 

@@ -6,7 +6,7 @@
 use rayon::prelude::*;
 
 use hypergraph::path::UNREACHABLE;
-use hypergraph::{Hypergraph, HyperDistanceStats, VertexId};
+use hypergraph::{HyperDistanceStats, Hypergraph, VertexId};
 
 /// Parallel exact distance statistics (diameter, average path length)
 /// over all reachable ordered vertex pairs.
@@ -16,10 +16,8 @@ pub fn par_hyper_distance_stats(h: &Hypergraph) -> HyperDistanceStats {
 }
 
 /// Parallel distance statistics from the given BFS sources.
-pub fn par_hyper_distance_stats_from(
-    h: &Hypergraph,
-    sources: &[VertexId],
-) -> HyperDistanceStats {
+pub fn par_hyper_distance_stats_from(h: &Hypergraph, sources: &[VertexId]) -> HyperDistanceStats {
+    let _span = hgobs::Span::enter("bfs.par.sweep");
     let (diameter, total, pairs) = sources
         .par_iter()
         .fold(

@@ -14,6 +14,7 @@ use rayon::prelude::*;
 /// (the `peel_order` is level-grouped rather than strictly sorted by
 /// degree-at-removal within a level).
 pub fn par_core_decomposition(g: &Graph) -> CoreDecomposition {
+    let _span = hgobs::Span::enter("graph.kcore.par");
     let n = g.num_nodes();
     if n == 0 {
         return CoreDecomposition {
@@ -44,18 +45,14 @@ pub fn par_core_decomposition(g: &Graph) -> CoreDecomposition {
                     core[v as usize].load(Ordering::Relaxed) == u32::MAX
                         && deg[v as usize].load(Ordering::Relaxed) <= k
                         && core[v as usize]
-                            .compare_exchange(
-                                u32::MAX,
-                                k,
-                                Ordering::AcqRel,
-                                Ordering::Relaxed,
-                            )
+                            .compare_exchange(u32::MAX, k, Ordering::AcqRel, Ordering::Relaxed)
                             .is_ok()
                 })
                 .collect();
             if frontier.is_empty() {
                 break;
             }
+            hgobs::hist!("graph.kcore.par.frontier", frontier.len());
             frontier.par_iter().for_each(|&v| {
                 for &w in g.neighbors(NodeId(v)) {
                     if core[w.index()].load(Ordering::Relaxed) == u32::MAX {
@@ -68,6 +65,7 @@ pub fn par_core_decomposition(g: &Graph) -> CoreDecomposition {
         }
         k += 1;
     }
+    hgobs::counter!("graph.kcore.par.levels", k);
 
     let core: Vec<u32> = core.into_iter().map(|c| c.into_inner()).collect();
     let max_core = core.iter().copied().max().unwrap_or(0);

@@ -42,7 +42,9 @@ impl<'h> State<'h> {
     fn new(h: &'h Hypergraph) -> Self {
         State {
             h,
-            alive_v: (0..h.num_vertices()).map(|_| AtomicBool::new(true)).collect(),
+            alive_v: (0..h.num_vertices())
+                .map(|_| AtomicBool::new(true))
+                .collect(),
             alive_e: (0..h.num_edges()).map(|_| AtomicBool::new(true)).collect(),
             deg_v: h
                 .vertices()
@@ -124,11 +126,14 @@ fn is_alive_subset(s: &State<'_>, f: usize, g: usize) -> bool {
 /// Parallel k-core (level-synchronous). See the module docs for the
 /// algorithm and its equivalence to the sequential version.
 pub fn par_hypergraph_kcore(h: &Hypergraph, k: u32) -> KCore {
+    let _span = hgobs::Span::enter("kcore.par");
     let s = State::new(h);
+    let mut rounds: u64 = 0;
 
     // Initial edge phase: reduce the input (all edges are "affected").
     let mut affected: Vec<u32> = (0..h.num_edges() as u32).collect();
     loop {
+        rounds += 1;
         // ---- edge phase: delete non-maximal affected edges ----
         let dead_edges: Vec<u32> = affected
             .par_iter()
@@ -153,10 +158,9 @@ pub fn par_hypergraph_kcore(h: &Hypergraph, k: u32) -> KCore {
         // ---- vertex phase: peel everything under the threshold ----
         let frontier: Vec<u32> = (0..h.num_vertices() as u32)
             .into_par_iter()
-            .filter(|&v| {
-                s.v_alive(v as usize) && s.deg_v[v as usize].load(Ordering::Relaxed) < k
-            })
+            .filter(|&v| s.v_alive(v as usize) && s.deg_v[v as usize].load(Ordering::Relaxed) < k)
             .collect();
+        hgobs::hist!("kcore.par.frontier", frontier.len());
         if frontier.is_empty() && dead_edges.is_empty() {
             break;
         }
@@ -201,8 +205,17 @@ pub fn par_hypergraph_kcore(h: &Hypergraph, k: u32) -> KCore {
         affected = next_affected;
     }
 
-    let keep_v: Vec<bool> = s.alive_v.iter().map(|a| a.load(Ordering::Acquire)).collect();
-    let keep_e: Vec<bool> = s.alive_e.iter().map(|a| a.load(Ordering::Acquire)).collect();
+    hgobs::counter!("kcore.par.rounds", rounds);
+    let keep_v: Vec<bool> = s
+        .alive_v
+        .iter()
+        .map(|a| a.load(Ordering::Acquire))
+        .collect();
+    let keep_e: Vec<bool> = s
+        .alive_e
+        .iter()
+        .map(|a| a.load(Ordering::Acquire))
+        .collect();
     let (sub, vertices, edges) = h.sub_hypergraph(&keep_v, &keep_e, false);
     KCore {
         k,
@@ -216,6 +229,7 @@ pub fn par_hypergraph_kcore(h: &Hypergraph, k: u32) -> KCore {
 /// doubling + binary search over `k` as [`hypergraph::max_core`]
 /// (k-cores are nested, so non-emptiness is monotone in `k`).
 pub fn par_max_core(h: &Hypergraph) -> Option<KCore> {
+    let _span = hgobs::Span::enter("kcore.par.max_core_search");
     if par_hypergraph_kcore(h, 1).is_empty() {
         return None;
     }
@@ -246,8 +260,7 @@ mod tests {
     use hypergraph::{hypergraph_kcore, HypergraphBuilder};
 
     fn contents(h: &Hypergraph, core: &KCore) -> Vec<Vec<u32>> {
-        let alive: std::collections::HashSet<u32> =
-            core.vertices.iter().map(|v| v.0).collect();
+        let alive: std::collections::HashSet<u32> = core.vertices.iter().map(|v| v.0).collect();
         let mut out: Vec<Vec<u32>> = core
             .edges
             .iter()

@@ -8,13 +8,14 @@
 
 use rayon::prelude::*;
 
-use hypergraph::{EdgeId, Hypergraph};
 #[cfg(test)]
 use hypergraph::OverlapTable;
+use hypergraph::{EdgeId, Hypergraph};
 
 /// All nonzero pairwise overlaps as sorted `(f, g, count)` triples with
 /// `f < g`.
 pub fn par_overlap_table(h: &Hypergraph) -> Vec<(EdgeId, EdgeId, u32)> {
+    let _span = hgobs::Span::enter("overlap.par.build");
     let mut pairs: Vec<(u32, u32)> = h
         .vertices()
         .collect::<Vec<_>>()
@@ -30,6 +31,7 @@ pub fn par_overlap_table(h: &Hypergraph) -> Vec<(EdgeId, EdgeId, u32)> {
             local
         })
         .collect();
+    hgobs::counter!("overlap.par.pairs", pairs.len());
     pairs.par_sort_unstable();
 
     let mut out: Vec<(EdgeId, EdgeId, u32)> = Vec::new();

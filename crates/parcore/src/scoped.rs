@@ -8,7 +8,7 @@
 //! small. Results are identical either way, which the tests pin down.
 
 use hypergraph::path::UNREACHABLE;
-use hypergraph::{Hypergraph, HyperDistanceStats, VertexId};
+use hypergraph::{HyperDistanceStats, Hypergraph, VertexId};
 
 /// Distance statistics via `threads` scoped OS threads, each sweeping a
 /// static chunk of BFS sources. Matches
@@ -57,9 +57,9 @@ pub fn scoped_hyper_distance_stats(h: &Hypergraph, threads: usize) -> HyperDista
     })
     .expect("scope");
 
-    let (diameter, total, pairs) = partials
-        .into_iter()
-        .fold((0u32, 0u128, 0u64), |a, b| (a.0.max(b.0), a.1 + b.1, a.2 + b.2));
+    let (diameter, total, pairs) = partials.into_iter().fold((0u32, 0u128, 0u64), |a, b| {
+        (a.0.max(b.0), a.1 + b.1, a.2 + b.2)
+    });
     HyperDistanceStats {
         diameter,
         average_path_length: if pairs == 0 {

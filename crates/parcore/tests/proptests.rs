@@ -9,7 +9,11 @@ use parcore::{
     scoped_hyper_distance_stats,
 };
 
-fn arb_hypergraph(max_v: usize, max_e: usize, max_size: usize) -> impl Strategy<Value = Hypergraph> {
+fn arb_hypergraph(
+    max_v: usize,
+    max_e: usize,
+    max_size: usize,
+) -> impl Strategy<Value = Hypergraph> {
     (1..=max_v).prop_flat_map(move |n| {
         proptest::collection::vec(
             proptest::collection::vec(0..n as u32, 0..=max_size),

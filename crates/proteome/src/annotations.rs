@@ -63,8 +63,7 @@ fn chance(seed: u64, v: u64, salt: u64, p_num: u64, p_den: u64) -> bool {
 pub fn annotate(ds: &CellzomeDataset, seed: u64) -> Vec<ProteinAnnotation> {
     let n = ds.hypergraph.num_vertices();
     let mut out = Vec::with_capacity(n);
-    let core: std::collections::HashSet<u32> =
-        ds.core_proteins.iter().map(|v| v.0).collect();
+    let core: std::collections::HashSet<u32> = ds.core_proteins.iter().map(|v| v.0).collect();
 
     for v in 0..n as u32 {
         if core.contains(&v) {
@@ -74,7 +73,7 @@ pub fn annotate(ds: &CellzomeDataset, seed: u64) -> Vec<ProteinAnnotation> {
                 .core_proteins
                 .iter()
                 .position(|&c| c.0 == v)
-                .expect("core member") as usize;
+                .expect("core member");
             // Ranks 0..32 known, 32..41 unknown.
             let known = rank < CORE_KNOWN;
             // Among known: first 22 essential.
@@ -128,12 +127,8 @@ pub struct AnnotationSummary {
 }
 
 /// Compute the §3 summary for a core (any vertex subset).
-pub fn core_summary(
-    annotations: &[ProteinAnnotation],
-    core: &[VertexId],
-) -> AnnotationSummary {
-    let core_ann: Vec<&ProteinAnnotation> =
-        core.iter().map(|v| &annotations[v.index()]).collect();
+pub fn core_summary(annotations: &[ProteinAnnotation], core: &[VertexId]) -> AnnotationSummary {
+    let core_ann: Vec<&ProteinAnnotation> = core.iter().map(|v| &annotations[v.index()]).collect();
     let core_unknown = core_ann.iter().filter(|a| !a.known).count();
     let core_known = core_ann.len() - core_unknown;
     let core_known_essential = core_ann.iter().filter(|a| a.known && a.essential).count();

@@ -9,9 +9,7 @@
 //! * 2-multicover (each complex twice, singletons excluded): 558 baits of
 //!   average degree ≈ 1.74 covering the 229 non-singleton complexes.
 
-use hypergraph::{
-    greedy_multicover, greedy_vertex_cover, CoverResult, EdgeId, VertexId,
-};
+use hypergraph::{greedy_multicover, greedy_vertex_cover, CoverResult, EdgeId, VertexId};
 
 use crate::cellzome::CellzomeDataset;
 
@@ -108,8 +106,14 @@ mod tests {
     #[test]
     fn covers_are_valid() {
         let (ds, r) = report();
-        assert!(is_vertex_cover(&ds.hypergraph, &r.unweighted.cover.vertices));
-        assert!(is_vertex_cover(&ds.hypergraph, &r.degree_squared.cover.vertices));
+        assert!(is_vertex_cover(
+            &ds.hypergraph,
+            &r.unweighted.cover.vertices
+        ));
+        assert!(is_vertex_cover(
+            &ds.hypergraph,
+            &r.degree_squared.cover.vertices
+        ));
         let singles: std::collections::HashSet<u32> =
             ds.singleton_complexes.iter().map(|f| f.0).collect();
         assert!(is_multicover(

@@ -138,7 +138,12 @@ fn build_core_block(seed: u64) -> Vec<Vec<u32>> {
         // Pick the 6 complexes with the largest remaining capacity,
         // hashed tie-break so contents are diverse.
         let mut order: Vec<usize> = (0..54).collect();
-        order.sort_by_key(|&c| (std::cmp::Reverse(caps[c]), mix(seed ^ ((p as u64) << 16) ^ c as u64)));
+        order.sort_by_key(|&c| {
+            (
+                std::cmp::Reverse(caps[c]),
+                mix(seed ^ ((p as u64) << 16) ^ c as u64),
+            )
+        });
         let chosen = &order[..6];
         assert!(
             chosen.iter().all(|&c| caps[c] > 0),
@@ -294,7 +299,7 @@ pub fn cellzome_like(seed: u64) -> CellzomeDataset {
     // a protein may appear in several groups sharing an anchor.
     let mut remaining = extras.clone();
     let mut group: Vec<Vec<u32>> = vec![Vec::new(); N_PERIPHERY_C];
-    for j in 0..N_HUB_PERIPHERY {
+    for (j, slot) in group.iter_mut().enumerate().take(N_HUB_PERIPHERY) {
         let best = (0..54)
             .max_by_key(|&c| {
                 let cap = block[c].len() - 1;
@@ -327,10 +332,10 @@ pub fn cellzome_like(seed: u64) -> CellzomeDataset {
             .collect();
         candidates.sort_by_key(|&p| (std::cmp::Reverse(remaining[p as usize]), p));
         for &p in candidates.iter().take(cap) {
-            group[j].push(p);
+            slot.push(p);
             remaining[p as usize] -= 1;
         }
-        group[j].sort_unstable();
+        slot.sort_unstable();
     }
     assert!(
         remaining.iter().all(|&r| r == 0),
@@ -512,10 +517,7 @@ mod tests {
         assert_eq!(hist.len() - 1, CELLZOME_MAX_DEGREE);
         assert_eq!(hist[CELLZOME_MAX_DEGREE], 1);
         // The unique max-degree protein is ADH1 (vertex 0).
-        assert_eq!(
-            d.hypergraph.vertex_degree(VertexId(0)),
-            CELLZOME_MAX_DEGREE
-        );
+        assert_eq!(d.hypergraph.vertex_degree(VertexId(0)), CELLZOME_MAX_DEGREE);
     }
 
     #[test]
@@ -549,7 +551,11 @@ mod tests {
             "gamma = {} (paper: 2.528)",
             fit.gamma
         );
-        assert!(fit.r_squared > 0.93, "R² = {} (paper: 0.963)", fit.r_squared);
+        assert!(
+            fit.r_squared > 0.93,
+            "R² = {} (paper: 0.963)",
+            fit.r_squared
+        );
         assert!(
             (2.8..=3.5).contains(&fit.log10_c),
             "log c = {} (paper: 3.161)",

@@ -272,7 +272,13 @@ mod tests {
     #[test]
     fn noisy_run_still_recovers_most() {
         let h = toy();
-        let baits = [VertexId(0), VertexId(1), VertexId(4), VertexId(5), VertexId(7)];
+        let baits = [
+            VertexId(0),
+            VertexId(1),
+            VertexId(4),
+            VertexId(5),
+            VertexId(7),
+        ];
         let cfg = TapConfig {
             reproducibility: 0.9,
             detection: 0.9,

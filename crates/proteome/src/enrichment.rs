@@ -40,7 +40,12 @@ fn ln_factorial_table(n: usize) -> Vec<f64> {
 ///
 /// # Panics
 /// If `K > N`, `n > N`, or `k > n`.
-pub fn hypergeometric_tail(n_population: u64, k_successes: u64, n_draws: u64, k_observed: u64) -> f64 {
+pub fn hypergeometric_tail(
+    n_population: u64,
+    k_successes: u64,
+    n_draws: u64,
+    k_observed: u64,
+) -> f64 {
     assert!(k_successes <= n_population, "K > N");
     assert!(n_draws <= n_population, "n > N");
     assert!(k_observed <= n_draws, "k > n");

@@ -24,7 +24,9 @@ pub mod tap;
 pub use annotations::{annotate, AnnotationSummary, ProteinAnnotation};
 pub use baits::{bait_selection_report, BaitSelectionReport, CELLZOME_BAITS};
 pub use cellzome::{cellzome_like, CellzomeDataset, CELLZOME_SEED};
-pub use consensus::{consensus_complexes, score_reconstruction, ConsensusComplex, ReconstructionReport};
+pub use consensus::{
+    consensus_complexes, score_reconstruction, ConsensusComplex, ReconstructionReport,
+};
 pub use dip::{dip_fly_like, dip_yeast_like};
 pub use enrichment::{hypergeometric_tail, EnrichmentResult};
 pub use fig2::fig2_graph;

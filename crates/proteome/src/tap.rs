@@ -75,12 +75,7 @@ impl TapRun {
 /// belongs to; attempts succeed with probability `reproducibility`;
 /// members of successful pull-downs are detected independently with
 /// probability `detection`. Deterministic in `seed`.
-pub fn run_tap(
-    h: &Hypergraph,
-    baits: &[VertexId],
-    cfg: TapConfig,
-    seed: u64,
-) -> TapRun {
+pub fn run_tap(h: &Hypergraph, baits: &[VertexId], cfg: TapConfig, seed: u64) -> TapRun {
     assert!((0.0..=1.0).contains(&cfg.reproducibility));
     assert!((0.0..=1.0).contains(&cfg.detection));
     let mut rng = StdRng::seed_from_u64(seed);

@@ -37,7 +37,7 @@ proptest! {
         let k_obs = (n_draw as f64 * frac_obs) as u64;
         let p = hypergeometric_tail(n_pop, k_succ, n_draw, k_obs);
         prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
-        if k_obs + 1 <= n_draw {
+        if k_obs < n_draw {
             let p2 = hypergeometric_tail(n_pop, k_succ, n_draw, k_obs + 1);
             prop_assert!(p2 <= p + 1e-12, "tail not monotone: {p2} > {p}");
         }

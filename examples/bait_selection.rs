@@ -56,14 +56,9 @@ fn main() {
     // An expert can override weights entirely — e.g. forbid a protein by
     // making it very expensive.
     let forbidden = r.degree_squared.cover.vertices[0];
-    let custom = hypergraph::greedy_vertex_cover(h, |v| {
-        if v == forbidden {
-            1e6
-        } else {
-            weight(v)
-        }
-    })
-    .expect("coverable");
+    let custom =
+        hypergraph::greedy_vertex_cover(h, |v| if v == forbidden { 1e6 } else { weight(v) })
+            .expect("coverable");
     println!(
         "\nexpert override: banned {}, got {} baits without it ({})",
         ds.names[forbidden.index()],

@@ -7,8 +7,7 @@
 //! ```
 
 use hypergraph::{
-    fit_power_law, hyper_distance_stats, hypergraph_components, max_core,
-    vertex_degree_histogram,
+    fit_power_law, hyper_distance_stats, hypergraph_components, max_core, vertex_degree_histogram,
 };
 use proteome::annotations::{annotate, core_summary};
 use proteome::cellzome::{cellzome_like, CELLZOME_SEED};

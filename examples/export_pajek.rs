@@ -24,12 +24,7 @@ fn main() -> std::io::Result<()> {
     let ds = cellzome_like(CELLZOME_SEED);
     let core = max_core(&ds.hypergraph).expect("non-empty");
 
-    let export = export_fig3(
-        &ds.hypergraph,
-        Some(&ds.names),
-        &core.vertices,
-        &core.edges,
-    );
+    let export = export_fig3(&ds.hypergraph, Some(&ds.names), &core.vertices, &core.edges);
     let net = outdir.join("fig3.net");
     let clu = outdir.join("fig3.clu");
     std::fs::write(&net, &export.net)?;

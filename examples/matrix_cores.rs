@@ -43,9 +43,10 @@ fn main() {
         }
     } else {
         for path in &args {
-            match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|t| {
-                parse_mtx(&t).map_err(|e| e.to_string())
-            }) {
+            match std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|t| parse_mtx(&t).map_err(|e| e.to_string()))
+            {
                 Ok(m) => analyze(path, &m),
                 Err(e) => eprintln!("{path}: {e}"),
             }

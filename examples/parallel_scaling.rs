@@ -64,7 +64,11 @@ fn main() {
             secs,
             core.vertices.len()
         );
-        if threads >= std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) {
+        if threads
+            >= std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        {
             break;
         }
     }

@@ -6,8 +6,8 @@
 //! ```
 
 use hypergraph::{
-    greedy_vertex_cover, hyper_distance_stats, hypergraph_components, max_core,
-    HypergraphBuilder, VertexId,
+    greedy_vertex_cover, hyper_distance_stats, hypergraph_components, max_core, HypergraphBuilder,
+    VertexId,
 };
 
 fn main() {

@@ -9,8 +9,8 @@
 
 use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
 use proteome::{
-    bait_selection_report, consensus_complexes, evaluate_recovery, run_tap,
-    score_reconstruction, TapConfig,
+    bait_selection_report, consensus_complexes, evaluate_recovery, run_tap, score_reconstruction,
+    TapConfig,
 };
 
 fn main() {

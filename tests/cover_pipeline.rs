@@ -78,7 +78,10 @@ fn covers_on_random_hypergraphs_beat_trivial() {
         let h = hypergen::uniform_random_hypergraph(200, 150, 5, seed);
         let cover = greedy_vertex_cover(&h, |_| 1.0).expect("coverable");
         assert!(is_vertex_cover(&h, &cover.vertices));
-        assert!(cover.vertices.len() <= 150, "cover no larger than one per edge");
+        assert!(
+            cover.vertices.len() <= 150,
+            "cover no larger than one per edge"
+        );
     }
 }
 

@@ -11,8 +11,7 @@
 use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
 
 fn golden_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../data/cellzome-2004.hgr")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../data/cellzome-2004.hgr")
 }
 
 #[test]

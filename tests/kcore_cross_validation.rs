@@ -6,7 +6,11 @@ use hypergraph::{hypergraph_kcore, max_core, max_core_linear, Hypergraph};
 use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
 
 /// Restricted edge contents (pins ∩ surviving vertices), sorted.
-fn contents(h: &Hypergraph, edges: &[hypergraph::EdgeId], alive: &[hypergraph::VertexId]) -> Vec<Vec<u32>> {
+fn contents(
+    h: &Hypergraph,
+    edges: &[hypergraph::EdgeId],
+    alive: &[hypergraph::VertexId],
+) -> Vec<Vec<u32>> {
     let alive: std::collections::HashSet<u32> = alive.iter().map(|v| v.0).collect();
     let mut out: Vec<Vec<u32>> = edges
         .iter()
@@ -70,7 +74,11 @@ fn two_uniform_hypergraph_equals_graph_core_on_dip() {
 
     let gd = graphcore::core_decomposition(&g);
     for k in [2u32, 5, gd.max_core] {
-        let hv: Vec<u32> = hypergraph_kcore(&h, k).vertices.iter().map(|v| v.0).collect();
+        let hv: Vec<u32> = hypergraph_kcore(&h, k)
+            .vertices
+            .iter()
+            .map(|v| v.0)
+            .collect();
         let gv: Vec<u32> = gd.k_core_nodes(k).iter().map(|u| u.0).collect();
         assert_eq!(hv, gv, "k = {k}");
     }

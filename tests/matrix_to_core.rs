@@ -2,9 +2,7 @@
 //! model duality, and structural sanity of the synthetic Table 1 suite.
 
 use hypergraph::max_core;
-use matrixmarket::{
-    column_net, parse_mtx, row_net, table1_suite, write_mtx, CoordMatrix,
-};
+use matrixmarket::{column_net, parse_mtx, row_net, table1_suite, write_mtx, CoordMatrix};
 
 #[test]
 fn mtx_roundtrip_preserves_hypergraph() {

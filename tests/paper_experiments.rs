@@ -41,8 +41,16 @@ fn e1_section2_statistics() {
 fn e2_power_law_fit() {
     let ds = cellzome_like(CELLZOME_SEED);
     let fit = fit_power_law(&vertex_degree_histogram(&ds.hypergraph)).unwrap();
-    assert!((fit.gamma - 2.528).abs() < 0.35, "gamma {} (paper 2.528)", fit.gamma);
-    assert!((fit.log10_c - 3.161).abs() < 0.35, "log c {} (paper 3.161)", fit.log10_c);
+    assert!(
+        (fit.gamma - 2.528).abs() < 0.35,
+        "gamma {} (paper 2.528)",
+        fit.gamma
+    );
+    assert!(
+        (fit.log10_c - 3.161).abs() < 0.35,
+        "log c {} (paper 3.161)",
+        fit.log10_c
+    );
     assert!(fit.r_squared > 0.93, "R² {} (paper 0.963)", fit.r_squared);
 }
 

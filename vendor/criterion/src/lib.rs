@@ -1,0 +1,289 @@
+//! Minimal `criterion` shim: same macro/builder surface, simple
+//! wall-clock measurement with bounded warmup + sampling, plain-text
+//! report lines. No statistics beyond min/mean/max — enough to run the
+//! workspace's benches offline and eyeball regressions.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing result printed for each benchmark.
+#[derive(Clone, Copy, Debug)]
+struct Sampled {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iters: u64,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Identifier for a parameterized benchmark, `new("name", param)`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id: `&str`, `String`, `BenchmarkId`.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs the
+/// routine repeatedly and records elapsed time.
+pub struct Bencher<'a> {
+    result: &'a mut Option<Sampled>,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: one call, also used to estimate per-iter cost.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let per_iter = warm_start.elapsed().max(Duration::from_nanos(1));
+
+        // Pick an iteration count that fits the measurement window,
+        // bounded so cheap routines don't spin forever.
+        let budget = self.measurement_time.max(Duration::from_millis(50));
+        let est = (budget.as_nanos() / per_iter.as_nanos().max(1)).min(1_000_000) as u64;
+        let iters = est.clamp(1, self.sample_size.max(1) as u64 * 100);
+
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut done = 0u64;
+        let total_start = Instant::now();
+        for _ in 0..iters {
+            let t = Instant::now();
+            black_box(routine());
+            let dt = t.elapsed();
+            min = min.min(dt);
+            max = max.max(dt);
+            done += 1;
+            if total_start.elapsed() > budget {
+                break;
+            }
+        }
+        let total = total_start.elapsed();
+        *self.result = Some(Sampled {
+            mean: total / done.max(1) as u32,
+            min,
+            max,
+            iters: done,
+        });
+    }
+
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, routine: R) {
+        self.iter(routine);
+    }
+}
+
+/// Group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into_id();
+        let mut result = None;
+        let mut b = Bencher {
+            result: &mut result,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&self.name, &id, result);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into_id();
+        let mut result = None;
+        let mut b = Bencher {
+            result: &mut result,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        report(&self.name, &id, result);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, result: Option<Sampled>) {
+    match result {
+        Some(s) => println!(
+            "{group}/{id:<40} mean {:>12}  min {:>12}  max {:>12}  ({} iters)",
+            fmt_duration(s.mean),
+            fmt_duration(s.min),
+            fmt_duration(s.max),
+            s.iters
+        ),
+        None => println!("{group}/{id:<40} (no measurement)"),
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Criterion {
+    pub fn new() -> Self {
+        Self {
+            // Far smaller than real criterion's defaults: these shim
+            // numbers keep full bench sweeps tractable on 1-core hosts.
+            measurement_time: Duration::from_millis(500),
+            sample_size: 10,
+        }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (measurement_time, sample_size) = (self.measurement_time, self.sample_size);
+        BenchmarkGroup {
+            name: name.into(),
+            _c: self,
+            measurement_time,
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group("crit").bench_function(id, f);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $config.configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::new();
+        c.measurement_time = Duration::from_millis(5);
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(2).measurement_time(Duration::from_millis(5));
+            g.bench_function("count", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("seq", 18).into_id(), "seq/18");
+        assert_eq!(BenchmarkId::from_parameter(7).into_id(), "7");
+    }
+}

@@ -1,0 +1,68 @@
+//! Minimal `crossbeam` shim: `thread::scope` implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63). Only the scoped-thread
+//! API this workspace uses is provided.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to the `scope` closure; spawn borrows from the
+    /// enclosing environment like crossbeam's scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives a placeholder
+        /// argument (crossbeam passes a nested `&Scope`; every caller in
+        /// this workspace ignores it with `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&())),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed threads can be spawned;
+    /// all spawned threads are joined before this returns.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| scope.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,321 @@
+//! Minimal `rayon` shim that executes sequentially.
+//!
+//! The hosts this repository builds on are single-core, so a sequential
+//! implementation of the parallel-iterator API is both sufficient and
+//! the fastest available schedule. The API contract is preserved —
+//! `fold` produces per-"thread" accumulators that `reduce` combines,
+//! `ThreadPool::install` scopes execution — so the workspace's parallel
+//! code paths stay exercised for correctness and would run unchanged
+//! against real rayon.
+
+/// Sequential stand-in for rayon's `ParallelIterator`: a thin wrapper
+/// over a std iterator exposing the rayon adapter names.
+pub struct ParIter<I: Iterator> {
+    it: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<B, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> B,
+    {
+        ParIter { it: self.it.map(f) }
+    }
+
+    pub fn filter<P>(self, p: P) -> ParIter<std::iter::Filter<I, P>>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        ParIter {
+            it: self.it.filter(p),
+        }
+    }
+
+    pub fn filter_map<B, F>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<B>,
+    {
+        ParIter {
+            it: self.it.filter_map(f),
+        }
+    }
+
+    /// rayon's `flat_map_iter`: the closure yields a *serial* iterator.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter {
+            it: self.it.flat_map(f),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.it.for_each(f);
+    }
+
+    /// One accumulator per worker; sequentially that is a single
+    /// accumulator, yielded as a one-item parallel iterator for the
+    /// `reduce` that conventionally follows.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: FnOnce() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        let acc = self.it.fold(identity(), fold_op);
+        ParIter {
+            it: std::iter::once(acc),
+        }
+    }
+
+    pub fn reduce<ID, OP>(mut self, identity: ID, op: OP) -> I::Item
+    where
+        ID: FnOnce() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        let first = match self.it.next() {
+            Some(x) => x,
+            None => return identity(),
+        };
+        self.it.fold(first, op)
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.it.collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.it.count()
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.it.sum()
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.it.max()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.it.min()
+    }
+}
+
+impl<'a, T: 'a + Copy, I: Iterator<Item = &'a T>> ParIter<I> {
+    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
+        ParIter {
+            it: self.it.copied(),
+        }
+    }
+
+    pub fn cloned(self) -> ParIter<std::iter::Cloned<I>>
+    where
+        T: Clone,
+    {
+        ParIter {
+            it: self.it.cloned(),
+        }
+    }
+}
+
+/// `into_par_iter()` for any owned iterable (ranges, vectors, …).
+pub trait IntoParallelIterator {
+    type Iter: Iterator;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Iter = C::IntoIter;
+    fn into_par_iter(self) -> ParIter<C::IntoIter> {
+        ParIter {
+            it: self.into_iter(),
+        }
+    }
+}
+
+/// `par_iter()` for anything iterable by reference (slices, vectors, …).
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: Iterator;
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter {
+            it: self.into_iter(),
+        }
+    }
+}
+
+/// `par_iter_mut()` for anything iterable by mutable reference.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Iter: Iterator;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+        ParIter {
+            it: self.into_iter(),
+        }
+    }
+}
+
+/// Parallel sorts on mutable slices (sequential here).
+pub trait ParallelSliceMut<T> {
+    fn as_slice_mut(&mut self) -> &mut [T];
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.as_slice_mut().sort_unstable();
+    }
+
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.as_slice_mut().sort();
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+        self.as_slice_mut().sort_unstable_by_key(f);
+    }
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn as_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads in the current pool. The sequential shim
+/// always runs exactly one.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    _num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool)
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPool;
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_then_reduce_matches_sequential() {
+        let v: Vec<u64> = (1..=100).collect();
+        let sum = v
+            .par_iter()
+            .fold(|| 0u64, |acc, &x| acc + x)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(sum, 5050);
+    }
+
+    #[test]
+    fn reduce_on_empty_uses_identity() {
+        let v: Vec<u32> = Vec::new();
+        let m = v.par_iter().copied().reduce(|| 7, |a, b| a.max(b));
+        assert_eq!(m, 7);
+    }
+
+    #[test]
+    fn filter_collect_and_sort() {
+        let mut evens: Vec<u32> = (0..20u32).into_par_iter().filter(|x| x % 2 == 0).collect();
+        evens.reverse();
+        evens.par_sort_unstable();
+        assert_eq!(evens, (0..20).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let out: Vec<u32> = [1u32, 2, 3]
+            .par_iter()
+            .flat_map_iter(|&x| vec![x, x * 10])
+            .collect();
+        assert_eq!(out, vec![1, 10, 2, 20, 3, 30]);
+    }
+
+    #[test]
+    fn pool_install_runs_closure() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        assert_eq!(pool.install(|| 41 + 1), 42);
+        assert_eq!(crate::current_num_threads(), 1);
+    }
+}
