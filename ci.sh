@@ -16,4 +16,28 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> hgserve e2e (release)"
+cargo test -p hgserve --release --test e2e -q
+
+echo "==> hgserve smoke (hg serve + curl)"
+./target/release/hg serve --addr 127.0.0.1:7878 --threads 2 --cache-mb 8 \
+    --preload data/cellzome-2004.hgr >smoke.log 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f smoke.log' EXIT
+i=0
+until curl -sf http://127.0.0.1:7878/healthz >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] && { echo "server did not come up"; cat smoke.log; exit 1; }
+    sleep 0.1
+done
+curl -sf http://127.0.0.1:7878/v1/cellzome-2004/diameter >/dev/null
+curl -sf http://127.0.0.1:7878/v1/cellzome-2004/diameter >/dev/null
+HITS=$(curl -sf http://127.0.0.1:7878/metrics | awk '$1 == "hgserve_cache_hits" { print $2 }')
+[ "${HITS:-0}" -ge 1 ] || { echo "expected a cache hit, got hits=${HITS:-none}"; exit 1; }
+curl -sf -X POST http://127.0.0.1:7878/admin/shutdown >/dev/null
+wait "$SERVE_PID"
+trap - EXIT
+rm -f smoke.log
+echo "smoke OK (cache hits: $HITS)"
+
 echo "CI OK"

@@ -38,7 +38,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE]\n  hg export-pajek <file.hgr> -o <base>\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
+    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE]\n  hg export-pajek <file.hgr> -o <base>\n  hg serve [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--preload FILE...]\n  hg loadgen [--addr HOST:PORT] [--dataset NAME] [--concurrency N]\n             [--requests N] [--mix stats=3,kcore=1,...]\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
 }
 
 fn run(args: &[String]) -> Result<String, String> {
@@ -75,6 +75,8 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "tap-sim" => cmd_tap_sim(&args[1..]),
         "gen" => cmd_gen(&args[1..]),
         "export-pajek" => cmd_export_pajek(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "loadgen" => cmd_loadgen(&args[1..]),
         "repro" => cmd_repro(&args[1..]),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
@@ -543,6 +545,84 @@ fn cmd_export_pajek(args: &[String]) -> Result<String, String> {
         base.with_extension("net").display(),
         base.with_extension("clu").display()
     ))
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, String> {
+    let (addr, rest) = take_opt(args, "--addr")?;
+    let (threads, rest) = take_opt(&rest, "--threads")?;
+    let (cache_mb, rest) = take_opt(&rest, "--cache-mb")?;
+    // `--preload` is an optional marker; every remaining positional
+    // argument is a dataset file to load at startup.
+    let (_, preload) = take_switch(&rest, "--preload");
+
+    let mut config = hgserve::ServerConfig {
+        addr: addr.unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        ..Default::default()
+    };
+    if let Some(t) = threads {
+        config.threads = t.parse().map_err(|e| format!("bad --threads: {e}"))?;
+        if config.threads == 0 {
+            return Err("--threads must be >= 1".to_string());
+        }
+    }
+    if let Some(mb) = cache_mb {
+        let mb: usize = mb.parse().map_err(|e| format!("bad --cache-mb: {e}"))?;
+        config.cache_bytes = mb << 20;
+    }
+
+    let registry = std::sync::Arc::new(hgserve::Registry::new());
+    for path in &preload {
+        let ds = registry.load_file(path)?;
+        eprintln!(
+            "hg serve: loaded `{}` ({} vertices, {} hyperedges)",
+            ds.name,
+            ds.hypergraph.num_vertices(),
+            ds.hypergraph.num_edges()
+        );
+    }
+
+    let sigint = hgserve::install_sigint_flag();
+    let handle = hgserve::start(&config, registry).map_err(|e| format!("cannot bind: {e}"))?;
+    println!("hg serve: listening on http://{}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    // Block until Ctrl-C or POST /admin/shutdown, then drain and join.
+    while !sigint.load(std::sync::atomic::Ordering::Relaxed) && !handle.state().shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let stats = handle.state().state_line();
+    handle.shutdown();
+    Ok(format!("hg serve: drained and stopped ({stats})\n"))
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<String, String> {
+    let (addr, rest) = take_opt(args, "--addr")?;
+    let (dataset, rest) = take_opt(&rest, "--dataset")?;
+    let (concurrency, rest) = take_opt(&rest, "--concurrency")?;
+    let (requests, rest) = take_opt(&rest, "--requests")?;
+    let (mix, rest) = take_opt(&rest, "--mix")?;
+    if let Some(extra) = rest.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+
+    let parse_n = |v: Option<String>, flag: &str, default: usize| -> Result<usize, String> {
+        v.map_or(Ok(default), |s| {
+            s.parse().map_err(|e| format!("bad {flag}: {e}"))
+        })
+    };
+    let cfg = hgserve::LoadgenConfig {
+        addr: addr.unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        dataset: dataset.unwrap_or_else(|| "cellzome-2004".to_string()),
+        concurrency: parse_n(concurrency, "--concurrency", 4)?,
+        requests: parse_n(requests, "--requests", 200)?,
+        mix: hgserve::parse_mix(
+            mix.as_deref()
+                .unwrap_or("stats=4,degrees=2,components=2,kcore=2,powerlaw=2,diameter=1,cover=1"),
+        )?,
+    };
+    let report = hgserve::loadgen::run(&cfg)?;
+    Ok(report.render_text())
 }
 
 fn cmd_repro(args: &[String]) -> Result<String, String> {

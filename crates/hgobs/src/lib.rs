@@ -47,7 +47,9 @@ mod span;
 mod time;
 
 pub use metrics::{add_counter, disable, enable, enabled, record_hist, reset};
-pub use report::{absorb, take_report, HistSummary, Report, SpanSummary, SCHEMA_VERSION};
+pub use report::{
+    absorb, snapshot_report, take_report, HistSummary, Report, SpanSummary, SCHEMA_VERSION,
+};
 pub use span::Span;
 pub use time::{format_time, timed};
 
@@ -125,6 +127,19 @@ mod tests {
         assert_eq!(r.spans["outer"].count, 1);
         assert_eq!(r.spans["outer/inner"].count, 2);
         assert!(r.spans["outer"].total_ns >= r.spans["outer/inner"].total_ns);
+    }
+
+    #[test]
+    fn snapshot_report_does_not_drain() {
+        let _g = serial();
+        reset();
+        enable();
+        counter!("t.snap", 2);
+        let snap = snapshot_report();
+        disable();
+        assert_eq!(snap.counters["t.snap"], 2);
+        let drained = take_report();
+        assert_eq!(drained.counters["t.snap"], 2);
     }
 
     #[test]

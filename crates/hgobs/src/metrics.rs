@@ -57,6 +57,7 @@ pub(crate) struct SpanStat {
     pub total_ns: u64,
 }
 
+#[derive(Clone)]
 pub(crate) struct Registry {
     pub counters: BTreeMap<String, u64>,
     pub hists: BTreeMap<String, Hist>,
@@ -123,6 +124,13 @@ pub fn reset() {
 
 pub(crate) fn drain() -> Registry {
     std::mem::replace(&mut *REGISTRY.lock(), Registry::new())
+}
+
+/// Clone the registry without draining it. Long-lived processes (the
+/// analytics server) render cumulative metrics from this while the
+/// registry keeps accumulating.
+pub(crate) fn snapshot() -> Registry {
+    REGISTRY.lock().clone()
 }
 
 /// Merge a previously drained [`crate::Report`] back into the registry,

@@ -49,7 +49,17 @@ pub struct Report {
 /// Drain the global registry into a [`Report`]; subsequent recording
 /// starts from empty.
 pub fn take_report() -> Report {
-    let reg = crate::metrics::drain();
+    registry_to_report(crate::metrics::drain())
+}
+
+/// Copy the global registry into a [`Report`] without draining it.
+/// Long-lived processes (e.g. `hg serve`) use this to render cumulative
+/// `/metrics` while recording continues.
+pub fn snapshot_report() -> Report {
+    registry_to_report(crate::metrics::snapshot())
+}
+
+fn registry_to_report(reg: crate::metrics::Registry) -> Report {
     Report {
         counters: reg.counters,
         histograms: reg
@@ -172,6 +182,44 @@ impl Report {
         w.finish()
     }
 
+    /// Render this report in the Prometheus text exposition format, the
+    /// payload `hg serve` answers on `GET /metrics`. Metric names are the
+    /// registry names with `.`/`/` mapped to `_` and an `hg_` prefix:
+    /// counters become `hg_<name>_total`, histograms expose
+    /// `_count`/`_sum`/`_min`/`_max`, spans expose `_count` and
+    /// `_seconds_total`. Maps are ordered, so the output is stable.
+    pub fn render_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let n = sanitize(k);
+            out.push_str(&format!("# TYPE hg_{n}_total counter\n"));
+            out.push_str(&format!("hg_{n}_total {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            let n = sanitize(k);
+            out.push_str(&format!("# TYPE hg_{n} summary\n"));
+            out.push_str(&format!("hg_{n}_count {}\n", h.count));
+            out.push_str(&format!("hg_{n}_sum {}\n", h.sum));
+            out.push_str(&format!("hg_{n}_min {}\n", h.min));
+            out.push_str(&format!("hg_{n}_max {}\n", h.max));
+        }
+        for (k, s) in &self.spans {
+            let n = sanitize(k);
+            out.push_str(&format!("# TYPE hg_span_{n}_seconds_total counter\n"));
+            out.push_str(&format!("hg_span_{n}_count {}\n", s.count));
+            out.push_str(&format!(
+                "hg_span_{n}_seconds_total {}\n",
+                crate::json::number(s.seconds())
+            ));
+        }
+        out
+    }
+
     /// Human-readable phase breakdown for CLI output: spans sorted by
     /// path (parents before children), then counters, then histograms.
     pub fn render_text(&self) -> String {
@@ -268,6 +316,18 @@ mod tests {
         assert!(text.contains("total/kcore"));
         assert!(text.contains("kcore.rounds = 3"));
         assert!(text.contains("bfs.frontier: n=4 mean=2.50 min=1 max=4"));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_stable_and_sanitized() {
+        let text = sample().render_prometheus();
+        assert!(text.contains("hg_kcore_rounds_total 3\n"));
+        assert!(text.contains("hg_bfs_frontier_count 4\n"));
+        assert!(text.contains("hg_bfs_frontier_sum 10\n"));
+        assert!(text.contains("hg_span_total_kcore_count 2\n"));
+        assert!(text.contains("hg_span_total_kcore_seconds_total 0.001\n"));
+        // Deterministic: same report renders byte-identically.
+        assert_eq!(text, sample().render_prometheus());
     }
 
     #[test]

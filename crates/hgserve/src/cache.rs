@@ -1,0 +1,373 @@
+//! Sharded LRU result cache keyed by `(dataset, epoch, query)` strings.
+//!
+//! Each shard is an independent `Mutex<Shard>`; a key's shard is chosen
+//! by its FNV-1a hash, so concurrent requests for different keys mostly
+//! take different locks. Within a shard, entries form an intrusive
+//! doubly-linked LRU list over a slab (`Vec<Node>` + free list) with a
+//! `HashMap` index, giving O(1) get / insert / evict.
+//!
+//! Capacity is accounted in **bytes** (key + value + fixed per-node
+//! overhead), not entry counts, because cached bodies range from a
+//! 100-byte health payload to multi-megabyte degree histograms. The
+//! budget is split evenly across shards; a value larger than one
+//! shard's budget is never cached (serving it uncached is cheaper than
+//! thrashing the whole shard).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Fixed per-entry overhead charged on top of key/value bytes: the
+/// node, the map entry, and the two `Arc` headers, rounded up.
+const NODE_OVERHEAD: usize = 96;
+
+const NIL: usize = usize::MAX;
+
+/// Point-in-time cache statistics, summed over shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Bytes currently charged against the capacity.
+    pub bytes: u64,
+    /// Total capacity in bytes (all shards).
+    pub capacity_bytes: u64,
+}
+
+struct Node {
+    key: Arc<str>,
+    value: Arc<String>,
+    size: usize,
+    prev: usize,
+    next: usize,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Arc<str>, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    /// Most recently used, or NIL when empty.
+    head: usize,
+    /// Least recently used, or NIL when empty.
+    tail: usize,
+    bytes: usize,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            head: NIL,
+            tail: NIL,
+            ..Shard::default()
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].prev = prev,
+        }
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = NIL;
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.nodes[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn evict_lru(&mut self) {
+        let t = self.tail;
+        debug_assert_ne!(t, NIL);
+        self.unlink(t);
+        let node = &mut self.nodes[t];
+        self.map.remove(&node.key);
+        self.bytes -= node.size;
+        node.value = Arc::new(String::new());
+        self.free.push(t);
+        self.evictions += 1;
+    }
+
+    /// Keys from most to least recently used (test/debug aid).
+    fn keys_mru_to_lru(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut i = self.head;
+        while i != NIL {
+            out.push(self.nodes[i].key.to_string());
+            i = self.nodes[i].next;
+        }
+        out
+    }
+}
+
+/// The sharded LRU described in the module docs.
+pub struct ShardedLru {
+    shards: Box<[Mutex<Shard>]>,
+    /// Byte budget per shard.
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn fnv1a(key: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl ShardedLru {
+    /// A cache with `capacity_bytes` total budget split over
+    /// `num_shards` shards (rounded up to a power of two, minimum 1).
+    pub fn new(capacity_bytes: usize, num_shards: usize) -> Self {
+        let shards = num_shards.max(1).next_power_of_two();
+        ShardedLru {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_capacity: capacity_bytes / shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: &str) -> &Mutex<Shard> {
+        // Power-of-two shard count: mask the hash.
+        &self.shards[(fnv1a(key) as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Look `key` up, promoting it to most-recently-used on a hit.
+    pub fn get(&self, key: &str) -> Option<Arc<String>> {
+        let mut shard = self.shard_of(key).lock().unwrap();
+        match shard.map.get(key).copied() {
+            Some(i) => {
+                shard.unlink(i);
+                shard.push_front(i);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&shard.nodes[i].value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert or replace `key`, evicting least-recently-used entries
+    /// until the shard fits its budget. Oversized values are skipped.
+    pub fn insert(&self, key: &str, value: Arc<String>) {
+        let size = key.len() + value.len() + NODE_OVERHEAD;
+        if size > self.shard_capacity {
+            return;
+        }
+        let mut shard = self.shard_of(key).lock().unwrap();
+        if let Some(&i) = shard.map.get(key) {
+            shard.bytes = shard.bytes - shard.nodes[i].size + size;
+            shard.nodes[i].value = value;
+            shard.nodes[i].size = size;
+            shard.unlink(i);
+            shard.push_front(i);
+        } else {
+            let key: Arc<str> = Arc::from(key);
+            let node = Node {
+                key: Arc::clone(&key),
+                value,
+                size,
+                prev: NIL,
+                next: NIL,
+            };
+            let i = match shard.free.pop() {
+                Some(i) => {
+                    shard.nodes[i] = node;
+                    i
+                }
+                None => {
+                    shard.nodes.push(node);
+                    shard.nodes.len() - 1
+                }
+            };
+            shard.map.insert(key, i);
+            shard.bytes += size;
+            shard.push_front(i);
+            shard.insertions += 1;
+        }
+        while shard.bytes > self.shard_capacity {
+            shard.evict_lru();
+        }
+    }
+
+    /// Drop every entry (statistics other than `entries`/`bytes` persist).
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            let mut s = s.lock().unwrap();
+            let evicted = s.map.len() as u64;
+            *s = Shard {
+                insertions: s.insertions,
+                evictions: s.evictions + evicted,
+                ..Shard::new()
+            };
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let mut st = CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            capacity_bytes: (self.shard_capacity * self.shards.len()) as u64,
+            ..CacheStats::default()
+        };
+        for s in self.shards.iter() {
+            let s = s.lock().unwrap();
+            st.insertions += s.insertions;
+            st.evictions += s.evictions;
+            st.entries += s.map.len() as u64;
+            st.bytes += s.bytes as u64;
+        }
+        st
+    }
+
+    /// MRU→LRU key order of the shard holding `key` (for tests).
+    pub fn shard_order_of(&self, key: &str) -> Vec<String> {
+        self.shard_of(key).lock().unwrap().keys_mru_to_lru()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(s: &str) -> Arc<String> {
+        Arc::new(s.to_string())
+    }
+
+    /// Single shard so eviction order is observable deterministically.
+    fn single(capacity: usize) -> ShardedLru {
+        ShardedLru::new(capacity, 1)
+    }
+
+    #[test]
+    fn get_promotes_and_eviction_is_lru_order() {
+        // Room for exactly three one-byte-key entries.
+        let entry = 1 + 1 + NODE_OVERHEAD;
+        let c = single(3 * entry);
+        c.insert("a", val("1"));
+        c.insert("b", val("2"));
+        c.insert("c", val("3"));
+        assert_eq!(c.shard_order_of("a"), vec!["c", "b", "a"]);
+
+        // Touch `a`: it becomes MRU, so `b` is now the LRU victim.
+        assert_eq!(c.get("a").unwrap().as_str(), "1");
+        assert_eq!(c.shard_order_of("a"), vec!["a", "c", "b"]);
+        c.insert("d", val("4"));
+        assert!(c.get("b").is_none(), "LRU entry b should have been evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        assert!(c.get("d").is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_accounting_tracks_bytes_exactly() {
+        let c = single(10_000);
+        c.insert("key1", val("0123456789"));
+        let expect = ("key1".len() + 10 + NODE_OVERHEAD) as u64;
+        assert_eq!(c.stats().bytes, expect);
+        // Replacing with a larger value adjusts, not duplicates.
+        c.insert("key1", val("0123456789abcdef"));
+        let expect = ("key1".len() + 16 + NODE_OVERHEAD) as u64;
+        assert_eq!(c.stats().bytes, expect);
+        assert_eq!(c.stats().entries, 1);
+        assert_eq!(c.stats().insertions, 1, "replacement is not an insertion");
+        c.clear();
+        assert_eq!(c.stats().bytes, 0);
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_value_is_not_cached() {
+        let c = single(200);
+        c.insert("big", Arc::new("x".repeat(500)));
+        assert!(c.get("big").is_none());
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn eviction_cascade_frees_enough_space() {
+        let entry = 1 + 8 + NODE_OVERHEAD;
+        let c = single(4 * entry);
+        for k in ["a", "b", "c", "d"] {
+            c.insert(k, Arc::new("12345678".to_string()));
+        }
+        // One entry three times the size of the small ones evicts several.
+        c.insert("E", Arc::new("x".repeat(3 * entry - NODE_OVERHEAD - 1)));
+        let st = c.stats();
+        assert!(st.bytes <= 4 * entry as u64, "over budget: {st:?}");
+        assert!(c.get("E").is_some());
+        assert!(st.evictions >= 2, "{st:?}");
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let c = single(10_000);
+        assert!(c.get("nope").is_none());
+        c.insert("k", val("v"));
+        assert!(c.get("k").is_some());
+        assert!(c.get("k").is_some());
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses), (2, 1));
+    }
+
+    #[test]
+    fn slab_reuses_freed_nodes() {
+        let entry = 1 + 1 + NODE_OVERHEAD;
+        let c = single(2 * entry);
+        for i in 0..100 {
+            c.insert(if i % 2 == 0 { "a" } else { "b" }, val("x"));
+            c.insert("c", val("y"));
+        }
+        let shard = c.shards[0].lock().unwrap();
+        assert!(
+            shard.nodes.len() <= 4,
+            "slab grew unbounded: {}",
+            shard.nodes.len()
+        );
+    }
+
+    #[test]
+    fn sharding_distributes_keys() {
+        let c = ShardedLru::new(1 << 20, 8);
+        assert_eq!(c.num_shards(), 8);
+        for i in 0..64 {
+            c.insert(&format!("key-{i}"), val("v"));
+        }
+        let occupied = c
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().map.is_empty())
+            .count();
+        assert!(occupied >= 4, "FNV spread keys over only {occupied} shards");
+        assert_eq!(c.stats().entries, 64);
+    }
+}

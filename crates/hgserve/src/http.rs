@@ -1,0 +1,407 @@
+//! Minimal hand-rolled HTTP/1.1 request/response handling.
+//!
+//! Supports exactly what the analytics server and its load generator
+//! need: `GET`/`POST` with headers, `Content-Length` bodies, query
+//! strings with percent-decoding, and keep-alive. No chunked encoding,
+//! no TLS, no HTTP/2 — requests that need those get a clean 4xx/5xx
+//! instead of undefined behavior.
+
+use std::io::{BufRead, Write};
+
+/// Maximum accepted size of the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    pub method: String,
+    /// Percent-decoded path without the query string, e.g. `/v1/yeast/stats`.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Raw header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter named `key`.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Did the client ask to close the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// No bytes arrived before the socket read timeout; the connection
+    /// is idle between keep-alive requests. Not an error condition —
+    /// the server uses it to poll its shutdown flag.
+    Idle,
+    /// The peer closed the connection cleanly between requests.
+    Eof,
+    /// Malformed or oversized input; carries the status to answer with.
+    Bad { status: u16, message: String },
+    /// Underlying transport failure; the connection is unusable.
+    Io(String),
+}
+
+impl HttpError {
+    fn bad(status: u16, message: impl Into<String>) -> Self {
+        HttpError::Bad {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Decode `%XX` escapes and `+` (as space) in a URL component.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| -> Option<u8> {
+                    match b {
+                        b'0'..=b'9' => Some(b - b'0'),
+                        b'a'..=b'f' => Some(b - b'a' + 10),
+                        b'A'..=b'F' => Some(b - b'A' + 10),
+                        _ => None,
+                    }
+                };
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(h), Some(l)) => {
+                        out.push(h << 4 | l);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Split a request target into (decoded path, decoded query pairs).
+pub fn split_target(target: &str) -> (String, Vec<(String, String)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let pairs = query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    (percent_decode(path), pairs)
+}
+
+/// Read one request from `reader`.
+///
+/// Distinguishes a clean close ([`HttpError::Eof`]), an idle timeout
+/// with no bytes read ([`HttpError::Idle`]), malformed input
+/// ([`HttpError::Bad`]), and transport errors ([`HttpError::Io`]).
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, HttpError> {
+    let mut line = String::new();
+    match read_line_crlf(reader, &mut line, true) {
+        Ok(0) => return Err(HttpError::Eof),
+        Ok(_) => {}
+        Err(e) => return Err(e),
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::bad(400, "empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::bad(400, "missing request target"))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad(505, format!("unsupported {version}")));
+    }
+
+    let mut headers = Vec::new();
+    let mut head_bytes = line.len();
+    loop {
+        let mut h = String::new();
+        match read_line_crlf(reader, &mut h, false) {
+            Ok(0) => return Err(HttpError::bad(400, "truncated headers")),
+            Ok(n) => head_bytes += n,
+            Err(e) => return Err(e),
+        }
+        if h.is_empty() {
+            break;
+        }
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::bad(431, "headers too large"));
+        }
+        let (name, value) = h
+            .split_once(':')
+            .ok_or_else(|| HttpError::bad(400, format!("malformed header `{h}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| HttpError::bad(400, format!("bad content-length `{v}`")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(HttpError::bad(
+            413,
+            format!("body of {content_length} bytes exceeds limit {max_body}"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        std::io::Read::read_exact(reader, &mut body)
+            .map_err(|e| HttpError::Io(format!("reading body: {e}")))?;
+    }
+
+    let (path, query) = split_target(&target);
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Read one `\r\n`- (or `\n`-) terminated line into `buf`, stripped.
+/// Returns the number of raw bytes consumed; 0 means EOF before any
+/// byte. `first_line` maps a timeout with no bytes to [`HttpError::Idle`].
+fn read_line_crlf(
+    reader: &mut impl BufRead,
+    buf: &mut String,
+    first_line: bool,
+) -> Result<usize, HttpError> {
+    let mut raw = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut raw) {
+            Ok(0) => {
+                if raw.is_empty() {
+                    return Ok(0);
+                }
+                return Err(HttpError::bad(400, "truncated line"));
+            }
+            Ok(_) => {
+                if raw.last() == Some(&b'\n') {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if first_line && raw.is_empty() {
+                    return Err(HttpError::Idle);
+                }
+                // Mid-request stall: keep waiting for the rest.
+                continue;
+            }
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+    }
+    let n = raw.len();
+    while raw.last() == Some(&b'\n') || raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    *buf = String::from_utf8_lossy(&raw).into_owned();
+    Ok(n)
+}
+
+/// Canonical reason phrase for the statuses this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// One response, written with `Content-Length` framing.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: String,
+}
+
+impl Response {
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body,
+        }
+    }
+
+    /// JSON error envelope: `{"error":"..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\":");
+        body.push_str(&hgobs::json::quote(message));
+        body.push_str("}\n");
+        Response::json(status, body)
+    }
+
+    /// Serialize onto `w`. `close` controls the `Connection` header.
+    pub fn write_to(&self, w: &mut impl Write, close: bool) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        )?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r = parse("GET /v1/yeast/kcore?k=3&x=a%20b HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/v1/yeast/kcore");
+        assert_eq!(r.param("k"), Some("3"));
+        assert_eq!(r.param("x"), Some("a b"));
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let r =
+            parse("POST /datasets?name=t HTTP/1.1\r\nContent-Length: 7\r\n\r\n2 2\n1 2").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(std::str::from_utf8(&r.body).unwrap(), "2 2\n1 2");
+    }
+
+    #[test]
+    fn connection_close_detected_case_insensitively() {
+        let r = parse("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
+        assert!(r.wants_close());
+    }
+
+    #[test]
+    fn eof_and_errors() {
+        assert_eq!(parse("").unwrap_err(), HttpError::Eof);
+        assert!(matches!(
+            parse("GET\r\n\r\n").unwrap_err(),
+            HttpError::Bad { status: 400, .. }
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/2\r\n\r\n").unwrap_err(),
+            HttpError::Bad { status: 505, .. }
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbogus\r\n\r\n").unwrap_err(),
+            HttpError::Bad { status: 400, .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let err = parse("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::Bad { status: 413, .. }));
+    }
+
+    #[test]
+    fn bare_lf_lines_accepted() {
+        let r = parse("GET /healthz HTTP/1.1\nHost: y\n\n").unwrap();
+        assert_eq!(r.path, "/healthz");
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%2Fb+c%zz"), "a/b c%zz");
+        let (path, q) = split_target("/x%20y?a=1&b&c=2");
+        assert_eq!(path, "/x y");
+        assert_eq!(
+            q,
+            vec![
+                ("a".into(), "1".into()),
+                ("b".into(), String::new()),
+                ("c".into(), "2".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn response_serialization() {
+        let mut out = Vec::new();
+        Response::json(200, "{}".into())
+            .write_to(&mut out, true)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 2\r\n"));
+        assert!(s.contains("Connection: close\r\n"));
+        assert!(s.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,73 @@
+//! `hgserve` — an embedded analytics server for hypergraph queries.
+//!
+//! The rest of the workspace computes each answer from scratch per CLI
+//! invocation; this crate turns those computations into a long-lived
+//! HTTP/1.1 daemon with an in-memory dataset registry and a sharded
+//! LRU **result cache**, so the paper's read-mostly query set (k-cores,
+//! components, distances/diameter, degree distributions and power-law
+//! fits, vertex covers) is computed once per dataset epoch and served
+//! from memory thereafter.
+//!
+//! Built entirely on `std::net` — no async runtime, no HTTP library:
+//! an acceptor thread feeds a fixed worker pool over an mpsc channel
+//! ([`server`]), requests are parsed by a minimal hand-rolled HTTP/1.1
+//! reader ([`http`]), query execution lives in [`query`], datasets in
+//! [`registry`], and the cache in [`cache`]. A deterministic load
+//! generator ([`loadgen`]) doubles as benchmark driver and end-to-end
+//! test client.
+//!
+//! # Endpoints
+//!
+//! | Route | Answer |
+//! |---|---|
+//! | `GET /healthz` | liveness + dataset count |
+//! | `GET /datasets` | registered datasets with shapes |
+//! | `POST /datasets?name=N&format=hgr\|pajek\|mtx` | load a dataset from the body |
+//! | `GET /v1/{ds}/stats` | structural summary |
+//! | `GET /v1/{ds}/degrees` | degree histograms |
+//! | `GET /v1/{ds}/components` | connected components |
+//! | `GET /v1/{ds}/kcore?k=K` | k-core (max core when `k` omitted) |
+//! | `GET /v1/{ds}/distance?from=A&to=B` | shortest hypergraph distance |
+//! | `GET /v1/{ds}/diameter` | diameter + average path length |
+//! | `GET /v1/{ds}/powerlaw` | degree power-law fit |
+//! | `GET /v1/{ds}/cover` | greedy vertex cover |
+//! | `GET /metrics` | hgobs counters/histograms + cache stats (Prometheus text) |
+//! | `POST /admin/shutdown` | graceful drain |
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(hgserve::Registry::new());
+//! registry
+//!     .insert_text("toy", hgserve::Format::Hgr, "2 3\n1 2\n2 3\n", "doc")
+//!     .unwrap();
+//! let handle = hgserve::start(
+//!     &hgserve::ServerConfig {
+//!         addr: "127.0.0.1:0".into(),
+//!         threads: 2,
+//!         ..Default::default()
+//!     },
+//!     registry,
+//! )
+//! .unwrap();
+//! let addr = handle.addr().to_string();
+//! let (status, body) = hgserve::Client::new(&addr).get("/v1/toy/stats").unwrap();
+//! assert_eq!(status, 200);
+//! assert!(body.contains("\"vertices\":3"));
+//! handle.shutdown();
+//! ```
+
+pub mod cache;
+pub mod http;
+pub mod loadgen;
+pub mod query;
+pub mod registry;
+pub mod server;
+
+pub use cache::{CacheStats, ShardedLru};
+pub use loadgen::{parse_mix, Client, LoadgenConfig, LoadgenReport, MixEntry};
+pub use query::{Query, QueryError};
+pub use registry::{Dataset, Format, Registry};
+pub use server::{install_sigint_flag, start, AppState, ServerConfig, ServerHandle};

@@ -1,0 +1,421 @@
+//! Concurrent HTTP load generator for `hgserve`, used by `hg loadgen`
+//! for manual benchmarking and by the end-to-end test for a mixed
+//! workload with correctness assertions.
+//!
+//! Deterministic: worker `i` walks the weighted endpoint mix with its
+//! own seeded LCG, so two runs with the same config issue the same
+//! request sequences (timing aside). No external deps — the client is
+//! a thin keep-alive wrapper over `std::net::TcpStream`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// One weighted endpoint in the workload mix, e.g. `("stats", 3)`.
+/// The endpoint is the path suffix under `/v1/{dataset}/`, optionally
+/// with parameters (`kcore?k=2`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MixEntry {
+    pub endpoint: String,
+    pub weight: u32,
+}
+
+/// Parse `stats=3,kcore?k=2=1,diameter=1` style mix specs: comma-split,
+/// the portion after the **last** `=` is the weight.
+pub fn parse_mix(spec: &str) -> Result<Vec<MixEntry>, String> {
+    let mut mix = Vec::new();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (endpoint, weight) = part
+            .rsplit_once('=')
+            .ok_or_else(|| format!("mix entry `{part}` missing `=weight`"))?;
+        let weight: u32 = weight
+            .parse()
+            .map_err(|e| format!("bad weight in `{part}`: {e}"))?;
+        if endpoint.is_empty() || weight == 0 {
+            return Err(format!(
+                "mix entry `{part}` needs an endpoint and weight >= 1"
+            ));
+        }
+        mix.push(MixEntry {
+            endpoint: endpoint.to_string(),
+            weight,
+        });
+    }
+    if mix.is_empty() {
+        return Err("empty mix".to_string());
+    }
+    Ok(mix)
+}
+
+/// Load-generator configuration.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Dataset every query targets.
+    pub dataset: String,
+    /// Concurrent client connections.
+    pub concurrency: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Weighted endpoint mix.
+    pub mix: Vec<MixEntry>,
+}
+
+/// Outcome of one run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadgenReport {
+    pub sent: u64,
+    /// 2xx responses with a parseable JSON body.
+    pub ok: u64,
+    /// Non-2xx HTTP responses.
+    pub http_errors: u64,
+    /// Connection-level failures.
+    pub transport_errors: u64,
+    pub elapsed: Duration,
+    /// Sorted request latencies in microseconds.
+    pub latencies_us: Vec<u64>,
+    /// `hgserve_cache_hits` delta over the run, when `/metrics` was
+    /// reachable before and after.
+    pub cache_hits_delta: Option<u64>,
+    pub cache_misses_delta: Option<u64>,
+}
+
+impl LoadgenReport {
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = (p / 100.0 * (self.latencies_us.len() - 1) as f64).round() as usize;
+        self.latencies_us[rank.min(self.latencies_us.len() - 1)]
+    }
+
+    pub fn throughput_rps(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.sent as f64 / s
+        }
+    }
+
+    /// Human-readable summary for the CLI.
+    pub fn render_text(&self) -> String {
+        let mean = if self.latencies_us.is_empty() {
+            0.0
+        } else {
+            self.latencies_us.iter().sum::<u64>() as f64 / self.latencies_us.len() as f64
+        };
+        let mut out = format!(
+            "loadgen: {} requests in {:.3}s ({:.0} req/s)\n\
+             responses: {} ok, {} http errors, {} transport errors\n\
+             latency us: mean {:.0}, p50 {}, p95 {}, p99 {}, max {}\n",
+            self.sent,
+            self.elapsed.as_secs_f64(),
+            self.throughput_rps(),
+            self.ok,
+            self.http_errors,
+            self.transport_errors,
+            mean,
+            self.percentile_us(50.0),
+            self.percentile_us(95.0),
+            self.percentile_us(99.0),
+            self.latencies_us.last().copied().unwrap_or(0),
+        );
+        if let (Some(h), Some(m)) = (self.cache_hits_delta, self.cache_misses_delta) {
+            let total = h + m;
+            let rate = if total == 0 {
+                0.0
+            } else {
+                100.0 * h as f64 / total as f64
+            };
+            out.push_str(&format!(
+                "cache: {h} hits, {m} misses ({rate:.1}% hit rate)\n"
+            ));
+        }
+        out
+    }
+}
+
+/// A keep-alive HTTP/1.1 client for one connection.
+pub struct Client {
+    addr: String,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    pub fn new(addr: &str) -> Client {
+        Client {
+            addr: addr.to_string(),
+            stream: None,
+        }
+    }
+
+    fn connect(&mut self) -> Result<(), String> {
+        let stream = TcpStream::connect(&self.addr).map_err(|e| e.to_string())?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| e.to_string())?;
+        let _ = stream.set_nodelay(true);
+        self.stream = Some(BufReader::new(stream));
+        Ok(())
+    }
+
+    /// Issue `GET path`, reusing the connection; one reconnect attempt
+    /// on failure. Returns `(status, body)`.
+    pub fn get(&mut self, path: &str) -> Result<(u16, String), String> {
+        if self.stream.is_none() {
+            self.connect()?;
+        }
+        match self.request("GET", path, "") {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                self.connect()?;
+                self.request("GET", path, "")
+            }
+        }
+    }
+
+    /// Issue `POST path` with a text body.
+    pub fn post(&mut self, path: &str, body: &str) -> Result<(u16, String), String> {
+        if self.stream.is_none() {
+            self.connect()?;
+        }
+        match self.request("POST", path, body) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                self.connect()?;
+                self.request("POST", path, body)
+            }
+        }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+        let reader = self.stream.as_mut().ok_or("not connected")?;
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n{body}",
+            self.addr,
+            body.len(),
+        );
+        reader
+            .get_mut()
+            .write_all(raw.as_bytes())
+            .map_err(|e| e.to_string())?;
+
+        let mut status_line = String::new();
+        reader
+            .read_line(&mut status_line)
+            .map_err(|e| e.to_string())?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad status line `{}`", status_line.trim()))?;
+
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            let mut h = String::new();
+            reader.read_line(&mut h).map_err(|e| e.to_string())?;
+            let h = h.trim();
+            if h.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = h.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|e| format!("content-length: {e}"))?;
+                } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                    close = true;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+        if close {
+            self.stream = None;
+        }
+        Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    }
+}
+
+/// Fetch one `name value` line from `GET /metrics`.
+pub fn fetch_metric(addr: &str, name: &str) -> Option<u64> {
+    let (status, body) = Client::new(addr).get("/metrics").ok()?;
+    if status != 200 {
+        return None;
+    }
+    body.lines().find_map(|l| {
+        let (n, v) = l.split_once(' ')?;
+        if n == name {
+            v.trim().parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+/// Tiny deterministic LCG (Numerical Recipes constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 33
+    }
+}
+
+/// Run the workload and collect a report. A response counts as `ok`
+/// when its status is 2xx and the body looks like a JSON object.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    if cfg.concurrency == 0 || cfg.requests == 0 {
+        return Err("concurrency and requests must be >= 1".to_string());
+    }
+    // Expand the weighted mix into a pick table.
+    let mut table: Vec<&str> = Vec::new();
+    for e in &cfg.mix {
+        for _ in 0..e.weight {
+            table.push(e.endpoint.as_str());
+        }
+    }
+    if table.is_empty() {
+        return Err("empty mix".to_string());
+    }
+
+    let hits_before = fetch_metric(&cfg.addr, "hgserve_cache_hits");
+    let misses_before = fetch_metric(&cfg.addr, "hgserve_cache_misses");
+
+    let ok = AtomicU64::new(0);
+    let http_errors = AtomicU64::new(0);
+    let transport_errors = AtomicU64::new(0);
+    let started = Instant::now();
+
+    let per_worker = cfg.requests.div_ceil(cfg.concurrency);
+    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.concurrency)
+            .map(|w| {
+                let table = &table;
+                let ok = &ok;
+                let http_errors = &http_errors;
+                let transport_errors = &transport_errors;
+                let budget = per_worker.min(cfg.requests.saturating_sub(w * per_worker));
+                scope.spawn(move || {
+                    let mut rng = Lcg(0x9e37_79b9 + w as u64);
+                    let mut client = Client::new(&cfg.addr);
+                    let mut lat = Vec::with_capacity(budget);
+                    for _ in 0..budget {
+                        let endpoint = table[(rng.next() as usize) % table.len()];
+                        let path = format!("/v1/{}/{endpoint}", cfg.dataset);
+                        let t0 = Instant::now();
+                        match client.get(&path) {
+                            Ok((status, body)) => {
+                                lat.push(t0.elapsed().as_micros() as u64);
+                                if (200..300).contains(&status)
+                                    && body.trim_start().starts_with('{')
+                                {
+                                    ok.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    http_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => {
+                                transport_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let elapsed = started.elapsed();
+    let mut latencies_us: Vec<u64> = latencies.into_iter().flatten().collect();
+    latencies_us.sort_unstable();
+
+    let hits_after = fetch_metric(&cfg.addr, "hgserve_cache_hits");
+    let misses_after = fetch_metric(&cfg.addr, "hgserve_cache_misses");
+
+    Ok(LoadgenReport {
+        sent: (ok.load(Ordering::Relaxed)
+            + http_errors.load(Ordering::Relaxed)
+            + transport_errors.load(Ordering::Relaxed)),
+        ok: ok.load(Ordering::Relaxed),
+        http_errors: http_errors.load(Ordering::Relaxed),
+        transport_errors: transport_errors.load(Ordering::Relaxed),
+        elapsed,
+        latencies_us,
+        cache_hits_delta: hits_before
+            .zip(hits_after)
+            .map(|(b, a)| a.saturating_sub(b)),
+        cache_misses_delta: misses_before
+            .zip(misses_after)
+            .map(|(b, a)| a.saturating_sub(b)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_parsing() {
+        let mix = parse_mix("stats=3,kcore?k=2=1,diameter=1").unwrap();
+        assert_eq!(
+            mix,
+            vec![
+                MixEntry {
+                    endpoint: "stats".into(),
+                    weight: 3
+                },
+                MixEntry {
+                    endpoint: "kcore?k=2".into(),
+                    weight: 1
+                },
+                MixEntry {
+                    endpoint: "diameter".into(),
+                    weight: 1
+                },
+            ]
+        );
+        assert!(parse_mix("").is_err());
+        assert!(parse_mix("stats").is_err());
+        assert!(parse_mix("stats=0").is_err());
+        assert!(parse_mix("stats=x").is_err());
+    }
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let seq = |seed: u64| {
+            let mut r = Lcg(seed);
+            (0..8).map(|_| r.next()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8));
+    }
+
+    #[test]
+    fn report_percentiles_and_render() {
+        let r = LoadgenReport {
+            sent: 4,
+            ok: 4,
+            elapsed: Duration::from_millis(100),
+            latencies_us: vec![10, 20, 30, 1000],
+            cache_hits_delta: Some(3),
+            cache_misses_delta: Some(1),
+            ..LoadgenReport::default()
+        };
+        assert_eq!(r.percentile_us(50.0), 30);
+        assert_eq!(r.percentile_us(100.0), 1000);
+        assert!((r.throughput_rps() - 40.0).abs() < 1.0);
+        let text = r.render_text();
+        assert!(text.contains("4 requests"));
+        assert!(text.contains("75.0% hit rate"));
+    }
+}

@@ -1,0 +1,420 @@
+//! The queries the server can answer, their parameter parsing, their
+//! canonical cache-key form, and their execution against a hypergraph.
+//!
+//! Execution is deliberately independent of HTTP: `Query::run` takes a
+//! `&Hypergraph` and returns the JSON body. The equivalence proptest
+//! (cache-on vs cache-off) and the CLI reuse it directly.
+
+use hgobs::json::JsonWriter;
+use hypergraph::{Hypergraph, VertexId};
+
+/// A parsed, validated analytics query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// Structural summary: sizes, max degrees, component count.
+    Stats,
+    /// Vertex- and hyperedge-degree histograms.
+    Degrees,
+    /// Connected components with per-component sizes.
+    Components,
+    /// `k`-core; `None` means the maximum core.
+    KCore { k: Option<u32> },
+    /// Shortest hypergraph distance between two vertices (1-based ids).
+    Distance { from: u32, to: u32 },
+    /// Full BFS sweep: diameter + average path length.
+    Diameter,
+    /// Least-squares power-law fit of the vertex degree histogram.
+    PowerLaw,
+    /// Greedy unit-weight vertex cover.
+    Cover,
+}
+
+/// A query that could not be built from the request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryError {
+    /// HTTP status the server should answer with (400 or 404).
+    pub status: u16,
+    pub message: String,
+}
+
+impl QueryError {
+    fn bad(message: impl Into<String>) -> Self {
+        QueryError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// Endpoint names servable under `/v1/{dataset}/…`, in docs order.
+pub const ENDPOINTS: &[&str] = &[
+    "stats",
+    "degrees",
+    "components",
+    "kcore",
+    "distance",
+    "diameter",
+    "powerlaw",
+    "cover",
+];
+
+impl Query {
+    /// The endpoint path segment this query answers.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Query::Stats => "stats",
+            Query::Degrees => "degrees",
+            Query::Components => "components",
+            Query::KCore { .. } => "kcore",
+            Query::Distance { .. } => "distance",
+            Query::Diameter => "diameter",
+            Query::PowerLaw => "powerlaw",
+            Query::Cover => "cover",
+        }
+    }
+
+    /// Build a query from an endpoint segment and a parameter lookup.
+    pub fn parse(
+        endpoint: &str,
+        param: impl Fn(&str) -> Option<String>,
+    ) -> Result<Query, QueryError> {
+        let parse_u32 = |name: &str| -> Result<Option<u32>, QueryError> {
+            match param(name) {
+                None => Ok(None),
+                Some(s) => s
+                    .parse::<u32>()
+                    .map(Some)
+                    .map_err(|e| QueryError::bad(format!("bad `{name}` parameter `{s}`: {e}"))),
+            }
+        };
+        match endpoint {
+            "stats" => Ok(Query::Stats),
+            "degrees" => Ok(Query::Degrees),
+            "components" => Ok(Query::Components),
+            "kcore" => Ok(Query::KCore { k: parse_u32("k")? }),
+            "distance" => {
+                let from = parse_u32("from")?
+                    .ok_or_else(|| QueryError::bad("distance requires `from`"))?;
+                let to =
+                    parse_u32("to")?.ok_or_else(|| QueryError::bad("distance requires `to`"))?;
+                Ok(Query::Distance { from, to })
+            }
+            "diameter" => Ok(Query::Diameter),
+            "powerlaw" => Ok(Query::PowerLaw),
+            "cover" => Ok(Query::Cover),
+            other => Err(QueryError {
+                status: 404,
+                message: format!(
+                    "unknown endpoint `{other}` (have: {})",
+                    ENDPOINTS.join(", ")
+                ),
+            }),
+        }
+    }
+
+    /// Canonical cache-key suffix: endpoint plus normalized parameters.
+    /// Two requests with the same meaning produce the same string.
+    pub fn canonical(&self) -> String {
+        match self {
+            Query::KCore { k: Some(k) } => format!("kcore?k={k}"),
+            Query::Distance { from, to } => format!("distance?from={from}&to={to}"),
+            _ => self.endpoint().to_string(),
+        }
+    }
+
+    /// Execute against `h`, producing the JSON response body. Always a
+    /// `{"query":…,…}` object terminated by a newline.
+    pub fn run(&self, h: &Hypergraph) -> Result<String, QueryError> {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("query").string(&self.canonical());
+        match self {
+            Query::Stats => run_stats(h, &mut w),
+            Query::Degrees => run_degrees(h, &mut w),
+            Query::Components => run_components(h, &mut w),
+            Query::KCore { k } => run_kcore(h, *k, &mut w),
+            Query::Distance { from, to } => run_distance(h, *from, *to, &mut w)?,
+            Query::Diameter => run_diameter(h, &mut w),
+            Query::PowerLaw => run_powerlaw(h, &mut w),
+            Query::Cover => run_cover(h, &mut w)?,
+        }
+        w.end_object();
+        let mut body = w.finish();
+        body.push('\n');
+        Ok(body)
+    }
+}
+
+/// Resolve a 1-based external vertex id against `h`.
+fn vertex(h: &Hypergraph, id: u32, name: &str) -> Result<VertexId, QueryError> {
+    if id == 0 || id as usize > h.num_vertices() {
+        return Err(QueryError::bad(format!(
+            "`{name}`={id} out of range 1..={}",
+            h.num_vertices()
+        )));
+    }
+    Ok(VertexId(id - 1))
+}
+
+fn run_stats(h: &Hypergraph, w: &mut JsonWriter) {
+    let cc = hypergraph::hypergraph_components(h);
+    w.key("vertices").uint(h.num_vertices() as u64);
+    w.key("hyperedges").uint(h.num_edges() as u64);
+    w.key("pins").uint(h.num_pins() as u64);
+    w.key("max_vertex_degree")
+        .uint(h.max_vertex_degree() as u64);
+    w.key("max_hyperedge_degree")
+        .uint(h.max_edge_degree() as u64);
+    w.key("components").uint(cc.count() as u64);
+    match cc.largest() {
+        Some(big) => {
+            w.key("largest_component").begin_object();
+            w.key("vertices").uint(cc.summary[big].num_vertices as u64);
+            w.key("hyperedges").uint(cc.summary[big].num_edges as u64);
+            w.end_object();
+        }
+        None => {
+            w.key("largest_component").raw("null");
+        }
+    }
+    w.key("storage_bytes").uint(h.storage_bytes() as u64);
+}
+
+fn run_degrees(h: &Hypergraph, w: &mut JsonWriter) {
+    w.key("vertex_degree_histogram").begin_array();
+    for c in hypergraph::vertex_degree_histogram(h) {
+        w.uint(c as u64);
+    }
+    w.end_array();
+    w.key("hyperedge_degree_histogram").begin_array();
+    for c in hypergraph::edge_degree_histogram(h) {
+        w.uint(c as u64);
+    }
+    w.end_array();
+}
+
+fn run_components(h: &Hypergraph, w: &mut JsonWriter) {
+    let cc = hypergraph::hypergraph_components(h);
+    w.key("count").uint(cc.count() as u64);
+    // Largest-first, deterministic tiebreak on the original index.
+    let mut order: Vec<usize> = (0..cc.summary.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(cc.summary[i].num_vertices), i));
+    w.key("components").begin_array();
+    for i in order {
+        w.begin_object();
+        w.key("vertices").uint(cc.summary[i].num_vertices as u64);
+        w.key("hyperedges").uint(cc.summary[i].num_edges as u64);
+        w.end_object();
+    }
+    w.end_array();
+}
+
+fn run_kcore(h: &Hypergraph, k: Option<u32>, w: &mut JsonWriter) {
+    let core = match k {
+        Some(k) => Some(hypergraph::hypergraph_kcore(h, k)),
+        None => hypergraph::max_core(h),
+    };
+    match core {
+        Some(c) if !c.is_empty() => {
+            w.key("k").uint(c.k as u64);
+            w.key("vertices").uint(c.vertices.len() as u64);
+            w.key("hyperedges").uint(c.edges.len() as u64);
+            w.key("pins").uint(c.sub.num_pins() as u64);
+            w.key("vertex_ids").begin_array();
+            for v in &c.vertices {
+                w.uint(v.0 as u64 + 1);
+            }
+            w.end_array();
+        }
+        _ => {
+            w.key("k").raw("null");
+            w.key("vertices").uint(0);
+            w.key("hyperedges").uint(0);
+            w.key("pins").uint(0);
+            w.key("vertex_ids").begin_array().end_array();
+        }
+    }
+}
+
+fn run_distance(h: &Hypergraph, from: u32, to: u32, w: &mut JsonWriter) -> Result<(), QueryError> {
+    let s = vertex(h, from, "from")?;
+    let t = vertex(h, to, "to")?;
+    let dist = hypergraph::hyper_distances(h, s);
+    w.key("from").uint(from as u64);
+    w.key("to").uint(to as u64);
+    match dist[t.index()] {
+        hypergraph::path::UNREACHABLE => {
+            w.key("distance").raw("null");
+        }
+        d => {
+            w.key("distance").uint(d as u64);
+        }
+    }
+    Ok(())
+}
+
+fn run_diameter(h: &Hypergraph, w: &mut JsonWriter) {
+    let s = hypergraph::hyper_distance_stats(h);
+    w.key("diameter").uint(s.diameter as u64);
+    w.key("average_path_length").float(s.average_path_length);
+    w.key("reachable_pairs").uint(s.reachable_pairs);
+}
+
+fn run_powerlaw(h: &Hypergraph, w: &mut JsonWriter) {
+    let hist = hypergraph::vertex_degree_histogram(h);
+    match hypergraph::fit_power_law(&hist) {
+        Some(fit) => {
+            w.key("fit").begin_object();
+            w.key("log10_c").float(fit.log10_c);
+            w.key("gamma").float(fit.gamma);
+            w.key("r_squared").float(fit.r_squared);
+            w.key("points").uint(fit.points as u64);
+            w.end_object();
+        }
+        None => {
+            w.key("fit").raw("null");
+        }
+    }
+}
+
+fn run_cover(h: &Hypergraph, w: &mut JsonWriter) -> Result<(), QueryError> {
+    let cover = hypergraph::greedy_vertex_cover(h, |_| 1.0)
+        .map_err(|e| QueryError::bad(format!("cover failed: {e}")))?;
+    w.key("size").uint(cover.vertices.len() as u64);
+    w.key("total_weight").float(cover.total_weight);
+    w.key("average_degree").float(cover.average_degree(h));
+    w.key("vertex_ids").begin_array();
+    for v in &cover.vertices {
+        w.uint(v.0 as u64 + 1);
+    }
+    w.end_array();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::HypergraphBuilder;
+
+    fn chain() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(4);
+        b.add_edge([0, 1]);
+        b.add_edge([1, 2]);
+        b.add_edge([2, 3]);
+        b.build()
+    }
+
+    fn param_none(_: &str) -> Option<String> {
+        None
+    }
+
+    #[test]
+    fn parse_and_canonical() {
+        assert_eq!(Query::parse("stats", param_none).unwrap(), Query::Stats);
+        let q = Query::parse("kcore", |k| (k == "k").then(|| "3".to_string())).unwrap();
+        assert_eq!(q, Query::KCore { k: Some(3) });
+        assert_eq!(q.canonical(), "kcore?k=3");
+        assert_eq!(
+            Query::parse("kcore", param_none).unwrap().canonical(),
+            "kcore"
+        );
+
+        let q = Query::parse("distance", |k| match k {
+            "from" => Some("1".into()),
+            "to" => Some("4".into()),
+            _ => None,
+        })
+        .unwrap();
+        assert_eq!(q.canonical(), "distance?from=1&to=4");
+
+        assert_eq!(Query::parse("nope", param_none).unwrap_err().status, 404);
+        assert_eq!(
+            Query::parse("kcore", |_| Some("x".into()))
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            Query::parse("distance", param_none).unwrap_err().status,
+            400
+        );
+    }
+
+    #[test]
+    fn stats_body() {
+        let body = Query::Stats.run(&chain()).unwrap();
+        assert!(body.contains("\"vertices\":4"));
+        assert!(body.contains("\"hyperedges\":3"));
+        assert!(body.contains("\"components\":1"));
+        assert!(body.ends_with("}\n"));
+    }
+
+    #[test]
+    fn distance_body_and_errors() {
+        let body = Query::Distance { from: 1, to: 4 }.run(&chain()).unwrap();
+        assert!(body.contains("\"distance\":3"), "{body}");
+
+        let err = Query::Distance { from: 0, to: 4 }
+            .run(&chain())
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+        let err = Query::Distance { from: 1, to: 9 }
+            .run(&chain())
+            .unwrap_err();
+        assert!(err.message.contains("out of range"), "{}", err.message);
+
+        // Unreachable pair → null.
+        let mut b = HypergraphBuilder::new(3);
+        b.add_edge([0, 1]);
+        let h = b.build();
+        let body = Query::Distance { from: 1, to: 3 }.run(&h).unwrap();
+        assert!(body.contains("\"distance\":null"), "{body}");
+    }
+
+    #[test]
+    fn diameter_matches_library() {
+        let body = Query::Diameter.run(&chain()).unwrap();
+        assert!(body.contains("\"diameter\":3"), "{body}");
+        assert!(body.contains("\"reachable_pairs\":12"), "{body}");
+    }
+
+    #[test]
+    fn kcore_and_cover_bodies() {
+        let body = Query::KCore { k: Some(1) }.run(&chain()).unwrap();
+        assert!(body.contains("\"k\":1"), "{body}");
+        assert!(body.contains("\"vertex_ids\":[1,2,3,4]"), "{body}");
+
+        let body = Query::KCore { k: Some(99) }.run(&chain()).unwrap();
+        assert!(body.contains("\"k\":null"), "{body}");
+
+        let body = Query::Cover.run(&chain()).unwrap();
+        assert!(body.contains("\"size\":2"), "{body}");
+    }
+
+    #[test]
+    fn degrees_and_powerlaw_and_components() {
+        let body = Query::Degrees.run(&chain()).unwrap();
+        assert!(
+            body.contains("\"vertex_degree_histogram\":[0,2,2]"),
+            "{body}"
+        );
+
+        let body = Query::PowerLaw.run(&chain()).unwrap();
+        assert!(body.contains("\"fit\""), "{body}");
+
+        let body = Query::Components.run(&chain()).unwrap();
+        assert!(body.contains("\"count\":1"), "{body}");
+    }
+
+    #[test]
+    fn identical_queries_produce_identical_bodies() {
+        let h = chain();
+        for e in ENDPOINTS {
+            if *e == "distance" {
+                continue;
+            }
+            let q = Query::parse(e, param_none).unwrap();
+            assert_eq!(q.run(&h).unwrap(), q.run(&h).unwrap(), "{e}");
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! In-memory dataset registry: named, immutable, epoch-versioned
+//! hypergraphs shared across worker threads.
+//!
+//! Datasets arrive either from disk at startup (`--preload`) or over
+//! `POST /datasets`. Re-posting a name bumps its **epoch**; result-cache
+//! keys embed the epoch, so stale cached answers are never served for a
+//! replaced dataset and simply age out of the LRU.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use hypergraph::Hypergraph;
+
+/// Input formats the registry can parse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// hMETIS-style `.hgr` (the repo's native format).
+    Hgr,
+    /// Pajek `.net`; each graph edge becomes a 2-pin hyperedge.
+    Pajek,
+    /// MatrixMarket coordinate `.mtx`; rows become hyperedges over
+    /// column vertices (the row-net model).
+    MatrixMarket,
+}
+
+impl Format {
+    /// Parse a format name (`hgr` | `pajek`/`net` | `mtx`/`matrixmarket`).
+    pub fn from_name(name: &str) -> Option<Format> {
+        match name.to_ascii_lowercase().as_str() {
+            "hgr" => Some(Format::Hgr),
+            "pajek" | "net" => Some(Format::Pajek),
+            "mtx" | "matrixmarket" => Some(Format::MatrixMarket),
+            _ => None,
+        }
+    }
+
+    /// Infer from a file extension.
+    pub fn from_path(path: &str) -> Option<Format> {
+        let ext = path.rsplit('.').next()?;
+        Format::from_name(ext)
+    }
+}
+
+/// One loaded dataset. Immutable once registered; replacement creates a
+/// new `Dataset` under the same name with a higher epoch.
+#[derive(Debug)]
+pub struct Dataset {
+    pub name: String,
+    /// Bumped each time this name is (re)registered.
+    pub epoch: u64,
+    pub hypergraph: Hypergraph,
+    /// Provenance: `file:<path>` or `upload`.
+    pub source: String,
+}
+
+impl Dataset {
+    /// The prefix every result-cache key for this dataset uses.
+    pub fn cache_prefix(&self) -> String {
+        format!("{}@{}", self.name, self.epoch)
+    }
+}
+
+/// Thread-safe name → dataset map.
+#[derive(Default)]
+pub struct Registry {
+    inner: RwLock<HashMap<String, Arc<Dataset>>>,
+}
+
+/// Parse `text` in `format` into a hypergraph. Error strings are
+/// user-facing (served as 400 bodies) and carry line numbers where the
+/// underlying parser provides them.
+pub fn parse_text(format: Format, text: &str) -> Result<Hypergraph, String> {
+    match format {
+        Format::Hgr => hypergraph::io::read_hgr(text).map_err(|e| e.to_string()),
+        Format::Pajek => {
+            let (g, _labels) =
+                graphcore::pajek::parse_net(text).map_err(|e| format!("pajek parse error: {e}"))?;
+            let mut b = hypergraph::HypergraphBuilder::new(g.num_nodes());
+            for (u, v) in g.edges() {
+                b.add_edge([u.0, v.0]);
+            }
+            Ok(b.build())
+        }
+        Format::MatrixMarket => {
+            let m = matrixmarket::parse_mtx(text).map_err(|e| e.to_string())?;
+            Ok(matrixmarket::row_net(&m))
+        }
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register `text` under `name`, replacing (and epoch-bumping) any
+    /// existing dataset of that name.
+    pub fn insert_text(
+        &self,
+        name: &str,
+        format: Format,
+        text: &str,
+        source: &str,
+    ) -> Result<Arc<Dataset>, String> {
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c))
+        {
+            return Err(format!(
+                "invalid dataset name `{name}` (use [A-Za-z0-9._-]+)"
+            ));
+        }
+        let hypergraph = parse_text(format, text)?;
+        let mut inner = self.inner.write().unwrap();
+        let epoch = inner.get(name).map_or(0, |d| d.epoch + 1);
+        let ds = Arc::new(Dataset {
+            name: name.to_string(),
+            epoch,
+            hypergraph,
+            source: source.to_string(),
+        });
+        inner.insert(name.to_string(), Arc::clone(&ds));
+        Ok(ds)
+    }
+
+    /// Load a file from disk; the dataset name is the file stem.
+    pub fn load_file(&self, path: &str) -> Result<Arc<Dataset>, String> {
+        let format = Format::from_path(path)
+            .ok_or_else(|| format!("cannot infer format of `{path}` (.hgr/.net/.mtx)"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("cannot derive a dataset name from `{path}`"))?;
+        self.insert_text(stem, format, &text, &format!("file:{path}"))
+    }
+
+    pub fn get(&self, name: &str) -> Option<Arc<Dataset>> {
+        self.inner.read().unwrap().get(name).cloned()
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().unwrap().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `GET /datasets` body: every dataset with its shape and
+    /// provenance, name-sorted for stable output.
+    pub fn list_json(&self) -> String {
+        let mut w = hgobs::json::JsonWriter::new();
+        w.begin_object();
+        w.key("datasets").begin_array();
+        for name in self.names() {
+            if let Some(d) = self.get(&name) {
+                w.begin_object();
+                w.key("name").string(&d.name);
+                w.key("epoch").uint(d.epoch);
+                w.key("vertices").uint(d.hypergraph.num_vertices() as u64);
+                w.key("hyperedges").uint(d.hypergraph.num_edges() as u64);
+                w.key("pins").uint(d.hypergraph.num_pins() as u64);
+                w.key("storage_bytes")
+                    .uint(d.hypergraph.storage_bytes() as u64);
+                w.key("source").string(&d.source);
+                w.end_object();
+            }
+        }
+        w.end_array();
+        w.end_object();
+        let mut s = w.finish();
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOY_HGR: &str = "2 3\n1 2\n2 3\n";
+
+    #[test]
+    fn insert_get_and_epoch_bump() {
+        let r = Registry::new();
+        let d0 = r
+            .insert_text("toy", Format::Hgr, TOY_HGR, "upload")
+            .unwrap();
+        assert_eq!(d0.epoch, 0);
+        assert_eq!(d0.hypergraph.num_vertices(), 3);
+        assert_eq!(d0.cache_prefix(), "toy@0");
+
+        let d1 = r
+            .insert_text("toy", Format::Hgr, "1 2\n1 2\n", "upload")
+            .unwrap();
+        assert_eq!(d1.epoch, 1);
+        assert_eq!(r.get("toy").unwrap().hypergraph.num_edges(), 1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn bad_hgr_reports_line_number() {
+        let r = Registry::new();
+        let err = r
+            .insert_text("bad", Format::Hgr, "2 3\n1 2\n9\n", "upload")
+            .unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(r.get("bad").is_none());
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let r = Registry::new();
+        assert!(r.insert_text("", Format::Hgr, TOY_HGR, "u").is_err());
+        assert!(r.insert_text("a/b", Format::Hgr, TOY_HGR, "u").is_err());
+        assert!(r
+            .insert_text("ok-name.v2", Format::Hgr, TOY_HGR, "u")
+            .is_ok());
+    }
+
+    #[test]
+    fn pajek_and_mtx_formats() {
+        let r = Registry::new();
+        let net = "*Vertices 3\n1 \"a\"\n2 \"b\"\n3 \"c\"\n*Edges\n1 2\n2 3\n";
+        let d = r.insert_text("net", Format::Pajek, net, "u").unwrap();
+        assert_eq!(d.hypergraph.num_vertices(), 3);
+        assert_eq!(d.hypergraph.num_edges(), 2);
+        assert_eq!(d.hypergraph.max_edge_degree(), 2);
+
+        let mtx =
+            "%%MatrixMarket matrix coordinate real general\n2 3 3\n1 1 1.0\n1 2 1.0\n2 3 1.0\n";
+        let d = r
+            .insert_text("mtx", Format::MatrixMarket, mtx, "u")
+            .unwrap();
+        assert_eq!(d.hypergraph.num_edges(), 2);
+    }
+
+    #[test]
+    fn format_inference() {
+        assert_eq!(Format::from_path("x/y/z.hgr"), Some(Format::Hgr));
+        assert_eq!(Format::from_path("a.net"), Some(Format::Pajek));
+        assert_eq!(Format::from_path("a.mtx"), Some(Format::MatrixMarket));
+        assert_eq!(Format::from_path("a.csv"), None);
+        assert_eq!(Format::from_name("PAJEK"), Some(Format::Pajek));
+    }
+
+    #[test]
+    fn list_json_is_sorted_and_stable() {
+        let r = Registry::new();
+        r.insert_text("zz", Format::Hgr, TOY_HGR, "u").unwrap();
+        r.insert_text("aa", Format::Hgr, TOY_HGR, "u").unwrap();
+        let j = r.list_json();
+        assert!(j.find("\"aa\"").unwrap() < j.find("\"zz\"").unwrap());
+        assert!(j.contains("\"vertices\":3"));
+    }
+}

@@ -1,0 +1,512 @@
+//! The analytics daemon: acceptor thread → fixed worker pool →
+//! registry lookup → result cache → algorithms.
+//!
+//! ```text
+//!            ┌──────────┐   mpsc    ┌─────────┐
+//!  accept ──▶│ acceptor │──────────▶│ worker 0│──┐
+//!            │ (1 thread│   queue   │   …     │  │   ┌──────────┐
+//!            │ nonblock)│──────────▶│ worker N│──┼──▶│ registry │
+//!            └──────────┘           └─────────┘  │   ├──────────┤
+//!                 ▲ shutdown flag (AtomicBool)   └──▶│ LRU cache│
+//!                 └── SIGINT / POST /admin/shutdown  └──────────┘
+//! ```
+//!
+//! Graceful shutdown: the flag stops the acceptor, the closed channel
+//! drains the workers, and each worker finishes its in-flight request
+//! (answering `Connection: close`) before exiting. `ServerHandle::
+//! shutdown` joins everything, so when it returns no request is lost.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::cache::ShardedLru;
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::query::Query;
+use crate::registry::{Format, Registry};
+
+/// Server tunables, all CLI-exposed.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878`; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Result-cache budget in bytes (0 disables caching).
+    pub cache_bytes: usize,
+    /// Largest accepted `POST /datasets` body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            cache_bytes: 64 << 20,
+            max_body_bytes: 64 << 20,
+        }
+    }
+}
+
+/// State shared by every worker.
+pub struct AppState {
+    pub registry: Arc<Registry>,
+    pub cache: ShardedLru,
+    pub started: Instant,
+    shutdown: AtomicBool,
+    max_body_bytes: usize,
+}
+
+impl AppState {
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Request a graceful shutdown (idempotent).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// One-line lifetime summary for shutdown logs.
+    pub fn state_line(&self) -> String {
+        let requests = hgobs::snapshot_report()
+            .counters
+            .get("serve.requests")
+            .copied()
+            .unwrap_or(0);
+        let cs = self.cache.stats();
+        format!(
+            "{requests} requests, cache {} hits / {} misses / {} evictions",
+            cs.hits, cs.misses, cs.evictions
+        )
+    }
+}
+
+/// A running server; dropping it without `shutdown()` detaches threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Signal shutdown, drain connections, and join every thread.
+    pub fn shutdown(mut self) {
+        self.state.request_shutdown();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Block until something (SIGINT handler, `/admin/shutdown`) requests
+    /// shutdown, then drain and join.
+    pub fn wait(self) {
+        while !self.state.shutting_down() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.shutdown();
+    }
+}
+
+/// How long a worker blocks on an idle keep-alive socket before
+/// re-checking the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Bind and start the server. Enables the hgobs sink — the server's
+/// `/metrics` endpoint is cumulative over the process lifetime.
+pub fn start(config: &ServerConfig, registry: Arc<Registry>) -> std::io::Result<ServerHandle> {
+    hgobs::enable();
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let state = Arc::new(AppState {
+        registry,
+        cache: ShardedLru::new(config.cache_bytes, config.threads.max(1) * 2),
+        started: Instant::now(),
+        shutdown: AtomicBool::new(false),
+        max_body_bytes: config.max_body_bytes,
+    });
+
+    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = std::sync::mpsc::channel();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let workers: Vec<_> = (0..config.threads.max(1))
+        .map(|i| {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("hgserve-worker-{i}"))
+                .spawn(move || loop {
+                    let conn = rx.lock().unwrap().recv();
+                    match conn {
+                        Ok(stream) => handle_connection(&state, stream),
+                        Err(_) => break, // acceptor gone: drained
+                    }
+                })
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let acceptor = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("hgserve-acceptor".to_string())
+            .spawn(move || {
+                while !state.shutting_down() {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let _ = stream.set_nodelay(true);
+                            hgobs::counter!("serve.connections");
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+                // Dropping `tx` here closes the queue; workers finish
+                // whatever is already queued, then exit.
+            })
+            .expect("spawn acceptor")
+    };
+
+    hgobs::log::info(|| format!("hgserve listening on {addr}"));
+    Ok(ServerHandle {
+        addr,
+        state,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+/// Serve one connection: keep-alive loop until close/EOF/shutdown.
+fn handle_connection(state: &AppState, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        match read_request(&mut reader, state.max_body_bytes) {
+            Ok(req) => {
+                let close = req.wants_close() || state.shutting_down();
+                let response = route(state, &req);
+                if response.write_to(&mut writer, close).is_err() || close {
+                    return;
+                }
+            }
+            Err(HttpError::Idle) => {
+                if state.shutting_down() {
+                    return;
+                }
+            }
+            Err(HttpError::Eof) => return,
+            Err(HttpError::Bad { status, message }) => {
+                hgobs::counter!("serve.bad_requests");
+                let _ = Response::error(status, &message).write_to(&mut writer, true);
+                return;
+            }
+            Err(HttpError::Io(_)) => return,
+        }
+    }
+}
+
+/// Dispatch one request to its handler, recording request counters and
+/// a per-endpoint latency histogram.
+pub fn route(state: &AppState, req: &Request) -> Response {
+    let t0 = Instant::now();
+    hgobs::counter!("serve.requests");
+    let (resp, endpoint) = route_inner(state, req);
+    let us = t0.elapsed().as_micros() as u64;
+    hgobs::record_hist(&format!("serve.latency_us.{endpoint}"), us);
+    if resp.status >= 400 {
+        hgobs::add_counter(&format!("serve.errors.{}", resp.status), 1);
+    }
+    resp
+}
+
+fn route_inner(state: &AppState, req: &Request) -> (Response, &'static str) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => (healthz(state), "healthz"),
+        ("GET", ["metrics"]) => (metrics(state), "metrics"),
+        ("GET", ["datasets"]) => (Response::json(200, state.registry.list_json()), "datasets"),
+        ("POST", ["datasets"]) => (post_dataset(state, req), "post_dataset"),
+        ("POST", ["admin", "shutdown"]) => {
+            state.request_shutdown();
+            (
+                Response::json(200, "{\"status\":\"shutting down\"}\n".to_string()),
+                "shutdown",
+            )
+        }
+        ("GET", ["v1", dataset, endpoint]) => query(state, dataset, endpoint, req),
+        (_, ["healthz" | "metrics" | "v1", ..]) | (_, ["datasets"]) => (
+            Response::error(405, &format!("method {} not allowed here", req.method)),
+            "method_not_allowed",
+        ),
+        _ => (
+            Response::error(404, &format!("no route for {}", req.path)),
+            "not_found",
+        ),
+    }
+}
+
+fn healthz(state: &AppState) -> Response {
+    let mut w = hgobs::json::JsonWriter::new();
+    w.begin_object();
+    w.key("status").string("ok");
+    w.key("datasets").uint(state.registry.len() as u64);
+    w.key("uptime_seconds")
+        .float(state.started.elapsed().as_secs_f64());
+    w.end_object();
+    let mut body = w.finish();
+    body.push('\n');
+    Response::json(200, body)
+}
+
+/// Cumulative metrics: the hgobs registry (counters, histograms, spans)
+/// rendered as Prometheus text, followed by cache and uptime gauges.
+fn metrics(state: &AppState) -> Response {
+    let mut body = hgobs::snapshot_report().render_prometheus();
+    let cs = state.cache.stats();
+    body.push_str(&format!(
+        "hgserve_cache_hits {}\nhgserve_cache_misses {}\nhgserve_cache_insertions {}\n\
+         hgserve_cache_evictions {}\nhgserve_cache_entries {}\nhgserve_cache_bytes {}\n\
+         hgserve_cache_capacity_bytes {}\nhgserve_uptime_seconds {:.3}\n",
+        cs.hits,
+        cs.misses,
+        cs.insertions,
+        cs.evictions,
+        cs.entries,
+        cs.bytes,
+        cs.capacity_bytes,
+        state.started.elapsed().as_secs_f64(),
+    ));
+    Response::text(200, body)
+}
+
+fn post_dataset(state: &AppState, req: &Request) -> Response {
+    let Some(name) = req.param("name").map(str::to_string) else {
+        return Response::error(400, "POST /datasets requires `name` parameter");
+    };
+    let format = match req.param("format") {
+        Some(f) => match Format::from_name(f) {
+            Some(f) => f,
+            None => return Response::error(400, &format!("unknown format `{f}` (hgr|pajek|mtx)")),
+        },
+        None => Format::Hgr,
+    };
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "dataset body must be UTF-8 text");
+    };
+    match state.registry.insert_text(&name, format, text, "upload") {
+        Ok(ds) => {
+            hgobs::counter!("serve.datasets_loaded");
+            let mut w = hgobs::json::JsonWriter::new();
+            w.begin_object();
+            w.key("name").string(&ds.name);
+            w.key("epoch").uint(ds.epoch);
+            w.key("vertices").uint(ds.hypergraph.num_vertices() as u64);
+            w.key("hyperedges").uint(ds.hypergraph.num_edges() as u64);
+            w.key("pins").uint(ds.hypergraph.num_pins() as u64);
+            w.end_object();
+            let mut body = w.finish();
+            body.push('\n');
+            Response::json(201, body)
+        }
+        Err(msg) => Response::error(400, &msg),
+    }
+}
+
+fn query(
+    state: &AppState,
+    dataset: &str,
+    endpoint: &str,
+    req: &Request,
+) -> (Response, &'static str) {
+    let Some(ds) = state.registry.get(dataset) else {
+        return (
+            Response::error(404, &format!("unknown dataset `{dataset}`")),
+            "unknown_dataset",
+        );
+    };
+    let q = match Query::parse(endpoint, |k| req.param(k).map(str::to_string)) {
+        Ok(q) => q,
+        Err(e) => return (Response::error(e.status, &e.message), "bad_query"),
+    };
+    let label = q.endpoint();
+    let key = format!("{}:{}", ds.cache_prefix(), q.canonical());
+    if let Some(body) = state.cache.get(&key) {
+        hgobs::counter!("serve.cache.hit");
+        return (Response::json(200, body.as_str().to_string()), label);
+    }
+    hgobs::counter!("serve.cache.miss");
+    match q.run(&ds.hypergraph) {
+        Ok(body) => {
+            let body = Arc::new(body);
+            state.cache.insert(&key, Arc::clone(&body));
+            (Response::json(200, body.as_str().to_string()), label)
+        }
+        Err(e) => (Response::error(e.status, &e.message), label),
+    }
+}
+
+/// Install a `SIGINT` handler that flips the returned flag on Ctrl-C.
+/// Pure `std` + a direct `signal(2)` declaration; the handler body is a
+/// single atomic store, which is async-signal-safe.
+#[cfg(unix)]
+pub fn install_sigint_flag() -> &'static AtomicBool {
+    static FLAG: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_sigint(_sig: i32) {
+        FLAG.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    let handler: extern "C" fn(i32) = on_sigint;
+    unsafe {
+        signal(SIGINT, handler as usize);
+    }
+    &FLAG
+}
+
+/// Non-unix fallback: a flag nothing ever sets (shutdown then comes
+/// from `/admin/shutdown` only).
+#[cfg(not(unix))]
+pub fn install_sigint_flag() -> &'static AtomicBool {
+    static FLAG: AtomicBool = AtomicBool::new(false);
+    &FLAG
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::HypergraphBuilder;
+
+    fn toy_state() -> AppState {
+        let registry = Arc::new(Registry::new());
+        let mut b = HypergraphBuilder::new(4);
+        b.add_edge([0, 1]);
+        b.add_edge([1, 2]);
+        b.add_edge([2, 3]);
+        let text = hypergraph::io::write_hgr(&b.build());
+        registry
+            .insert_text("toy", Format::Hgr, &text, "test")
+            .unwrap();
+        AppState {
+            registry,
+            cache: ShardedLru::new(1 << 20, 2),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            max_body_bytes: 1 << 20,
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        let (path, query) = crate::http::split_target(path);
+        Request {
+            method: "GET".to_string(),
+            path,
+            query,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn routing_table() {
+        let state = toy_state();
+        assert_eq!(route(&state, &get("/healthz")).status, 200);
+        assert_eq!(route(&state, &get("/datasets")).status, 200);
+        assert_eq!(route(&state, &get("/metrics")).status, 200);
+        assert_eq!(route(&state, &get("/v1/toy/stats")).status, 200);
+        assert_eq!(route(&state, &get("/v1/toy/kcore?k=1")).status, 200);
+        assert_eq!(route(&state, &get("/v1/none/stats")).status, 404);
+        assert_eq!(route(&state, &get("/v1/toy/bogus")).status, 404);
+        assert_eq!(route(&state, &get("/v1/toy/kcore?k=no")).status, 400);
+        assert_eq!(route(&state, &get("/nope")).status, 404);
+        let mut post = get("/datasets");
+        post.method = "DELETE".to_string();
+        assert_eq!(route(&state, &post).status, 405);
+    }
+
+    #[test]
+    fn repeated_query_hits_cache() {
+        let state = toy_state();
+        let r1 = route(&state, &get("/v1/toy/diameter"));
+        let r2 = route(&state, &get("/v1/toy/diameter"));
+        assert_eq!(r1.status, 200);
+        assert_eq!(r1.body, r2.body);
+        let cs = state.cache.stats();
+        assert_eq!(cs.hits, 1, "{cs:?}");
+        assert_eq!(cs.misses, 1, "{cs:?}");
+        assert_eq!(cs.entries, 1, "{cs:?}");
+    }
+
+    #[test]
+    fn post_dataset_then_query_and_epoch_isolation() {
+        let state = toy_state();
+        let mut req = get("/datasets?name=up&format=hgr");
+        req.method = "POST".to_string();
+        req.body = b"1 2\n1 2\n".to_vec();
+        let r = route(&state, &req);
+        assert_eq!(r.status, 201, "{}", r.body);
+        assert!(r.body.contains("\"epoch\":0"));
+
+        let r = route(&state, &get("/v1/up/stats"));
+        assert!(r.body.contains("\"hyperedges\":1"), "{}", r.body);
+
+        // Replace the dataset: epoch bumps, cached answer must not leak.
+        req.body = b"2 3\n1 2\n2 3\n".to_vec();
+        let r = route(&state, &req);
+        assert!(r.body.contains("\"epoch\":1"), "{}", r.body);
+        let r = route(&state, &get("/v1/up/stats"));
+        assert!(r.body.contains("\"hyperedges\":2"), "{}", r.body);
+    }
+
+    #[test]
+    fn post_malformed_hgr_is_400_with_line_number() {
+        let state = toy_state();
+        let mut req = get("/datasets?name=bad");
+        req.method = "POST".to_string();
+        req.body = b"2 3\n1 2\nwat\n".to_vec();
+        let r = route(&state, &req);
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("line 3"), "{}", r.body);
+    }
+
+    #[test]
+    fn metrics_exposes_cache_and_hgobs_counters() {
+        let state = toy_state();
+        let _ = route(&state, &get("/v1/toy/stats"));
+        let _ = route(&state, &get("/v1/toy/stats"));
+        let r = route(&state, &get("/metrics"));
+        assert!(r.body.contains("hgserve_cache_hits "), "{}", r.body);
+        assert!(r.body.contains("hgserve_cache_capacity_bytes "));
+    }
+}

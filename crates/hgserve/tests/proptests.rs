@@ -1,0 +1,86 @@
+//! Property test: routing a query stream through the sharded result
+//! cache must never change an answer. The cached engine replays the
+//! exact lookup/insert discipline `server::route` uses, with a budget
+//! small enough that eviction and recomputation both happen.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hgserve::{Query, ShardedLru};
+use hypergraph::{Hypergraph, HypergraphBuilder};
+
+fn arb_hypergraph(
+    max_v: usize,
+    max_e: usize,
+    max_size: usize,
+) -> impl Strategy<Value = Hypergraph> {
+    (1..=max_v).prop_flat_map(move |n| {
+        proptest::collection::vec(
+            proptest::collection::vec(0..n as u32, 0..=max_size),
+            0..=max_e,
+        )
+        .prop_map(move |edges| {
+            let mut b = HypergraphBuilder::new(n);
+            for e in edges {
+                b.add_edge(e);
+            }
+            b.build()
+        })
+    })
+}
+
+/// A stream of well-formed queries whose parameters stay in range for a
+/// hypergraph with `n` vertices (external ids are 1-based). The vendored
+/// proptest has no `prop_oneof!`, so a selector integer picks the variant.
+fn arb_queries(n: usize, len: usize) -> impl Strategy<Value = Vec<Query>> {
+    let n = n as u32;
+    let one = (0u32..9, 0u32..6, 1..=n, 1..=n).prop_map(|(sel, k, from, to)| match sel {
+        0 => Query::Stats,
+        1 => Query::Degrees,
+        2 => Query::Components,
+        3 => Query::KCore { k: Some(k) },
+        4 => Query::KCore { k: None },
+        5 => Query::Distance { from, to },
+        6 => Query::Diameter,
+        7 => Query::PowerLaw,
+        _ => Query::Cover,
+    });
+    proptest::collection::vec(one, 1..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Cache-on and cache-off engines return byte-identical bodies for
+    /// every query in an arbitrary stream.
+    #[test]
+    fn cached_answers_equal_uncached(
+        (h, queries) in arb_hypergraph(12, 10, 5)
+            .prop_flat_map(|h| {
+                let n = h.num_vertices().max(1);
+                (Just(h), arb_queries(n, 24))
+            }),
+        capacity in 256usize..4096,
+        shards in 1usize..5,
+    ) {
+        let cache = ShardedLru::new(capacity, shards);
+        for q in &queries {
+            let direct = q.run(&h);
+            let key = format!("prop@1:{}", q.canonical());
+            let cached = match cache.get(&key) {
+                Some(body) => Ok(body.to_string()),
+                None => {
+                    let r = q.run(&h);
+                    if let Ok(body) = &r {
+                        cache.insert(&key, Arc::new(body.clone()));
+                    }
+                    r
+                }
+            };
+            prop_assert_eq!(direct, cached, "query {:?}", q);
+        }
+        let st = cache.stats();
+        prop_assert!(st.bytes <= st.capacity_bytes, "{:?}", st);
+    }
+}

@@ -27,13 +27,42 @@ pub fn write_hgr(h: &Hypergraph) -> String {
     out
 }
 
-/// Error from parsing `.hgr` text.
+/// Structured error from parsing `.hgr` text: what went wrong and, when
+/// it is attributable to one input line, the **1-based** line number.
+/// Callers (the CLI, `hg serve`'s `POST /datasets` 400 responses) can
+/// point users at the exact offending line instead of a bare message.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct HgrError(pub String);
+pub struct HgrError {
+    /// 1-based line in the input text, counting every physical line
+    /// (comments included); `None` for whole-document errors such as a
+    /// truncated file.
+    pub line: Option<usize>,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl HgrError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        HgrError {
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+
+    fn whole(message: impl Into<String>) -> Self {
+        HgrError {
+            line: None,
+            message: message.into(),
+        }
+    }
+}
 
 impl std::fmt::Display for HgrError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "hgr parse error: {}", self.0)
+        match self.line {
+            Some(n) => write!(f, "hgr parse error at line {n}: {}", self.message),
+            None => write!(f, "hgr parse error: {}", self.message),
+        }
     }
 }
 
@@ -41,28 +70,35 @@ impl std::error::Error for HgrError {}
 
 /// Parse `.hgr` text into a [`Hypergraph`].
 pub fn read_hgr(text: &str) -> Result<Hypergraph, HgrError> {
-    let mut lines = text.lines().filter(|l| !l.trim_start().starts_with('%'));
-    let header = lines
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .filter(|(_, l)| !l.trim_start().starts_with('%'));
+    let (header_no, header) = lines
         .next()
-        .ok_or_else(|| HgrError("empty document".into()))?;
+        .ok_or_else(|| HgrError::whole("empty document"))?;
     let mut it = header.split_whitespace();
     let m: usize = it
         .next()
-        .ok_or_else(|| HgrError("missing hyperedge count".into()))?
+        .ok_or_else(|| HgrError::at(header_no, "missing hyperedge count"))?
         .parse()
-        .map_err(|e| HgrError(format!("bad hyperedge count: {e}")))?;
+        .map_err(|e| HgrError::at(header_no, format!("bad hyperedge count: {e}")))?;
     let n: usize = it
         .next()
-        .ok_or_else(|| HgrError("missing vertex count".into()))?
+        .ok_or_else(|| HgrError::at(header_no, "missing vertex count"))?
         .parse()
-        .map_err(|e| HgrError(format!("bad vertex count: {e}")))?;
+        .map_err(|e| HgrError::at(header_no, format!("bad vertex count: {e}")))?;
 
     let mut b = HypergraphBuilder::new(n);
     let mut parsed = 0usize;
-    for line in lines {
+    for (line_no, line) in lines {
         if parsed == m {
             if !line.trim().is_empty() {
-                return Err(HgrError(format!("more than {m} hyperedge lines")));
+                return Err(HgrError::at(
+                    line_no,
+                    format!("more than {m} hyperedge lines"),
+                ));
             }
             continue;
         }
@@ -70,9 +106,12 @@ pub fn read_hgr(text: &str) -> Result<Hypergraph, HgrError> {
         for tok in line.split_whitespace() {
             let v: usize = tok
                 .parse()
-                .map_err(|e| HgrError(format!("bad vertex id `{tok}`: {e}")))?;
+                .map_err(|e| HgrError::at(line_no, format!("bad vertex id `{tok}`: {e}")))?;
             if v == 0 || v > n {
-                return Err(HgrError(format!("vertex id {v} out of range 1..={n}")));
+                return Err(HgrError::at(
+                    line_no,
+                    format!("vertex id {v} out of range 1..={n}"),
+                ));
             }
             pins.push((v - 1) as u32);
         }
@@ -80,7 +119,7 @@ pub fn read_hgr(text: &str) -> Result<Hypergraph, HgrError> {
         parsed += 1;
     }
     if parsed != m {
-        return Err(HgrError(format!(
+        return Err(HgrError::whole(format!(
             "expected {m} hyperedge lines, found {parsed}"
         )));
     }
@@ -141,5 +180,26 @@ mod tests {
     fn trailing_blank_lines_ok() {
         let h = read_hgr("1 2\n1 2\n\n\n").unwrap();
         assert_eq!(h.num_edges(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        // Physical line numbers, comments counted: the bad id is line 4.
+        let err = read_hgr("% header comment\n2 3\n1 2\nbogus\n").unwrap_err();
+        assert_eq!(err.line, Some(4));
+        assert!(err.message.contains("bad vertex id `bogus`"), "{err}");
+        assert!(err.to_string().starts_with("hgr parse error at line 4:"));
+
+        let err = read_hgr("1 2\n7\n").unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.message.contains("out of range"), "{err}");
+
+        let err = read_hgr("x 3\n").unwrap_err();
+        assert_eq!(err.line, Some(1));
+
+        // Truncated document: not attributable to any one line.
+        let err = read_hgr("2 2\n1\n").unwrap_err();
+        assert_eq!(err.line, None);
+        assert!(err.to_string().starts_with("hgr parse error: expected"));
     }
 }

@@ -34,4 +34,4 @@ pub use par_distance::par_hyper_distance_stats;
 pub use par_graph::par_core_decomposition;
 pub use par_kcore::{par_hypergraph_kcore, par_max_core};
 pub use par_overlap::par_overlap_table;
-pub use scoped::scoped_hyper_distance_stats;
+pub use scoped::{scoped_hyper_distance_stats, scoped_run};

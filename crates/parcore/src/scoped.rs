@@ -10,6 +10,35 @@
 use hypergraph::path::UNREACHABLE;
 use hypergraph::{HyperDistanceStats, Hypergraph, VertexId};
 
+/// Fan `f` out over `threads` scoped OS threads and collect one result
+/// per thread, in thread-index order. The closure receives its thread
+/// index so callers can do static partitioning (`sources[i::threads]`)
+/// or per-thread seeding. Used by the hgserve cache concurrency tests
+/// and anywhere a fixed-width scoped fan-out beats spinning up rayon.
+///
+/// # Panics
+/// If `threads == 0` or any worker panics.
+pub fn scoped_run<R, F>(threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let f = &f;
+                scope.spawn(move |_| f(i))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope")
+}
+
 /// Distance statistics via `threads` scoped OS threads, each sweeping a
 /// static chunk of BFS sources. Matches
 /// [`hypergraph::hyper_distance_stats`] exactly.
@@ -107,6 +136,20 @@ mod tests {
     fn zero_threads_rejected() {
         let h = HypergraphBuilder::new(1).build();
         let _ = scoped_hyper_distance_stats(&h, 0);
+    }
+
+    #[test]
+    fn scoped_run_returns_in_index_order() {
+        let out = scoped_run(8, |i| i * i);
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn scoped_run_shares_state_across_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let total = AtomicUsize::new(0);
+        scoped_run(4, |i| total.fetch_add(i + 1, Ordering::Relaxed));
+        assert_eq!(total.load(Ordering::Relaxed), 1 + 2 + 3 + 4);
     }
 
     #[test]
