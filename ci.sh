@@ -1,8 +1,98 @@
 #!/usr/bin/env sh
-# Repo CI gate: formatting, lints (warnings are errors), build, tests.
+# Repo CI gate: formatting, lints (warnings are errors), docs, build,
+# tests, and an end-to-end smoke test against the release binary.
+#
+#   ./ci.sh            full gate
+#   ./ci.sh --bench    release loadgen benchmark + p99 regression gate
+#
+# The smoke/bench servers bind an ephemeral port (--addr 127.0.0.1:0)
+# and the scripts parse the machine-readable `ADDR=` line from the
+# server log, so parallel CI jobs never fight over a fixed port.
 set -eu
 
 cd "$(dirname "$0")"
+
+# Start `hg serve` in the background on an ephemeral port. Sets the
+# globals $ADDR (the bound address, parsed from the machine-readable
+# `ADDR=` log line) and $SERVE_PID; the log lands in smoke.log. Must
+# not be called from a command substitution — the globals would die
+# with the subshell.
+start_server() {
+    ./target/release/hg serve --addr 127.0.0.1:0 --threads 2 --cache-mb 8 \
+        --preload data/cellzome-2004.hgr >smoke.log 2>&1 &
+    SERVE_PID=$!
+    trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+    i=0
+    ADDR=""
+    while [ -z "$ADDR" ]; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "server did not print its address" >&2
+            cat smoke.log >&2
+            exit 1
+        fi
+        ADDR=$(sed -n 's/^ADDR=//p' smoke.log | head -n 1)
+        [ -n "$ADDR" ] || sleep 0.1
+    done
+    i=0
+    until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "server did not come up on $ADDR" >&2
+            cat smoke.log >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+stop_server() {
+    curl -sf -X POST "http://$ADDR/admin/shutdown" >/dev/null
+    wait "$SERVE_PID"
+    trap - EXIT
+}
+
+run_bench() {
+    echo "==> cargo build --release (bench)"
+    cargo build --workspace --release -q
+
+    echo "==> hg loadgen benchmark"
+    start_server
+    # Warm the cache so the gate measures steady-state serving, then
+    # run the measured pass.
+    ./target/release/hg loadgen --addr "$ADDR" --dataset cellzome-2004 \
+        --concurrency 4 --requests 100 >/dev/null
+    ./target/release/hg loadgen --addr "$ADDR" --dataset cellzome-2004 \
+        --concurrency 4 --requests 400 --json BENCH_serve.json
+    stop_server
+    rm -f smoke.log
+
+    P99=$(sed -n 's/.*"p99_us":\([0-9]*\).*/\1/p' BENCH_serve.json)
+    BASE=$(sed -n 's/.*"p99_us":\([0-9]*\).*/\1/p' bench/serve-baseline.json)
+    if [ -z "$P99" ] || [ -z "$BASE" ]; then
+        echo "cannot extract p99_us (got p99='$P99' baseline='$BASE')" >&2
+        exit 1
+    fi
+    LIMIT=$((BASE * 125 / 100))
+    echo "bench: p99 ${P99}us (baseline ${BASE}us, limit ${LIMIT}us)"
+    if [ "$P99" -gt "$LIMIT" ]; then
+        echo "BENCH FAIL: p99 ${P99}us regressed >25% over baseline ${BASE}us" >&2
+        exit 1
+    fi
+    echo "BENCH OK"
+}
+
+if [ "${1:-}" = "--bench" ]; then
+    run_bench
+    exit 0
+fi
+
+echo "==> shellcheck ci.sh"
+if command -v shellcheck >/dev/null 2>&1; then
+    shellcheck ci.sh
+else
+    echo "shellcheck not installed; skipping"
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -10,34 +100,38 @@ cargo fmt --all --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> cargo build --release"
 cargo build --workspace --release
 
 echo "==> cargo test"
 cargo test --workspace -q
 
-echo "==> hgserve e2e (release)"
+echo "==> hgserve e2e + robustness (release)"
 cargo test -p hgserve --release --test e2e -q
+cargo test -p hgserve --release --test robustness -q
 
-echo "==> hgserve smoke (hg serve + curl)"
-./target/release/hg serve --addr 127.0.0.1:7878 --threads 2 --cache-mb 8 \
-    --preload data/cellzome-2004.hgr >smoke.log 2>&1 &
-SERVE_PID=$!
-trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f smoke.log' EXIT
-i=0
-until curl -sf http://127.0.0.1:7878/healthz >/dev/null 2>&1; do
-    i=$((i + 1))
-    [ "$i" -ge 50 ] && { echo "server did not come up"; cat smoke.log; exit 1; }
-    sleep 0.1
-done
-curl -sf http://127.0.0.1:7878/v1/cellzome-2004/diameter >/dev/null
-curl -sf http://127.0.0.1:7878/v1/cellzome-2004/diameter >/dev/null
-HITS=$(curl -sf http://127.0.0.1:7878/metrics | awk '$1 == "hgserve_cache_hits" { print $2 }')
+echo "==> hgserve smoke (hg serve on an ephemeral port + curl)"
+start_server
+# Robustness surface first, while the cache is cold: a 1ms deadline on
+# an uncached diameter sweep answers 504 (or 200 if the box finishes the
+# sweep inside the budget), and the deadline counter is exported.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H 'X-Deadline-Ms: 1' \
+    "http://$ADDR/v1/cellzome-2004/diameter")
+[ "$CODE" = "504" ] || [ "$CODE" = "200" ] || {
+    echo "deadline probe expected 504 (or a 200 on a fast box), got $CODE"
+    exit 1
+}
+DE=$(curl -sf "http://$ADDR/metrics" | awk '$1 == "hgserve_deadline_exceeded_total" { print $2 }')
+[ -n "$DE" ] || { echo "hgserve_deadline_exceeded_total not exported"; exit 1; }
+curl -sf "http://$ADDR/v1/cellzome-2004/diameter" >/dev/null
+curl -sf "http://$ADDR/v1/cellzome-2004/diameter" >/dev/null
+HITS=$(curl -sf "http://$ADDR/metrics" | awk '$1 == "hgserve_cache_hits" { print $2 }')
 [ "${HITS:-0}" -ge 1 ] || { echo "expected a cache hit, got hits=${HITS:-none}"; exit 1; }
-curl -sf -X POST http://127.0.0.1:7878/admin/shutdown >/dev/null
-wait "$SERVE_PID"
-trap - EXIT
+stop_server
 rm -f smoke.log
-echo "smoke OK (cache hits: $HITS)"
+echo "smoke OK (cache hits: $HITS, deadline probe: $CODE)"
 
 echo "CI OK"

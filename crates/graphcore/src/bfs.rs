@@ -3,6 +3,8 @@
 //! computed on plain graphs (and reused by the hypergraph crate through its
 //! bipartite view).
 
+use hgobs::{Deadline, DeadlineExceeded};
+
 use crate::graph::{Graph, NodeId};
 use crate::UNREACHABLE;
 
@@ -10,11 +12,36 @@ use crate::UNREACHABLE;
 ///
 /// Unreachable nodes get [`UNREACHABLE`]. O(n + m).
 pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    match bfs_distances_with(g, source, &Deadline::none()) {
+        Ok(dist) => dist,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`bfs_distances`] under a cooperative [`Deadline`], checked every
+/// [`hgobs::CHECK_INTERVAL`] settled nodes. On expiry the error's
+/// `work_done` is the number of nodes settled.
+pub fn bfs_distances_with(
+    g: &Graph,
+    source: NodeId,
+    deadline: &Deadline,
+) -> Result<Vec<u32>, DeadlineExceeded> {
+    // Upfront check: the amortized tick only fires every CHECK_INTERVAL
+    // settled nodes, which a small graph may never reach.
+    if deadline.expired() {
+        return Err(deadline.exceeded("graph.bfs", 0));
+    }
     let mut dist = vec![UNREACHABLE; g.num_nodes()];
     let mut queue = std::collections::VecDeque::new();
+    let mut ticks = 0u32;
+    let mut settled = 0u64;
     dist[source.index()] = 0;
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
+        if deadline.tick(&mut ticks) {
+            return Err(deadline.exceeded("graph.bfs", settled));
+        }
+        settled += 1;
         let du = dist[u.index()];
         for &v in g.neighbors(u) {
             if dist[v.index()] == UNREACHABLE {
@@ -23,23 +50,30 @@ pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
             }
         }
     }
-    dist
+    Ok(dist)
 }
 
 /// BFS that reuses caller-provided scratch buffers; used by the exact
 /// all-pairs sweeps so the per-source allocation disappears from the
-/// hot loop (perf-book: hoist allocations out of loops).
+/// hot loop (perf-book: hoist allocations out of loops). The shared
+/// `ticks` counter amortizes deadline checks across the whole sweep;
+/// returns `false` when the deadline fired mid-BFS.
 pub(crate) fn bfs_into(
     g: &Graph,
     source: NodeId,
     dist: &mut [u32],
     queue: &mut std::collections::VecDeque<NodeId>,
-) {
+    deadline: &Deadline,
+    ticks: &mut u32,
+) -> bool {
     dist.fill(UNREACHABLE);
     queue.clear();
     dist[source.index()] = 0;
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
+        if deadline.tick(ticks) {
+            return false;
+        }
         let du = dist[u.index()];
         for &v in g.neighbors(u) {
             if dist[v.index()] == UNREACHABLE {
@@ -48,6 +82,7 @@ pub(crate) fn bfs_into(
             }
         }
     }
+    true
 }
 
 /// Maximum finite distance from `source` (its eccentricity within its
@@ -77,47 +112,56 @@ pub struct DistanceStats {
 /// O(n (n + m)). Exact is fine at Cellzome scale (~1.4k + 232 nodes in
 /// the bipartite view); for larger inputs see [`distance_stats_sampled`].
 pub fn distance_stats_exact(g: &Graph) -> DistanceStats {
-    let _span = hgobs::Span::enter("graph.bfs.sweep");
-    hgobs::counter!("graph.bfs.sources", g.num_nodes());
-    let mut diameter = 0u32;
-    let mut total = 0u128;
-    let mut pairs = 0u64;
-    let mut dist = vec![0u32; g.num_nodes()];
-    let mut queue = std::collections::VecDeque::new();
-    for u in g.nodes() {
-        bfs_into(g, u, &mut dist, &mut queue);
-        for (v, &d) in dist.iter().enumerate() {
-            if d != UNREACHABLE && v != u.index() {
-                diameter = diameter.max(d);
-                total += d as u128;
-                pairs += 1;
-            }
-        }
+    match distance_stats_exact_with(g, &Deadline::none()) {
+        Ok(stats) => stats,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
     }
-    DistanceStats {
-        diameter,
-        average_path_length: if pairs == 0 {
-            0.0
-        } else {
-            total as f64 / pairs as f64
-        },
-        reachable_pairs: pairs,
-    }
+}
+
+/// [`distance_stats_exact`] under a cooperative [`Deadline`]. The
+/// error's `work_done` counts BFS sources fully completed, and the
+/// `graph.bfs.sources` counter reflects that same partial count.
+pub fn distance_stats_exact_with(
+    g: &Graph,
+    deadline: &Deadline,
+) -> Result<DistanceStats, DeadlineExceeded> {
+    let sources: Vec<NodeId> = g.nodes().collect();
+    distance_stats_sampled_with(g, &sources, deadline)
 }
 
 /// Distance statistics estimated by BFS from `sources` chosen by the
 /// caller (e.g. a random sample). The diameter estimate is a lower bound;
 /// the average is over pairs (s, v) with s in `sources`.
 pub fn distance_stats_sampled(g: &Graph, sources: &[NodeId]) -> DistanceStats {
+    match distance_stats_sampled_with(g, sources, &Deadline::none()) {
+        Ok(stats) => stats,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`distance_stats_sampled`] under a cooperative [`Deadline`], checked
+/// every [`hgobs::CHECK_INTERVAL`] settled nodes across the whole sweep.
+pub fn distance_stats_sampled_with(
+    g: &Graph,
+    sources: &[NodeId],
+    deadline: &Deadline,
+) -> Result<DistanceStats, DeadlineExceeded> {
     let _span = hgobs::Span::enter("graph.bfs.sweep");
-    hgobs::counter!("graph.bfs.sources", sources.len());
     let mut diameter = 0u32;
     let mut total = 0u128;
     let mut pairs = 0u64;
     let mut dist = vec![0u32; g.num_nodes()];
     let mut queue = std::collections::VecDeque::new();
+    let mut ticks = 0u32;
+    let mut completed = 0u64;
     for &u in sources {
-        bfs_into(g, u, &mut dist, &mut queue);
+        // Per-source boundary check: negligible next to a BFS, and it
+        // makes expiry deterministic on graphs too small for the
+        // amortized tick to ever fire.
+        if deadline.expired() || !bfs_into(g, u, &mut dist, &mut queue, deadline, &mut ticks) {
+            hgobs::counter!("graph.bfs.sources", completed);
+            return Err(deadline.exceeded("graph.bfs.sweep", completed));
+        }
         for (v, &d) in dist.iter().enumerate() {
             if d != UNREACHABLE && v != u.index() {
                 diameter = diameter.max(d);
@@ -125,8 +169,10 @@ pub fn distance_stats_sampled(g: &Graph, sources: &[NodeId]) -> DistanceStats {
                 pairs += 1;
             }
         }
+        completed += 1;
     }
-    DistanceStats {
+    hgobs::counter!("graph.bfs.sources", completed);
+    Ok(DistanceStats {
         diameter,
         average_path_length: if pairs == 0 {
             0.0
@@ -134,7 +180,7 @@ pub fn distance_stats_sampled(g: &Graph, sources: &[NodeId]) -> DistanceStats {
             total as f64 / pairs as f64
         },
         reachable_pairs: pairs,
-    }
+    })
 }
 
 /// Exact diameter (largest finite pairwise distance).

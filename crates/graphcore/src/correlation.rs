@@ -1,5 +1,5 @@
 //! Degree–degree correlations: assortativity and the Maslov–Sneppen-style
-//! joint degree profile the paper cites ([8]) when criticizing clique
+//! joint degree profile the paper cites (ref. 8) when criticizing clique
 //! expansions.
 
 use crate::graph::Graph;

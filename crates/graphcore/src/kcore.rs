@@ -7,6 +7,8 @@
 //! on the DIP protein-interaction graphs as the baseline its hypergraph
 //! k-core generalizes.
 
+use hgobs::{Deadline, DeadlineExceeded};
+
 use crate::graph::{Graph, NodeId};
 
 /// The full core decomposition of a graph.
@@ -65,14 +67,28 @@ impl CoreDecomposition {
 /// with bucket starts `bin`, then peel in degree order, moving each
 /// affected neighbour one bucket down (constant time per degree decrement).
 pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
+    match core_decomposition_with(g, &Deadline::none()) {
+        Ok(decomp) => decomp,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`core_decomposition`] under a cooperative [`Deadline`], checked every
+/// [`hgobs::CHECK_INTERVAL`] peeled nodes. On expiry the error's
+/// `work_done` is the number of nodes peeled, and the partial peel count
+/// is still flushed to the `graph.kcore.nodes_peeled` counter.
+pub fn core_decomposition_with(
+    g: &Graph,
+    deadline: &Deadline,
+) -> Result<CoreDecomposition, DeadlineExceeded> {
     let _span = hgobs::Span::enter("graph.kcore");
     let n = g.num_nodes();
     if n == 0 {
-        return CoreDecomposition {
+        return Ok(CoreDecomposition {
             core: Vec::new(),
             max_core: 0,
             peel_order: Vec::new(),
-        };
+        });
     }
 
     let mut degree: Vec<u32> = g.nodes().map(|u| g.degree(u) as u32).collect();
@@ -104,8 +120,14 @@ pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
     let mut max_core = 0u32;
     let mut peel_order = Vec::with_capacity(n);
     let mut degree_decrements: u64 = 0;
+    let mut ticks = 0u32;
 
     for i in 0..n {
+        if deadline.tick(&mut ticks) {
+            hgobs::counter!("graph.kcore.nodes_peeled", i);
+            hgobs::counter!("graph.kcore.degree_decrements", degree_decrements);
+            return Err(deadline.exceeded("graph.kcore.peel", i as u64));
+        }
         let u = vert[i] as usize;
         let du = degree[u];
         core[u] = du;
@@ -139,11 +161,11 @@ pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
 
     // The peeling assigns core[u] = degree at removal; because degrees only
     // decrease as neighbours are peeled, this equals the core number.
-    CoreDecomposition {
+    Ok(CoreDecomposition {
         core,
         max_core,
         peel_order,
-    }
+    })
 }
 
 /// Extract the k-core as an induced subgraph.
@@ -279,6 +301,32 @@ mod tests {
         let d = core_decomposition(&g);
         let cores: Vec<u32> = d.peel_order.iter().map(|&u| d.core[u.index()]).collect();
         assert!(cores.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn unlimited_deadline_matches_plain_decomposition() {
+        let g = fig2_like();
+        let a = core_decomposition(&g);
+        let b = core_decomposition_with(&g, &Deadline::none()).unwrap();
+        assert_eq!(a.core, b.core);
+        assert_eq!(a.max_core, b.max_core);
+        assert_eq!(a.peel_order, b.peel_order);
+    }
+
+    #[test]
+    fn deadline_fires_mid_peel_with_partial_node_count() {
+        // Big path graph: the peel loop dominates. A pre-expired deadline
+        // must stop within the first tick window with a partial count.
+        let n = 200_000u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for i in 1..n {
+            b.add_edge(NodeId(i - 1), NodeId(i));
+        }
+        let g = b.build();
+        let err =
+            core_decomposition_with(&g, &Deadline::after(std::time::Duration::ZERO)).unwrap_err();
+        assert_eq!(err.phase, "graph.kcore.peel");
+        assert!(err.work_done < n as u64, "{err:?}");
     }
 
     /// Definitional check: within the k-core subgraph every node has degree

@@ -43,7 +43,11 @@ pub mod kcore;
 pub mod pajek;
 pub mod unionfind;
 
-pub use bfs::{average_path_length, bfs_distances, diameter, eccentricity, DistanceStats};
+pub use bfs::{
+    average_path_length, bfs_distances, bfs_distances_with, diameter, distance_stats_exact,
+    distance_stats_exact_with, distance_stats_sampled, distance_stats_sampled_with, eccentricity,
+    DistanceStats,
+};
 pub use builder::GraphBuilder;
 pub use centrality::{betweenness, betweenness_normalized};
 pub use clustering::{global_clustering_coefficient, local_clustering, mean_local_clustering};
@@ -51,7 +55,7 @@ pub use components::{connected_components, Components};
 pub use correlation::{degree_assortativity, mean_neighbor_degree_profile};
 pub use degree::{degree_histogram, DegreeStats};
 pub use graph::{Graph, NodeId};
-pub use kcore::{core_decomposition, k_core_subgraph, CoreDecomposition};
+pub use kcore::{core_decomposition, core_decomposition_with, k_core_subgraph, CoreDecomposition};
 pub use unionfind::UnionFind;
 
 /// Distance value used throughout: `u32::MAX` encodes "unreachable".

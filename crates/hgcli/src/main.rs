@@ -38,7 +38,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE]\n  hg export-pajek <file.hgr> -o <base>\n  hg serve [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--preload FILE...]\n  hg loadgen [--addr HOST:PORT] [--dataset NAME] [--concurrency N]\n             [--requests N] [--mix stats=3,kcore=1,...]\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
+    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE]\n  hg export-pajek <file.hgr> -o <base>\n  hg serve [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--deadline-ms MS]\n           [--queue N] [--preload FILE...]\n  hg loadgen [--addr HOST:PORT] [--dataset NAME] [--concurrency N]\n             [--requests N] [--mix stats=3,kcore=1,...] [--deadline-ms MS]\n             [--json FILE]\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
 }
 
 fn run(args: &[String]) -> Result<String, String> {
@@ -551,6 +551,8 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
     let (addr, rest) = take_opt(args, "--addr")?;
     let (threads, rest) = take_opt(&rest, "--threads")?;
     let (cache_mb, rest) = take_opt(&rest, "--cache-mb")?;
+    let (deadline_ms, rest) = take_opt(&rest, "--deadline-ms")?;
+    let (queue, rest) = take_opt(&rest, "--queue")?;
     // `--preload` is an optional marker; every remaining positional
     // argument is a dataset file to load at startup.
     let (_, preload) = take_switch(&rest, "--preload");
@@ -569,6 +571,15 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
         let mb: usize = mb.parse().map_err(|e| format!("bad --cache-mb: {e}"))?;
         config.cache_bytes = mb << 20;
     }
+    if let Some(ms) = deadline_ms {
+        config.deadline_ms = ms.parse().map_err(|e| format!("bad --deadline-ms: {e}"))?;
+    }
+    if let Some(q) = queue {
+        config.queue_depth = q.parse().map_err(|e| format!("bad --queue: {e}"))?;
+        if config.queue_depth == 0 {
+            return Err("--queue must be >= 1".to_string());
+        }
+    }
 
     let registry = std::sync::Arc::new(hgserve::Registry::new());
     for path in &preload {
@@ -584,6 +595,9 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
     let sigint = hgserve::install_sigint_flag();
     let handle = hgserve::start(&config, registry).map_err(|e| format!("cannot bind: {e}"))?;
     println!("hg serve: listening on http://{}", handle.addr());
+    // Machine-parseable bound-address line so scripts can use
+    // `--addr 127.0.0.1:0` (ephemeral port) and still find the server.
+    println!("ADDR={}", handle.addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
@@ -602,6 +616,8 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
     let (concurrency, rest) = take_opt(&rest, "--concurrency")?;
     let (requests, rest) = take_opt(&rest, "--requests")?;
     let (mix, rest) = take_opt(&rest, "--mix")?;
+    let (deadline_ms, rest) = take_opt(&rest, "--deadline-ms")?;
+    let (json_out, rest) = take_opt(&rest, "--json")?;
     if let Some(extra) = rest.first() {
         return Err(format!("unexpected argument `{extra}`"));
     }
@@ -620,8 +636,27 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
             mix.as_deref()
                 .unwrap_or("stats=4,degrees=2,components=2,kcore=2,powerlaw=2,diameter=1,cover=1"),
         )?,
+        deadline_ms: deadline_ms
+            .map(|s| {
+                s.parse::<u64>()
+                    .map_err(|e| format!("bad --deadline-ms: {e}"))
+            })
+            .transpose()?,
     };
     let report = hgserve::loadgen::run(&cfg)?;
+    if let Some(path) = json_out {
+        std::fs::write(&path, report.render_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    // Total transport failure means the server was never reached; the
+    // latency numbers are vacuous and must not pass a benchmark gate.
+    if report.sent > 0 && report.transport_errors == report.sent {
+        return Err(format!(
+            "all {} requests failed in transport (is the server up?)\n{}",
+            report.sent,
+            report.render_text()
+        ));
+    }
     Ok(report.render_text())
 }
 

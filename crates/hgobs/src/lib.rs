@@ -39,6 +39,7 @@
 //! hgobs::disable();
 //! ```
 
+mod deadline;
 pub mod json;
 pub mod log;
 mod metrics;
@@ -46,6 +47,7 @@ mod report;
 mod span;
 mod time;
 
+pub use deadline::{Deadline, DeadlineExceeded, CHECK_INTERVAL};
 pub use metrics::{add_counter, disable, enable, enabled, record_hist, reset};
 pub use report::{
     absorb, snapshot_report, take_report, HistSummary, Report, SpanSummary, SCHEMA_VERSION,

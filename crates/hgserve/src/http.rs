@@ -7,6 +7,7 @@
 //! instead of undefined behavior.
 
 use std::io::{BufRead, Write};
+use std::time::{Duration, Instant};
 
 /// Maximum accepted size of the request line plus all headers.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -135,13 +136,25 @@ pub fn split_target(target: &str) -> (String, Vec<(String, String)>) {
 /// Distinguishes a clean close ([`HttpError::Eof`]), an idle timeout
 /// with no bytes read ([`HttpError::Idle`]), malformed input
 /// ([`HttpError::Bad`]), and transport errors ([`HttpError::Io`]).
-pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, HttpError> {
+///
+/// `head_timeout` bounds the wall-clock time between the first byte of
+/// the request head and its final blank line (slow-loris protection):
+/// a peer that trickles bytes slower than that gets a 408. The clock
+/// only starts once at least one byte has arrived — a connection idle
+/// *between* requests still surfaces as [`HttpError::Idle`] forever.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body: usize,
+    head_timeout: Duration,
+) -> Result<Request, HttpError> {
+    let mut head_started: Option<Instant> = None;
     let mut line = String::new();
-    match read_line_crlf(reader, &mut line, true) {
+    match read_line_crlf(reader, &mut line, true, &mut head_started, head_timeout) {
         Ok(0) => return Err(HttpError::Eof),
         Ok(_) => {}
         Err(e) => return Err(e),
     }
+    head_started.get_or_insert_with(Instant::now);
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -160,7 +173,7 @@ pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Reques
     let mut head_bytes = line.len();
     loop {
         let mut h = String::new();
-        match read_line_crlf(reader, &mut h, false) {
+        match read_line_crlf(reader, &mut h, false, &mut head_started, head_timeout) {
             Ok(0) => return Err(HttpError::bad(400, "truncated headers")),
             Ok(n) => head_bytes += n,
             Err(e) => return Err(e),
@@ -207,11 +220,15 @@ pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Reques
 
 /// Read one `\r\n`- (or `\n`-) terminated line into `buf`, stripped.
 /// Returns the number of raw bytes consumed; 0 means EOF before any
-/// byte. `first_line` maps a timeout with no bytes to [`HttpError::Idle`].
+/// byte. `first_line` maps a timeout with *no head bytes at all* to
+/// [`HttpError::Idle`]; once any byte has arrived, `head_started` is
+/// stamped and further stalls are judged against `head_timeout`.
 fn read_line_crlf(
     reader: &mut impl BufRead,
     buf: &mut String,
     first_line: bool,
+    head_started: &mut Option<Instant>,
+    head_timeout: Duration,
 ) -> Result<usize, HttpError> {
     let mut raw = Vec::new();
     loop {
@@ -226,15 +243,22 @@ fn read_line_crlf(
                 if raw.last() == Some(&b'\n') {
                     break;
                 }
+                // Partial line: the head has begun; start its clock.
+                head_started.get_or_insert_with(Instant::now);
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                if first_line && raw.is_empty() {
+                if first_line && raw.is_empty() && head_started.is_none() {
                     return Err(HttpError::Idle);
                 }
-                // Mid-request stall: keep waiting for the rest.
+                // Mid-request stall: keep waiting, but only up to the
+                // head timeout — a trickling peer must not pin a worker.
+                let started = head_started.get_or_insert_with(Instant::now);
+                if started.elapsed() >= head_timeout {
+                    return Err(HttpError::bad(408, "request header read timed out"));
+                }
                 continue;
             }
             Err(e) => return Err(HttpError::Io(e.to_string())),
@@ -256,10 +280,12 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }
@@ -271,6 +297,9 @@ pub struct Response {
     pub status: u16,
     pub content_type: &'static str,
     pub body: String,
+    /// When set, emitted as a `Retry-After: <seconds>` header — used by
+    /// the 503 shed path so well-behaved clients back off.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -279,6 +308,7 @@ impl Response {
             status,
             content_type: "application/json",
             body,
+            retry_after: None,
         }
     }
 
@@ -287,7 +317,14 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body,
+            retry_after: None,
         }
+    }
+
+    /// Attach a `Retry-After: <seconds>` header.
+    pub fn with_retry_after(mut self, seconds: u32) -> Self {
+        self.retry_after = Some(seconds);
+        self
     }
 
     /// JSON error envelope: `{"error":"..."}`.
@@ -302,13 +339,17 @@ impl Response {
     pub fn write_to(&self, w: &mut impl Write, close: bool) -> std::io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
             self.body.len(),
             if close { "close" } else { "keep-alive" },
         )?;
+        if let Some(seconds) = self.retry_after {
+            write!(w, "Retry-After: {seconds}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.write_all(self.body.as_bytes())?;
         w.flush()
     }
@@ -320,7 +361,11 @@ mod tests {
     use std::io::BufReader;
 
     fn parse(raw: &str) -> Result<Request, HttpError> {
-        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+        read_request(
+            &mut BufReader::new(raw.as_bytes()),
+            1024,
+            Duration::from_secs(5),
+        )
     }
 
     #[test]
@@ -402,6 +447,27 @@ mod tests {
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(s.contains("Content-Length: 2\r\n"));
         assert!(s.contains("Connection: close\r\n"));
+        assert!(!s.contains("Retry-After"));
         assert!(s.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn retry_after_header_emitted_before_body() {
+        let mut out = Vec::new();
+        Response::error(503, "overloaded")
+            .with_retry_after(2)
+            .write_to(&mut out, true)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{s}");
+        let (head, body) = s.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("\r\nRetry-After: 2"), "{head}");
+        assert!(body.contains("overloaded"), "{body}");
+    }
+
+    #[test]
+    fn new_status_reasons() {
+        assert_eq!(status_reason(408), "Request Timeout");
+        assert_eq!(status_reason(504), "Gateway Timeout");
     }
 }

@@ -9,12 +9,31 @@
 //! from memory thereafter.
 //!
 //! Built entirely on `std::net` — no async runtime, no HTTP library:
-//! an acceptor thread feeds a fixed worker pool over an mpsc channel
-//! ([`server`]), requests are parsed by a minimal hand-rolled HTTP/1.1
-//! reader ([`http`]), query execution lives in [`query`], datasets in
-//! [`registry`], and the cache in [`cache`]. A deterministic load
-//! generator ([`loadgen`]) doubles as benchmark driver and end-to-end
-//! test client.
+//! an acceptor thread feeds a fixed worker pool over a **bounded** mpsc
+//! channel ([`server`]), requests are parsed by a minimal hand-rolled
+//! HTTP/1.1 reader ([`http`]), query execution lives in [`query`],
+//! datasets in [`registry`], and the cache in [`cache`]. A
+//! deterministic load generator ([`loadgen`]) doubles as benchmark
+//! driver and end-to-end test client.
+//!
+//! # Robustness
+//!
+//! The server degrades predictably instead of queueing without bound:
+//!
+//! * **Admission control** — when all workers are busy and the accept
+//!   queue (`--queue`) is full, new connections are shed immediately
+//!   with `503` + `Retry-After: 1` and counted in
+//!   `hgserve_shed_total`.
+//! * **Deadlines** — each request runs under a cooperative
+//!   [`hgobs::Deadline`] (server default `--deadline-ms`, per-request
+//!   `X-Deadline-Ms` header capped by the server). Expiry unwinds the
+//!   algorithm mid-loop and answers `504` (`hgserve_deadline_exceeded_total`).
+//! * **Slow-loris protection** — a request head that trickles in
+//!   longer than the header timeout gets `408` and the connection is
+//!   closed.
+//! * **Parallel offload** — on datasets at or above `par_threshold`
+//!   vertices, diameter and k-core queries run on the `parcore`
+//!   kernels, sharing one deadline token across all worker threads.
 //!
 //! # Endpoints
 //!
@@ -68,6 +87,6 @@ pub mod server;
 
 pub use cache::{CacheStats, ShardedLru};
 pub use loadgen::{parse_mix, Client, LoadgenConfig, LoadgenReport, MixEntry};
-pub use query::{Query, QueryError};
+pub use query::{ExecOpts, Query, QueryError};
 pub use registry::{Dataset, Format, Registry};
 pub use server::{install_sigint_flag, start, AppState, ServerConfig, ServerHandle};

@@ -61,6 +61,9 @@ pub struct LoadgenConfig {
     pub requests: usize,
     /// Weighted endpoint mix.
     pub mix: Vec<MixEntry>,
+    /// When set, every request carries `X-Deadline-Ms: <ms>` and the
+    /// report tallies the resulting 504s.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Outcome of one run.
@@ -69,10 +72,14 @@ pub struct LoadgenReport {
     pub sent: u64,
     /// 2xx responses with a parseable JSON body.
     pub ok: u64,
-    /// Non-2xx HTTP responses.
+    /// Non-2xx HTTP responses (includes `shed` and `deadline_exceeded`).
     pub http_errors: u64,
     /// Connection-level failures.
     pub transport_errors: u64,
+    /// 503 responses: the server's admission queue was full.
+    pub shed: u64,
+    /// 504 responses: the request's deadline fired mid-compute.
+    pub deadline_exceeded: u64,
     pub elapsed: Duration,
     /// Sorted request latencies in microseconds.
     pub latencies_us: Vec<u64>,
@@ -123,6 +130,22 @@ impl LoadgenReport {
             self.percentile_us(99.0),
             self.latencies_us.last().copied().unwrap_or(0),
         );
+        if self.shed > 0 || self.deadline_exceeded > 0 {
+            let pct = |n: u64| {
+                if self.sent == 0 {
+                    0.0
+                } else {
+                    100.0 * n as f64 / self.sent as f64
+                }
+            };
+            out.push_str(&format!(
+                "robustness: {} shed ({:.1}%), {} deadline exceeded ({:.1}%)\n",
+                self.shed,
+                pct(self.shed),
+                self.deadline_exceeded,
+                pct(self.deadline_exceeded),
+            ));
+        }
         if let (Some(h), Some(m)) = (self.cache_hits_delta, self.cache_misses_delta) {
             let total = h + m;
             let rate = if total == 0 {
@@ -136,12 +159,43 @@ impl LoadgenReport {
         }
         out
     }
+
+    /// Machine-readable one-line JSON summary for benchmark gating
+    /// (`ci.sh --bench` extracts fields with `sed`).
+    pub fn render_json(&self) -> String {
+        let hit_rate = match (self.cache_hits_delta, self.cache_misses_delta) {
+            (Some(h), Some(m)) if h + m > 0 => 100.0 * h as f64 / (h + m) as f64,
+            _ => 0.0,
+        };
+        let mut w = hgobs::json::JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string("hg-loadgen/1");
+        w.key("sent").uint(self.sent);
+        w.key("ok").uint(self.ok);
+        w.key("http_errors").uint(self.http_errors);
+        w.key("transport_errors").uint(self.transport_errors);
+        w.key("shed").uint(self.shed);
+        w.key("deadline_exceeded").uint(self.deadline_exceeded);
+        w.key("elapsed_s").float(self.elapsed.as_secs_f64());
+        w.key("throughput_rps").float(self.throughput_rps());
+        w.key("p50_us").uint(self.percentile_us(50.0));
+        w.key("p95_us").uint(self.percentile_us(95.0));
+        w.key("p99_us").uint(self.percentile_us(99.0));
+        w.key("max_us")
+            .uint(self.latencies_us.last().copied().unwrap_or(0));
+        w.key("cache_hit_rate_pct").float(hit_rate);
+        w.end_object();
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
 }
 
 /// A keep-alive HTTP/1.1 client for one connection.
 pub struct Client {
     addr: String,
     stream: Option<BufReader<TcpStream>>,
+    deadline_ms: Option<u64>,
 }
 
 impl Client {
@@ -149,7 +203,14 @@ impl Client {
         Client {
             addr: addr.to_string(),
             stream: None,
+            deadline_ms: None,
         }
+    }
+
+    /// Send `X-Deadline-Ms: <ms>` with every subsequent request.
+    pub fn with_deadline_ms(mut self, ms: Option<u64>) -> Client {
+        self.deadline_ms = ms;
+        self
     }
 
     fn connect(&mut self) -> Result<(), String> {
@@ -192,9 +253,13 @@ impl Client {
     }
 
     fn request(&mut self, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+        let deadline_header = self
+            .deadline_ms
+            .map(|ms| format!("X-Deadline-Ms: {ms}\r\n"))
+            .unwrap_or_default();
         let reader = self.stream.as_mut().ok_or("not connected")?;
         let raw = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n{deadline_header}\r\n{body}",
             self.addr,
             body.len(),
         );
@@ -293,6 +358,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let ok = AtomicU64::new(0);
     let http_errors = AtomicU64::new(0);
     let transport_errors = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let deadline_exceeded = AtomicU64::new(0);
     let started = Instant::now();
 
     let per_worker = cfg.requests.div_ceil(cfg.concurrency);
@@ -303,10 +370,12 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                 let ok = &ok;
                 let http_errors = &http_errors;
                 let transport_errors = &transport_errors;
+                let shed = &shed;
+                let deadline_exceeded = &deadline_exceeded;
                 let budget = per_worker.min(cfg.requests.saturating_sub(w * per_worker));
                 scope.spawn(move || {
                     let mut rng = Lcg(0x9e37_79b9 + w as u64);
-                    let mut client = Client::new(&cfg.addr);
+                    let mut client = Client::new(&cfg.addr).with_deadline_ms(cfg.deadline_ms);
                     let mut lat = Vec::with_capacity(budget);
                     for _ in 0..budget {
                         let endpoint = table[(rng.next() as usize) % table.len()];
@@ -321,6 +390,15 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                                     ok.fetch_add(1, Ordering::Relaxed);
                                 } else {
                                     http_errors.fetch_add(1, Ordering::Relaxed);
+                                    match status {
+                                        503 => {
+                                            shed.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        504 => {
+                                            deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        _ => {}
+                                    }
                                 }
                             }
                             Err(_) => {
@@ -349,6 +427,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         ok: ok.load(Ordering::Relaxed),
         http_errors: http_errors.load(Ordering::Relaxed),
         transport_errors: transport_errors.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        deadline_exceeded: deadline_exceeded.load(Ordering::Relaxed),
         elapsed,
         latencies_us,
         cache_hits_delta: hits_before
@@ -417,5 +497,31 @@ mod tests {
         let text = r.render_text();
         assert!(text.contains("4 requests"));
         assert!(text.contains("75.0% hit rate"));
+        assert!(!text.contains("robustness"), "{text}");
+    }
+
+    #[test]
+    fn report_shed_and_deadline_rates() {
+        let r = LoadgenReport {
+            sent: 10,
+            ok: 7,
+            http_errors: 3,
+            shed: 2,
+            deadline_exceeded: 1,
+            elapsed: Duration::from_millis(50),
+            latencies_us: vec![100, 200, 300],
+            ..LoadgenReport::default()
+        };
+        let text = r.render_text();
+        assert!(
+            text.contains("robustness: 2 shed (20.0%), 1 deadline exceeded (10.0%)"),
+            "{text}"
+        );
+        let json = r.render_json();
+        assert!(json.contains("\"schema\":\"hg-loadgen/1\""), "{json}");
+        assert!(json.contains("\"shed\":2"), "{json}");
+        assert!(json.contains("\"deadline_exceeded\":1"), "{json}");
+        assert!(json.contains("\"p99_us\":300"), "{json}");
+        assert!(json.ends_with("}\n"), "{json}");
     }
 }

@@ -6,6 +6,7 @@
 //! (cache-on vs cache-off) and the CLI reuse it directly.
 
 use hgobs::json::JsonWriter;
+use hgobs::{Deadline, DeadlineExceeded};
 use hypergraph::{Hypergraph, VertexId};
 
 /// A parsed, validated analytics query.
@@ -44,6 +45,30 @@ impl QueryError {
             message: message.into(),
         }
     }
+}
+
+impl From<DeadlineExceeded> for QueryError {
+    /// A query that outran its deadline answers `504 Gateway Timeout`
+    /// with the partial-work report in the message.
+    fn from(e: DeadlineExceeded) -> Self {
+        QueryError {
+            status: 504,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Execution options threaded from the server into the algorithms.
+#[derive(Clone, Debug, Default)]
+pub struct ExecOpts {
+    /// Cooperative deadline checked inside every heavy loop; the
+    /// default (unlimited) never fires.
+    pub deadline: Deadline,
+    /// Route the heavy endpoints (diameter, kcore) through the
+    /// `parcore` parallel kernels. The server enables this for large
+    /// datasets so a deadline-bounded sweep still makes maximal
+    /// progress before the budget runs out.
+    pub parallel: bool,
 }
 
 /// Endpoint names servable under `/v1/{dataset}/…`, in docs order.
@@ -123,8 +148,16 @@ impl Query {
     }
 
     /// Execute against `h`, producing the JSON response body. Always a
-    /// `{"query":…,…}` object terminated by a newline.
+    /// `{"query":…,…}` object terminated by a newline. Equivalent to
+    /// [`Query::run_opts`] with an unlimited deadline, sequential.
     pub fn run(&self, h: &Hypergraph) -> Result<String, QueryError> {
+        self.run_opts(h, &ExecOpts::default())
+    }
+
+    /// Execute under [`ExecOpts`]: heavy endpoints honor the deadline
+    /// (returning a 504 [`QueryError`] on expiry) and optionally run on
+    /// the `parcore` parallel kernels.
+    pub fn run_opts(&self, h: &Hypergraph, opts: &ExecOpts) -> Result<String, QueryError> {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("query").string(&self.canonical());
@@ -132,9 +165,9 @@ impl Query {
             Query::Stats => run_stats(h, &mut w),
             Query::Degrees => run_degrees(h, &mut w),
             Query::Components => run_components(h, &mut w),
-            Query::KCore { k } => run_kcore(h, *k, &mut w),
-            Query::Distance { from, to } => run_distance(h, *from, *to, &mut w)?,
-            Query::Diameter => run_diameter(h, &mut w),
+            Query::KCore { k } => run_kcore(h, *k, opts, &mut w)?,
+            Query::Distance { from, to } => run_distance(h, *from, *to, opts, &mut w)?,
+            Query::Diameter => run_diameter(h, opts, &mut w)?,
             Query::PowerLaw => run_powerlaw(h, &mut w),
             Query::Cover => run_cover(h, &mut w)?,
         }
@@ -209,10 +242,17 @@ fn run_components(h: &Hypergraph, w: &mut JsonWriter) {
     w.end_array();
 }
 
-fn run_kcore(h: &Hypergraph, k: Option<u32>, w: &mut JsonWriter) {
-    let core = match k {
-        Some(k) => Some(hypergraph::hypergraph_kcore(h, k)),
-        None => hypergraph::max_core(h),
+fn run_kcore(
+    h: &Hypergraph,
+    k: Option<u32>,
+    opts: &ExecOpts,
+    w: &mut JsonWriter,
+) -> Result<(), QueryError> {
+    let core = match (k, opts.parallel) {
+        (Some(k), false) => Some(hypergraph::hypergraph_kcore_with(h, k, &opts.deadline)?),
+        (Some(k), true) => Some(parcore::par_hypergraph_kcore_with(h, k, &opts.deadline)?),
+        (None, false) => hypergraph::max_core_with(h, &opts.deadline)?,
+        (None, true) => parcore::par_max_core_with(h, &opts.deadline)?,
     };
     match core {
         Some(c) if !c.is_empty() => {
@@ -234,12 +274,19 @@ fn run_kcore(h: &Hypergraph, k: Option<u32>, w: &mut JsonWriter) {
             w.key("vertex_ids").begin_array().end_array();
         }
     }
+    Ok(())
 }
 
-fn run_distance(h: &Hypergraph, from: u32, to: u32, w: &mut JsonWriter) -> Result<(), QueryError> {
+fn run_distance(
+    h: &Hypergraph,
+    from: u32,
+    to: u32,
+    opts: &ExecOpts,
+    w: &mut JsonWriter,
+) -> Result<(), QueryError> {
     let s = vertex(h, from, "from")?;
     let t = vertex(h, to, "to")?;
-    let dist = hypergraph::hyper_distances(h, s);
+    let dist = hypergraph::hyper_distances_with(h, s, &opts.deadline)?;
     w.key("from").uint(from as u64);
     w.key("to").uint(to as u64);
     match dist[t.index()] {
@@ -253,11 +300,16 @@ fn run_distance(h: &Hypergraph, from: u32, to: u32, w: &mut JsonWriter) -> Resul
     Ok(())
 }
 
-fn run_diameter(h: &Hypergraph, w: &mut JsonWriter) {
-    let s = hypergraph::hyper_distance_stats(h);
+fn run_diameter(h: &Hypergraph, opts: &ExecOpts, w: &mut JsonWriter) -> Result<(), QueryError> {
+    let s = if opts.parallel {
+        parcore::par_hyper_distance_stats_with(h, &opts.deadline)?
+    } else {
+        hypergraph::hyper_distance_stats_with(h, &opts.deadline)?
+    };
     w.key("diameter").uint(s.diameter as u64);
     w.key("average_path_length").float(s.average_path_length);
     w.key("reachable_pairs").uint(s.reachable_pairs);
+    Ok(())
 }
 
 fn run_powerlaw(h: &Hypergraph, w: &mut JsonWriter) {
@@ -404,6 +456,37 @@ mod tests {
 
         let body = Query::Components.run(&chain()).unwrap();
         assert!(body.contains("\"count\":1"), "{body}");
+    }
+
+    #[test]
+    fn pre_expired_deadline_maps_to_504() {
+        let h = chain();
+        let opts = ExecOpts {
+            deadline: hgobs::Deadline::after(std::time::Duration::ZERO),
+            parallel: false,
+        };
+        for q in [
+            Query::Diameter,
+            Query::KCore { k: Some(1) },
+            Query::KCore { k: None },
+            Query::Distance { from: 1, to: 4 },
+        ] {
+            let err = q.run_opts(&h, &opts).unwrap_err();
+            assert_eq!(err.status, 504, "{q:?}: {}", err.message);
+            assert!(err.message.contains("deadline exceeded"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn parallel_opts_match_sequential_bodies() {
+        let h = chain();
+        let par = ExecOpts {
+            deadline: hgobs::Deadline::none(),
+            parallel: true,
+        };
+        for q in [Query::Diameter, Query::KCore { k: Some(1) }] {
+            assert_eq!(q.run(&h).unwrap(), q.run_opts(&h, &par).unwrap(), "{q:?}");
+        }
     }
 
     #[test]

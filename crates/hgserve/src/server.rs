@@ -18,14 +18,16 @@
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use hgobs::Deadline;
+
 use crate::cache::ShardedLru;
 use crate::http::{read_request, HttpError, Request, Response};
-use crate::query::Query;
+use crate::query::{ExecOpts, Query};
 use crate::registry::{Format, Registry};
 
 /// Server tunables, all CLI-exposed.
@@ -39,6 +41,21 @@ pub struct ServerConfig {
     pub cache_bytes: usize,
     /// Largest accepted `POST /datasets` body.
     pub max_body_bytes: usize,
+    /// Accepted connections waiting for a worker before the acceptor
+    /// starts shedding with `503` + `Retry-After`.
+    pub queue_depth: usize,
+    /// Default per-request compute budget in milliseconds; `0` disables
+    /// the default (requests without `X-Deadline-Ms` run unbounded).
+    pub deadline_ms: u64,
+    /// Upper cap applied to client-requested `X-Deadline-Ms` values;
+    /// `0` means uncapped.
+    pub max_deadline_ms: u64,
+    /// Wall-clock budget for reading one request head (slow-loris
+    /// protection); exceeded → `408`.
+    pub header_timeout_ms: u64,
+    /// Datasets with at least this many vertices route their heavy
+    /// queries (diameter, kcore) through the `parcore` kernels.
+    pub par_threshold: usize,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +65,11 @@ impl Default for ServerConfig {
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             cache_bytes: 64 << 20,
             max_body_bytes: 64 << 20,
+            queue_depth: 64,
+            deadline_ms: 0,
+            max_deadline_ms: 60_000,
+            header_timeout_ms: 5_000,
+            par_threshold: 4_096,
         }
     }
 }
@@ -59,9 +81,68 @@ pub struct AppState {
     pub started: Instant,
     shutdown: AtomicBool,
     max_body_bytes: usize,
+    /// Connections rejected with 503 because the accept queue was full.
+    shed: AtomicU64,
+    /// Requests answered 504 because their deadline fired mid-compute.
+    deadline_hits: AtomicU64,
+    /// Connections currently sitting in the accept queue.
+    queued: AtomicU64,
+    queue_capacity: usize,
+    deadline_ms: u64,
+    max_deadline_ms: u64,
+    header_timeout: Duration,
+    par_threshold: usize,
 }
 
 impl AppState {
+    fn from_config(config: &ServerConfig, registry: Arc<Registry>) -> AppState {
+        AppState {
+            registry,
+            cache: ShardedLru::new(config.cache_bytes, config.threads.max(1) * 2),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            max_body_bytes: config.max_body_bytes,
+            shed: AtomicU64::new(0),
+            deadline_hits: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            queue_capacity: config.queue_depth.max(1),
+            deadline_ms: config.deadline_ms,
+            max_deadline_ms: config.max_deadline_ms,
+            header_timeout: Duration::from_millis(config.header_timeout_ms.max(1)),
+            par_threshold: config.par_threshold,
+        }
+    }
+
+    /// Connections shed with 503 so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests that answered 504 so far.
+    pub fn deadline_exceeded_total(&self) -> u64 {
+        self.deadline_hits.load(Ordering::Relaxed)
+    }
+
+    /// The [`Deadline`] governing one request: an explicit
+    /// `X-Deadline-Ms` header (clamped to the server cap) wins over the
+    /// server-wide default; `0` (or no header and no default) means
+    /// unlimited. Unparseable header values are ignored.
+    pub fn request_deadline(&self, req: &Request) -> Deadline {
+        let requested = req
+            .header("x-deadline-ms")
+            .and_then(|v| v.trim().parse::<u64>().ok());
+        let ms = match requested {
+            Some(ms) if self.max_deadline_ms > 0 => ms.min(self.max_deadline_ms),
+            Some(ms) => ms,
+            None => self.deadline_ms,
+        };
+        if ms == 0 {
+            Deadline::none()
+        } else {
+            Deadline::after_ms(ms)
+        }
+    }
+
     pub fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)
     }
@@ -137,15 +218,14 @@ pub fn start(config: &ServerConfig, registry: Arc<Registry>) -> std::io::Result<
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
-    let state = Arc::new(AppState {
-        registry,
-        cache: ShardedLru::new(config.cache_bytes, config.threads.max(1) * 2),
-        started: Instant::now(),
-        shutdown: AtomicBool::new(false),
-        max_body_bytes: config.max_body_bytes,
-    });
+    let state = Arc::new(AppState::from_config(config, registry));
 
-    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = std::sync::mpsc::channel();
+    // A *bounded* queue is the admission-control valve: when every
+    // worker is busy and `queue_depth` connections are already waiting,
+    // the acceptor sheds new arrivals immediately instead of letting
+    // latency grow without bound.
+    let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+        std::sync::mpsc::sync_channel(config.queue_depth.max(1));
     let rx = Arc::new(Mutex::new(rx));
 
     let workers: Vec<_> = (0..config.threads.max(1))
@@ -157,7 +237,10 @@ pub fn start(config: &ServerConfig, registry: Arc<Registry>) -> std::io::Result<
                 .spawn(move || loop {
                     let conn = rx.lock().unwrap().recv();
                     match conn {
-                        Ok(stream) => handle_connection(&state, stream),
+                        Ok(stream) => {
+                            state.queued.fetch_sub(1, Ordering::Relaxed);
+                            handle_connection(&state, stream);
+                        }
                         Err(_) => break, // acceptor gone: drained
                     }
                 })
@@ -175,8 +258,14 @@ pub fn start(config: &ServerConfig, registry: Arc<Registry>) -> std::io::Result<
                         Ok((stream, _peer)) => {
                             let _ = stream.set_nodelay(true);
                             hgobs::counter!("serve.connections");
-                            if tx.send(stream).is_err() {
-                                break;
+                            state.queued.fetch_add(1, Ordering::Relaxed);
+                            match tx.try_send(stream) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full(stream)) => {
+                                    state.queued.fetch_sub(1, Ordering::Relaxed);
+                                    shed_connection(&state, stream);
+                                }
+                                Err(TrySendError::Disconnected(_)) => break,
                             }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -200,6 +289,43 @@ pub fn start(config: &ServerConfig, registry: Arc<Registry>) -> std::io::Result<
     })
 }
 
+/// Reject one connection with `503 Service Unavailable` + `Retry-After`.
+///
+/// Runs on a short-lived helper thread, not the acceptor: the helper
+/// first reads (and discards) the request head so the peer's bytes are
+/// consumed before we close — closing with unread data queued makes the
+/// kernel send RST, which would destroy the 503 before the client reads
+/// it. The helper count is bounded; past the cap a flood of connections
+/// is simply dropped (they were being shed anyway).
+fn shed_connection(state: &AppState, stream: TcpStream) {
+    state.shed.fetch_add(1, Ordering::Relaxed);
+    hgobs::counter!("serve.shed");
+    static SHEDDERS: AtomicU64 = AtomicU64::new(0);
+    const MAX_SHEDDERS: u64 = 64;
+    if SHEDDERS.fetch_add(1, Ordering::Relaxed) >= MAX_SHEDDERS {
+        SHEDDERS.fetch_sub(1, Ordering::Relaxed);
+        return;
+    }
+    let spawned = std::thread::Builder::new()
+        .name("hgserve-shed".to_string())
+        .spawn(move || {
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let mut head = [0u8; 1024];
+            let _ = std::io::Read::read(&mut &stream, &mut head);
+            let mut writer = BufWriter::new(&stream);
+            let _ = Response::error(503, "server overloaded; queue full")
+                .with_retry_after(1)
+                .write_to(&mut writer, true);
+            drop(writer);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            SHEDDERS.fetch_sub(1, Ordering::Relaxed);
+        });
+    if spawned.is_err() {
+        SHEDDERS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Serve one connection: keep-alive loop until close/EOF/shutdown.
 fn handle_connection(state: &AppState, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
@@ -211,7 +337,7 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
     let mut writer = BufWriter::new(stream);
 
     loop {
-        match read_request(&mut reader, state.max_body_bytes) {
+        match read_request(&mut reader, state.max_body_bytes, state.header_timeout) {
             Ok(req) => {
                 let close = req.wants_close() || state.shutting_down();
                 let response = route(state, &req);
@@ -245,6 +371,10 @@ pub fn route(state: &AppState, req: &Request) -> Response {
     hgobs::record_hist(&format!("serve.latency_us.{endpoint}"), us);
     if resp.status >= 400 {
         hgobs::add_counter(&format!("serve.errors.{}", resp.status), 1);
+    }
+    if resp.status == 504 {
+        state.deadline_hits.fetch_add(1, Ordering::Relaxed);
+        hgobs::counter!("serve.deadline_exceeded");
     }
     resp
 }
@@ -306,6 +436,14 @@ fn metrics(state: &AppState) -> Response {
         cs.capacity_bytes,
         state.started.elapsed().as_secs_f64(),
     ));
+    body.push_str(&format!(
+        "hgserve_shed_total {}\nhgserve_deadline_exceeded_total {}\n\
+         hgserve_queue_depth {}\nhgserve_queue_capacity {}\n",
+        state.shed.load(Ordering::Relaxed),
+        state.deadline_hits.load(Ordering::Relaxed),
+        state.queued.load(Ordering::Relaxed),
+        state.queue_capacity,
+    ));
     Response::text(200, body)
 }
 
@@ -365,7 +503,13 @@ fn query(
         return (Response::json(200, body.as_str().to_string()), label);
     }
     hgobs::counter!("serve.cache.miss");
-    match q.run(&ds.hypergraph) {
+    let opts = ExecOpts {
+        deadline: state.request_deadline(req),
+        parallel: ds.hypergraph.num_vertices() >= state.par_threshold,
+    };
+    // Only successful bodies are cached: a 504 reflects this request's
+    // budget, not the dataset, and must never mask a later answer.
+    match q.run_opts(&ds.hypergraph, &opts) {
         Ok(body) => {
             let body = Arc::new(body);
             state.cache.insert(&key, Arc::clone(&body));
@@ -418,13 +562,15 @@ mod tests {
         registry
             .insert_text("toy", Format::Hgr, &text, "test")
             .unwrap();
-        AppState {
+        AppState::from_config(
+            &ServerConfig {
+                threads: 2,
+                cache_bytes: 1 << 20,
+                max_body_bytes: 1 << 20,
+                ..ServerConfig::default()
+            },
             registry,
-            cache: ShardedLru::new(1 << 20, 2),
-            started: Instant::now(),
-            shutdown: AtomicBool::new(false),
-            max_body_bytes: 1 << 20,
-        }
+        )
     }
 
     fn get(path: &str) -> Request {
@@ -508,5 +654,51 @@ mod tests {
         let r = route(&state, &get("/metrics"));
         assert!(r.body.contains("hgserve_cache_hits "), "{}", r.body);
         assert!(r.body.contains("hgserve_cache_capacity_bytes "));
+        assert!(r.body.contains("hgserve_shed_total 0"), "{}", r.body);
+        assert!(
+            r.body.contains("hgserve_deadline_exceeded_total "),
+            "{}",
+            r.body
+        );
+        assert!(r.body.contains("hgserve_queue_depth 0"), "{}", r.body);
+        assert!(r.body.contains("hgserve_queue_capacity 64"), "{}", r.body);
+    }
+
+    fn with_header(mut req: Request, name: &str, value: &str) -> Request {
+        req.headers.push((name.to_string(), value.to_string()));
+        req
+    }
+
+    #[test]
+    fn request_deadline_resolution() {
+        let state = toy_state();
+        // No header, no default → unlimited.
+        assert!(state
+            .request_deadline(&get("/v1/toy/diameter"))
+            .is_unlimited());
+        // Header wins and is clamped to max_deadline_ms (60s default).
+        let req = with_header(get("/v1/toy/diameter"), "x-deadline-ms", "999999999");
+        let dl = state.request_deadline(&req);
+        assert_eq!(dl.budget(), Some(Duration::from_secs(60)));
+        // Unparseable header values fall back to the server default.
+        let req = with_header(get("/v1/toy/diameter"), "x-deadline-ms", "soon");
+        assert!(state.request_deadline(&req).is_unlimited());
+        // Explicit 0 disables the deadline for this request.
+        let req = with_header(get("/v1/toy/diameter"), "x-deadline-ms", "0");
+        assert!(state.request_deadline(&req).is_unlimited());
+    }
+
+    #[test]
+    fn cached_answer_bypasses_the_deadline() {
+        // A cached 200 is served even under a tight deadline — the
+        // budget bounds *compute*, and a hit costs none. (The 504 path
+        // itself is deterministic in the query-layer tests.)
+        let state = toy_state();
+        let ok = route(&state, &get("/v1/toy/diameter"));
+        assert_eq!(ok.status, 200);
+        let req = with_header(get("/v1/toy/diameter"), "x-deadline-ms", "1");
+        let again = route(&state, &req);
+        assert_eq!(again.status, 200, "cache hit should bypass the deadline");
+        assert_eq!(again.body, ok.body);
     }
 }

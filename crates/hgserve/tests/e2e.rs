@@ -56,6 +56,7 @@ fn end_to_end_serve_loadgen_cache_and_drain() {
             "stats=4,degrees=2,components=2,kcore=2,kcore?k=2=1,powerlaw=2,diameter=1,cover=1",
         )
         .unwrap(),
+        deadline_ms: None,
     })
     .expect("loadgen runs");
     assert_eq!(report.sent, 240, "{}", report.render_text());

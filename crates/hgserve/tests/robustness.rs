@@ -1,0 +1,178 @@
+//! Robustness acceptance tests: deadline-bounded queries answer 504
+//! promptly, a saturated server sheds with 503 + `Retry-After`, and a
+//! deadline-carrying loadgen run never observes a latency far past its
+//! budget.
+//!
+//! Kept separate from `e2e.rs` on purpose: that test asserts *exact*
+//! process-global hgobs counter deltas, which the extra traffic here
+//! would break. Everything asserted below is per-server (`AppState`)
+//! state or observed client-side, so the tests in this file can share
+//! one process.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hgserve::loadgen::{self, Client, LoadgenConfig};
+use hgserve::{parse_mix, Format, Registry, ServerConfig, ServerHandle};
+use hypergraph::io::write_hgr;
+
+/// Debug builds run the kernels ~10-30x slower; scale the latency
+/// bounds so the assertions stay meaningful in release without being
+/// flaky under `cargo test` defaults.
+fn scale_ms(release_ms: u64) -> Duration {
+    if cfg!(debug_assertions) {
+        Duration::from_millis(release_ms * 10)
+    } else {
+        Duration::from_millis(release_ms)
+    }
+}
+
+fn boot(config: ServerConfig, vertices: usize, edges: usize, seed: u64) -> (ServerHandle, String) {
+    let registry = Arc::new(Registry::new());
+    let text = write_hgr(&hypergen::uniform_random_hypergraph(
+        vertices, edges, 5, seed,
+    ));
+    registry
+        .insert_text("big", Format::Hgr, &text, "robustness")
+        .expect("preload dataset");
+    let handle = hgserve::start(&config, registry).expect("server boots");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+#[test]
+fn tight_deadline_answers_504_promptly() {
+    let (handle, addr) = boot(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            ..ServerConfig::default()
+        },
+        6_000,
+        4_800,
+        17,
+    );
+
+    let mut client = Client::new(&addr).with_deadline_ms(Some(1));
+    let t0 = Instant::now();
+    let (status, body) = client.get("/v1/big/diameter").expect("answered");
+    let elapsed = t0.elapsed();
+    assert_eq!(status, 504, "{body}");
+    assert!(body.contains("deadline exceeded"), "{body}");
+    // The cooperative checks fire within one CHECK_INTERVAL of vertex
+    // pops, so the answer should arrive within ~deadline + scheduling
+    // slack — not after the full multi-second sweep.
+    assert!(
+        elapsed < scale_ms(250),
+        "504 should be prompt, took {elapsed:?}"
+    );
+    assert_eq!(handle.state().deadline_exceeded_total(), 1);
+
+    // A 504 must never be cached: without the header the same query
+    // completes (unbounded) and answers 200.
+    let mut unbounded = Client::new(&addr);
+    let (status, body) = unbounded.get("/v1/big/diameter").expect("answered");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"diameter\""), "{body}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn saturated_server_sheds_with_503_and_retry_after() {
+    // One worker, one queue slot: the third concurrent connection has
+    // nowhere to go and must be shed by the acceptor.
+    let (handle, addr) = boot(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            queue_depth: 1,
+            ..ServerConfig::default()
+        },
+        200,
+        160,
+        5,
+    );
+
+    // Conn A occupies the single worker (a keep-alive connection holds
+    // its worker until closed); conn B fills the one queue slot.
+    let conn_a = TcpStream::connect(&addr).expect("conn A");
+    std::thread::sleep(Duration::from_millis(150));
+    let conn_b = TcpStream::connect(&addr).expect("conn B");
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Conn C must be rejected immediately with 503 + Retry-After.
+    let mut conn_c = TcpStream::connect(&addr).expect("conn C");
+    conn_c
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    conn_c
+        .write_all(b"GET /v1/big/stats HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    conn_c.read_to_string(&mut raw).expect("read 503");
+    assert!(raw.starts_with("HTTP/1.1 503 "), "{raw}");
+    assert!(raw.contains("\r\nRetry-After: 1\r\n"), "{raw}");
+    assert!(raw.contains("Connection: close"), "{raw}");
+
+    assert!(
+        handle.state().shed_total() >= 1,
+        "shed counter must record the rejection"
+    );
+
+    drop(conn_a);
+    drop(conn_b);
+    handle.shutdown();
+}
+
+#[test]
+fn loadgen_with_deadline_never_blows_the_budget() {
+    let (handle, addr) = boot(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            ..ServerConfig::default()
+        },
+        12_000,
+        9_600,
+        23,
+    );
+
+    let deadline_ms = 5u64;
+    let report = loadgen::run(&LoadgenConfig {
+        addr: addr.clone(),
+        dataset: "big".to_string(),
+        concurrency: 3,
+        requests: 12,
+        mix: parse_mix("diameter=1").unwrap(),
+        deadline_ms: Some(deadline_ms),
+    })
+    .expect("loadgen runs");
+
+    assert_eq!(report.sent, 12, "{}", report.render_text());
+    assert_eq!(report.transport_errors, 0, "{}", report.render_text());
+    // A 12k-vertex full diameter sweep cannot finish in 5ms, and 504s
+    // are never cached, so every request must report the deadline.
+    assert_eq!(
+        report.deadline_exceeded,
+        report.sent,
+        "{}",
+        report.render_text()
+    );
+    // No request may overshoot its budget by more than scheduling and
+    // check-interval slack.
+    let max = Duration::from_micros(report.latencies_us.last().copied().unwrap_or(0));
+    let bound = Duration::from_millis(deadline_ms) + scale_ms(200);
+    assert!(
+        max <= bound,
+        "worst latency {max:?} exceeds deadline+slack {bound:?}\n{}",
+        report.render_text()
+    );
+    // The JSON report carries the robustness counters for ci.sh.
+    let json = report.render_json();
+    assert!(json.contains("\"deadline_exceeded\":12"), "{json}");
+
+    handle.shutdown();
+}

@@ -7,7 +7,7 @@ use crate::hypergraph::{EdgeId, Hypergraph, VertexId};
 /// Hyperedges are added as iterables of raw `u32` vertex ids; within each
 /// hyperedge duplicates are merged and the pin list is sorted. Identical
 /// hyperedges are *kept* (deduplicating containment is the job of the
-/// reduced-hypergraph computation, [`crate::reduce`]). Empty hyperedges are
+/// reduced-hypergraph computation, [`crate::reduce()`]). Empty hyperedges are
 /// allowed.
 #[derive(Clone, Debug, Default)]
 pub struct HypergraphBuilder {

@@ -66,7 +66,7 @@ impl fmt::Display for EdgeId {
 ///
 /// Within a hyperedge each vertex appears at most once (the builder
 /// deduplicates); identical hyperedges are allowed (the *reduced*
-/// hypergraph computation in [`crate::reduce`] removes them).
+/// hypergraph computation in [`crate::reduce()`] removes them).
 #[derive(Clone, Debug)]
 pub struct Hypergraph {
     /// CSR offsets into `pin_list`, length `num_edges + 1`.

@@ -21,6 +21,8 @@
 
 use std::cell::Cell;
 
+use hgobs::{Deadline, DeadlineExceeded};
+
 use crate::hash::DetMap;
 use crate::hypergraph::{EdgeId, Hypergraph, VertexId};
 use crate::overlap::OverlapTable;
@@ -70,13 +72,13 @@ struct Peeler {
 }
 
 impl Peeler {
-    fn new(h: &Hypergraph, k: u32) -> Self {
-        Peeler {
+    fn new(h: &Hypergraph, k: u32, deadline: &Deadline) -> Result<Self, DeadlineExceeded> {
+        Ok(Peeler {
             alive_v: vec![true; h.num_vertices()],
             alive_e: vec![true; h.num_edges()],
             deg_v: h.vertices().map(|v| h.vertex_degree(v) as u32).collect(),
             deg_e: h.edges().map(|f| h.edge_degree(f) as u32).collect(),
-            ov: OverlapTable::build(h).into_maps(),
+            ov: OverlapTable::build_with(h, deadline)?.into_maps(),
             queue: Vec::new(),
             queued: vec![false; h.num_vertices()],
             k,
@@ -84,7 +86,7 @@ impl Peeler {
             edges_deleted: 0,
             nonmax_checks: Cell::new(0),
             overlap_probes: Cell::new(0),
-        }
+        })
     }
 
     /// `true` iff alive `f` is currently contained in some alive `g ≠ f`
@@ -162,12 +164,23 @@ impl Peeler {
     /// Initial sweep: make the hypergraph reduced before peeling, so the
     /// result satisfies the definition even for inputs with nested or
     /// duplicate hyperedges.
-    fn reduce_sweep(&mut self, h: &Hypergraph) {
+    /// The per-edge work (one maximality check, possibly a deletion) is
+    /// bounded, so a plain [`Deadline::expired`] check per edge keeps
+    /// overshoot to one edge's worth of work.
+    fn reduce_sweep(
+        &mut self,
+        h: &Hypergraph,
+        deadline: &Deadline,
+    ) -> Result<(), DeadlineExceeded> {
         for f in 0..h.num_edges() {
+            if deadline.expired() {
+                return Err(deadline.exceeded("kcore.reduce", self.edges_deleted));
+            }
             if self.alive_e[f] && self.is_non_maximal(f) {
                 self.delete_edge(h, f);
             }
         }
+        Ok(())
     }
 
     /// Queue every alive vertex currently below the threshold.
@@ -180,15 +193,20 @@ impl Peeler {
         }
     }
 
-    /// Run peeling to fixpoint.
-    fn run(&mut self, h: &Hypergraph) {
+    /// Run peeling to fixpoint. On expiry the error's `work_done` is the
+    /// number of vertices peeled before the check fired.
+    fn run(&mut self, h: &Hypergraph, deadline: &Deadline) -> Result<(), DeadlineExceeded> {
         while let Some(v) = self.queue.pop() {
+            if deadline.expired() {
+                return Err(deadline.exceeded("kcore.peel", self.vertices_peeled));
+            }
             let v = v as usize;
             self.queued[v] = false;
             if self.alive_v[v] {
                 self.delete_vertex(h, v);
             }
         }
+        Ok(())
     }
 
     /// Flush the accumulated counters to the sink (no-op when disabled).
@@ -229,23 +247,46 @@ fn decrement_overlap(ov: &mut [DetMap<u32, u32>], f: usize, g: usize) {
 /// hypergraph itself (minus vertices stranded in no hyperedge — degree-0
 /// vertices trivially satisfy `d(v) ≥ 0`, so they are kept for `k = 0`).
 pub fn hypergraph_kcore(h: &Hypergraph, k: u32) -> KCore {
+    match hypergraph_kcore_with(h, k, &Deadline::none()) {
+        Ok(core) => core,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`hypergraph_kcore`] under a cooperative [`Deadline`], checked during
+/// the overlap build (per vertex-adjacency pair), the reduce sweep (per
+/// edge), and the peel (per queued vertex). Partial work counters are
+/// flushed to the sink even on the expiry path, so an aborted peel still
+/// reports how far it got; the error's `work_done` carries the
+/// phase-specific count (pairs, edges deleted, or vertices peeled).
+pub fn hypergraph_kcore_with(
+    h: &Hypergraph,
+    k: u32,
+    deadline: &Deadline,
+) -> Result<KCore, DeadlineExceeded> {
     let _span = hgobs::Span::enter("kcore");
     hgobs::counter!("kcore.rounds");
     let mut p = {
         let _s = hgobs::Span::enter("build_state");
-        Peeler::new(h, k)
+        Peeler::new(h, k, deadline)?
     };
-    {
-        let _s = hgobs::Span::enter("reduce_sweep");
-        p.reduce_sweep(h);
-    }
-    p.seed_queue();
-    {
-        let _s = hgobs::Span::enter("peel");
-        p.run(h);
-    }
+    let peeled = {
+        let sweep = {
+            let _s = hgobs::Span::enter("reduce_sweep");
+            p.reduce_sweep(h, deadline)
+        };
+        match sweep {
+            Ok(()) => {
+                p.seed_queue();
+                let _s = hgobs::Span::enter("peel");
+                p.run(h, deadline)
+            }
+            Err(e) => Err(e),
+        }
+    };
     p.flush_metrics();
-    p.extract(h, k)
+    peeled?;
+    Ok(p.extract(h, k))
 }
 
 /// Compute the maximum core: the largest `k` for which the k-core is
@@ -257,14 +298,26 @@ pub fn hypergraph_kcore(h: &Hypergraph, k: u32) -> KCore {
 /// `2 log k_max` peels instead of `k_max`, which matters for the Table 1
 /// mesh hypergraphs whose maximum cores are deep.
 pub fn max_core(h: &Hypergraph) -> Option<KCore> {
+    match max_core_with(h, &Deadline::none()) {
+        Ok(core) => core,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`max_core`] under a cooperative [`Deadline`]; every peel in the
+/// doubling and binary-search phases runs under the same token.
+pub fn max_core_with(
+    h: &Hypergraph,
+    deadline: &Deadline,
+) -> Result<Option<KCore>, DeadlineExceeded> {
     let _span = hgobs::Span::enter("kcore.max_core_search");
-    if hypergraph_kcore(h, 1).is_empty() {
-        return None;
+    if hypergraph_kcore_with(h, 1, deadline)?.is_empty() {
+        return Ok(None);
     }
     // Doubling: find the first power-of-two-ish k with an empty core.
     let mut lo = 1u32; // non-empty
     let mut hi = 2u32;
-    while !hypergraph_kcore(h, hi).is_empty() {
+    while !hypergraph_kcore_with(h, hi, deadline)?.is_empty() {
         lo = hi;
         hi = hi.saturating_mul(2);
         if hi as usize > h.max_vertex_degree() + 1 {
@@ -275,13 +328,13 @@ pub fn max_core(h: &Hypergraph) -> Option<KCore> {
     // Invariant: lo-core non-empty, hi-core empty.
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if hypergraph_kcore(h, mid).is_empty() {
+        if hypergraph_kcore_with(h, mid, deadline)?.is_empty() {
             hi = mid;
         } else {
             lo = mid;
         }
     }
-    Some(hypergraph_kcore(h, lo))
+    Ok(Some(hypergraph_kcore_with(h, lo, deadline)?))
 }
 
 /// Linear-scan maximum core (k = 1, 2, …): the reference for
@@ -542,6 +595,66 @@ mod tests {
             .sub
             .vertices()
             .all(|v| mc.sub.vertex_degree(v) >= mc.k as usize));
+    }
+
+    #[test]
+    fn unlimited_deadline_matches_plain_kcore() {
+        let h = triangle_like();
+        let none = Deadline::none();
+        for k in 0..=3 {
+            let a = hypergraph_kcore(&h, k);
+            let b = hypergraph_kcore_with(&h, k, &none).unwrap();
+            assert_eq!(a.vertices, b.vertices);
+            assert_eq!(a.edges, b.edges);
+        }
+        let a = max_core(&h).unwrap();
+        let b = max_core_with(&h, &none).unwrap().unwrap();
+        assert_eq!((a.k, a.vertices), (b.k, b.vertices));
+    }
+
+    #[test]
+    fn pre_expired_deadline_stops_peel_with_zero_work() {
+        // Disjoint pair edges {2i, 2i+1}: no overlaps, so the first check
+        // to fire is the reduce sweep's, with nothing deleted yet.
+        let mut b = HypergraphBuilder::new(64);
+        for i in 0..32u32 {
+            b.add_edge([2 * i, 2 * i + 1]);
+        }
+        let h = b.build();
+        let dl = Deadline::after(std::time::Duration::ZERO);
+        let err = hypergraph_kcore_with(&h, 2, &dl).unwrap_err();
+        assert_eq!(err.phase, "kcore.reduce");
+        assert_eq!(err.work_done, 0, "{err:?}");
+        assert!(max_core_with(&h, &dl).is_err());
+    }
+
+    #[test]
+    fn deadline_fires_mid_peel_with_partial_vertex_count() {
+        // 120k vertices in 60k disjoint pair edges, k=2: the overlap
+        // build is trivial (no pairs) and the reduce sweep cheap, so
+        // nearly all the time goes to peeling 120k queued vertices.
+        // Escalate the budget until one lands mid-peel; a machine that
+        // finishes the whole peel inside 1ms just ends at Ok, with the
+        // expiry path still covered by the pre-expired test above.
+        let n = 60_000u32;
+        let mut b = HypergraphBuilder::new(2 * n as usize);
+        for i in 0..n {
+            b.add_edge([2 * i, 2 * i + 1]);
+        }
+        let h = b.build();
+        for ms in [1u64, 2, 4, 8, 16, 32, 64] {
+            match hypergraph_kcore_with(&h, 2, &Deadline::after_ms(ms)) {
+                Err(err) if err.phase == "kcore.peel" => {
+                    assert!(err.work_done > 0 && err.work_done < 2 * n as u64, "{err:?}");
+                    return;
+                }
+                Err(_) => continue, // expired before the peel began
+                Ok(core) => {
+                    assert!(core.is_empty());
+                    return;
+                }
+            }
+        }
     }
 
     #[test]

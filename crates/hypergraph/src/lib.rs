@@ -15,7 +15,7 @@
 //! * the hypergraph **k-core** ([`kcore`]): the maximal *reduced*
 //!   sub-hypergraph in which every vertex lies in at least `k` hyperedges,
 //!   with the paper's overlap-counting maximality test;
-//! * reduced hypergraphs ([`reduce`]) and pairwise overlap tables
+//! * reduced hypergraphs ([`reduce()`](crate::reduce())) and pairwise overlap tables
 //!   ([`overlap`]);
 //! * greedy, dual, and primal-dual **vertex covers** and multicovers
 //!   ([`cover`], [`multicover`], [`cover_dual`]) for bait-protein selection;
@@ -78,12 +78,21 @@ pub use degree::{edge_degree_histogram, vertex_degree_histogram};
 pub use dual::dual;
 pub use generalized::{ks_core, max_ks_core, KsCore};
 pub use hypergraph::{EdgeId, Hypergraph, VertexId};
-pub use kcore::{core_numbers, core_profile, hypergraph_kcore, max_core, max_core_linear, KCore};
+pub use kcore::{
+    core_numbers, core_profile, hypergraph_kcore, hypergraph_kcore_with, max_core, max_core_linear,
+    max_core_with, KCore,
+};
 pub use multicover::{greedy_multicover, is_multicover};
 pub use mutable::MutableHypergraph;
 pub use overlap::OverlapTable;
-pub use path::{hyper_distance_stats, hyper_distances, HyperDistanceStats};
+pub use path::{
+    hyper_distance_stats, hyper_distance_stats_with, hyper_distances, hyper_distances_with,
+    HyperDistanceStats,
+};
 pub use powerlaw::{fit_power_law, PowerLawFit};
 pub use projections::{clique_expansion, intersection_graph, star_expansion, SpaceReport};
 pub use reduce::{non_maximal_edges, reduce};
-pub use smallworld::{small_world_report, SmallWorldReport};
+pub use smallworld::{
+    small_world_report, small_world_report_sampled, small_world_report_sampled_with,
+    small_world_report_with, SmallWorldReport,
+};

@@ -10,6 +10,8 @@
 //! length-two path in `B(H)`); `Δ₂,F` is the maximum over all hyperedges.
 //! These drive the complexity bound `O(|E|(Δ₂,F + Δ_V ln Δ₂,F))`.
 
+use hgobs::{Deadline, DeadlineExceeded};
+
 use crate::hash::DetMap;
 use crate::hypergraph::{EdgeId, Hypergraph, VertexId};
 
@@ -28,13 +30,29 @@ impl OverlapTable {
     /// adjacency list: `O(Σ_v d(v)²)` expected time with hash maps
     /// (the paper uses balanced trees for a worst-case log factor).
     pub fn build(h: &Hypergraph) -> Self {
+        match Self::build_with(h, &Deadline::none()) {
+            Ok(table) => table,
+            Err(_) => unreachable!("an unlimited deadline cannot expire"),
+        }
+    }
+
+    /// [`OverlapTable::build`] under a cooperative [`Deadline`], checked
+    /// every [`hgobs::CHECK_INTERVAL`] vertex-adjacency pairs. The
+    /// `overlap.pairs` counter and the error's `work_done` both report
+    /// the pairs actually processed.
+    pub fn build_with(h: &Hypergraph, deadline: &Deadline) -> Result<Self, DeadlineExceeded> {
         let _span = hgobs::Span::enter("overlap.build");
         let mut pairs: u64 = 0;
+        let mut ticks = 0u32;
         let mut table: Vec<DetMap<u32, u32>> = vec![DetMap::default(); h.num_edges()];
         for v in h.vertices() {
             let adj = h.edges_of(v);
             for (i, &f) in adj.iter().enumerate() {
                 for &g in &adj[i + 1..] {
+                    if deadline.tick(&mut ticks) {
+                        hgobs::counter!("overlap.pairs", pairs);
+                        return Err(deadline.exceeded("overlap.build", pairs));
+                    }
                     pairs += 1;
                     *table[f.index()].entry(g.0).or_insert(0) += 1;
                     *table[g.index()].entry(f.0).or_insert(0) += 1;
@@ -42,7 +60,7 @@ impl OverlapTable {
             }
         }
         hgobs::counter!("overlap.pairs", pairs);
-        OverlapTable { table }
+        Ok(OverlapTable { table })
     }
 
     /// `|f ∩ g|` (0 when disjoint).

@@ -8,8 +8,13 @@
 //! `B(H)`. The diameter is the maximum pairwise vertex distance; the
 //! paper reports diameter 6 and average path length 2.568 for the yeast
 //! hypergraph and reads these as small-world evidence.
+//!
+//! Every sweep has a `*_with` variant taking an [`hgobs::Deadline`];
+//! the plain functions are unbounded wrappers over those.
 
 use std::collections::VecDeque;
+
+use hgobs::{Deadline, DeadlineExceeded};
 
 use crate::hypergraph::{Hypergraph, VertexId};
 
@@ -20,12 +25,37 @@ pub const UNREACHABLE: u32 = u32::MAX;
 /// vertex. Runs a BFS that alternates vertex and hyperedge expansions —
 /// equivalent to BFS on `B(H)` but without materializing it. O(|E|).
 pub fn hyper_distances(h: &Hypergraph, source: VertexId) -> Vec<u32> {
+    match hyper_distances_with(h, source, &Deadline::none()) {
+        Ok(dist) => dist,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`hyper_distances`] under a cooperative [`Deadline`], checked every
+/// [`hgobs::CHECK_INTERVAL`] settled vertices. On expiry the error's
+/// `work_done` is the number of vertices settled before the check fired.
+pub fn hyper_distances_with(
+    h: &Hypergraph,
+    source: VertexId,
+    deadline: &Deadline,
+) -> Result<Vec<u32>, DeadlineExceeded> {
+    // Upfront check: the amortized tick only fires every CHECK_INTERVAL
+    // settled vertices, which a small graph may never reach.
+    if deadline.expired() {
+        return Err(deadline.exceeded("bfs", 0));
+    }
     let mut dist = vec![UNREACHABLE; h.num_vertices()];
     let mut edge_seen = vec![false; h.num_edges()];
     let mut frontier: VecDeque<VertexId> = VecDeque::new();
+    let mut ticks = 0u32;
+    let mut settled = 0u64;
     dist[source.index()] = 0;
     frontier.push_back(source);
     while let Some(u) = frontier.pop_front() {
+        if deadline.tick(&mut ticks) {
+            return Err(deadline.exceeded("bfs", settled));
+        }
+        settled += 1;
         let du = dist[u.index()];
         for &f in h.edges_of(u) {
             if edge_seen[f.index()] {
@@ -44,7 +74,7 @@ pub fn hyper_distances(h: &Hypergraph, source: VertexId) -> Vec<u32> {
     if hgobs::enabled() {
         record_bfs_shape(&dist);
     }
-    dist
+    Ok(dist)
 }
 
 /// Record eccentricity and per-level frontier-size histograms for one BFS.
@@ -86,55 +116,101 @@ pub struct HyperDistanceStats {
 
 /// Exact statistics by a BFS from every vertex: O(|V| · |E|).
 pub fn hyper_distance_stats(h: &Hypergraph) -> HyperDistanceStats {
+    match hyper_distance_stats_with(h, &Deadline::none()) {
+        Ok(stats) => stats,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`hyper_distance_stats`] under a cooperative [`Deadline`]. The
+/// error's `work_done` counts BFS sources fully completed.
+pub fn hyper_distance_stats_with(
+    h: &Hypergraph,
+    deadline: &Deadline,
+) -> Result<HyperDistanceStats, DeadlineExceeded> {
     let sources: Vec<VertexId> = h.vertices().collect();
-    hyper_distance_stats_from(h, &sources)
+    hyper_distance_stats_from_with(h, &sources, deadline)
 }
 
 /// Statistics restricted to BFS sources chosen by the caller (sampling
 /// for large hypergraphs; diameter becomes a lower bound).
 pub fn hyper_distance_stats_from(h: &Hypergraph, sources: &[VertexId]) -> HyperDistanceStats {
+    match hyper_distance_stats_from_with(h, sources, &Deadline::none()) {
+        Ok(stats) => stats,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`hyper_distance_stats_from`] under a cooperative [`Deadline`],
+/// checked every [`hgobs::CHECK_INTERVAL`] settled vertices across the
+/// whole sweep. The `bfs.sources` counter reflects only the sources
+/// actually completed, on both the success and the expiry path, and the
+/// error's `work_done` is that same partial count.
+pub fn hyper_distance_stats_from_with(
+    h: &Hypergraph,
+    sources: &[VertexId],
+    deadline: &Deadline,
+) -> Result<HyperDistanceStats, DeadlineExceeded> {
     let _span = hgobs::Span::enter("bfs.sweep");
-    hgobs::counter!("bfs.sources", sources.len());
     let mut diameter = 0u32;
     let mut total = 0u128;
     let mut pairs = 0u64;
     let mut dist = vec![UNREACHABLE; h.num_vertices()];
     let mut edge_seen = vec![false; h.num_edges()];
     let mut frontier: VecDeque<VertexId> = VecDeque::new();
+    let mut ticks = 0u32;
+    let mut completed = 0u64;
 
-    for &s in sources {
-        dist.fill(UNREACHABLE);
-        edge_seen.fill(false);
-        frontier.clear();
-        dist[s.index()] = 0;
-        frontier.push_back(s);
-        while let Some(u) = frontier.pop_front() {
-            let du = dist[u.index()];
-            for &f in h.edges_of(u) {
-                if edge_seen[f.index()] {
-                    continue;
+    let expired = 'sweep: {
+        for &s in sources {
+            // Per-source boundary check: negligible next to a BFS, and
+            // it makes expiry deterministic on graphs too small for the
+            // amortized tick to ever fire.
+            if deadline.expired() {
+                break 'sweep true;
+            }
+            dist.fill(UNREACHABLE);
+            edge_seen.fill(false);
+            frontier.clear();
+            dist[s.index()] = 0;
+            frontier.push_back(s);
+            while let Some(u) = frontier.pop_front() {
+                if deadline.tick(&mut ticks) {
+                    break 'sweep true;
                 }
-                edge_seen[f.index()] = true;
-                for &w in h.pins(f) {
-                    if dist[w.index()] == UNREACHABLE {
-                        dist[w.index()] = du + 1;
-                        frontier.push_back(w);
+                let du = dist[u.index()];
+                for &f in h.edges_of(u) {
+                    if edge_seen[f.index()] {
+                        continue;
+                    }
+                    edge_seen[f.index()] = true;
+                    for &w in h.pins(f) {
+                        if dist[w.index()] == UNREACHABLE {
+                            dist[w.index()] = du + 1;
+                            frontier.push_back(w);
+                        }
                     }
                 }
             }
-        }
-        if hgobs::enabled() {
-            record_bfs_shape(&dist);
-        }
-        for (v, &d) in dist.iter().enumerate() {
-            if d != UNREACHABLE && v != s.index() {
-                diameter = diameter.max(d);
-                total += d as u128;
-                pairs += 1;
+            if hgobs::enabled() {
+                record_bfs_shape(&dist);
             }
+            for (v, &d) in dist.iter().enumerate() {
+                if d != UNREACHABLE && v != s.index() {
+                    diameter = diameter.max(d);
+                    total += d as u128;
+                    pairs += 1;
+                }
+            }
+            completed += 1;
         }
+        false
+    };
+    hgobs::counter!("bfs.sources", completed);
+    if expired {
+        return Err(deadline.exceeded("bfs.sweep", completed));
     }
-    HyperDistanceStats {
+    Ok(HyperDistanceStats {
         diameter,
         average_path_length: if pairs == 0 {
             0.0
@@ -142,13 +218,14 @@ pub fn hyper_distance_stats_from(h: &Hypergraph, sources: &[VertexId]) -> HyperD
             total as f64 / pairs as f64
         },
         reachable_pairs: pairs,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{BipartiteView, HypergraphBuilder};
+    use std::time::Duration;
 
     /// Chain of three overlapping edges: {0,1}, {1,2}, {2,3}.
     fn chain() -> Hypergraph {
@@ -156,6 +233,16 @@ mod tests {
         b.add_edge([0, 1]);
         b.add_edge([1, 2]);
         b.add_edge([2, 3]);
+        b.build()
+    }
+
+    /// Ring of `n` size-3 edges {i, i+1, i+7} (mod n): connected, large
+    /// diameter, cheap to build — a worst-case-ish BFS sweep workload.
+    fn big_ring(n: u32) -> Hypergraph {
+        let mut b = HypergraphBuilder::new(n as usize);
+        for i in 0..n {
+            b.add_edge([i, (i + 1) % n, (i + 7) % n]);
+        }
         b.build()
     }
 
@@ -231,5 +318,63 @@ mod tests {
         let s = hyper_distance_stats(&h);
         assert_eq!(s.diameter, 0);
         assert_eq!(s.reachable_pairs, 0);
+    }
+
+    #[test]
+    fn unlimited_deadline_matches_plain_variant() {
+        let h = big_ring(200);
+        let none = Deadline::none();
+        assert_eq!(
+            hyper_distances(&h, VertexId(3)),
+            hyper_distances_with(&h, VertexId(3), &none).unwrap()
+        );
+        assert_eq!(
+            hyper_distance_stats(&h),
+            hyper_distance_stats_with(&h, &none).unwrap()
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_deadline_stops_sweep_before_any_source_completes() {
+        let h = big_ring(3000);
+        let dl = Deadline::after(Duration::ZERO);
+        assert!(dl.expired());
+        let err = hyper_distance_stats_with(&h, &dl).unwrap_err();
+        assert_eq!(err.phase, "bfs.sweep");
+        // The first tick window (CHECK_INTERVAL settled vertices) spans at
+        // most one 3000-vertex source, so no source can have completed.
+        assert_eq!(err.work_done, 0, "{err:?}");
+    }
+
+    #[test]
+    fn deadline_fires_mid_bfs_sweep_with_partial_source_count() {
+        // A full sweep over 3000 sources × 3000 vertices is ~9M settles;
+        // walk the budget up from 1ms until one lands mid-sweep. On any
+        // machine fast enough to finish the whole sweep inside 1ms the
+        // escalation simply ends at Ok and the pre-cancelled test above
+        // still covers the expiry path.
+        let h = big_ring(3000);
+        for ms in [1u64, 2, 4, 8, 16, 32, 64] {
+            match hyper_distance_stats_with(&h, &Deadline::after_ms(ms)) {
+                Err(err) => {
+                    assert_eq!(err.phase, "bfs.sweep");
+                    assert!(err.work_done < 3000, "{err:?}");
+                    assert!(err.elapsed >= Duration::from_millis(ms), "{err:?}");
+                    if err.work_done > 0 {
+                        return; // observed a genuine mid-sweep stop
+                    }
+                }
+                Ok(_) => return,
+            }
+        }
+    }
+
+    #[test]
+    fn single_bfs_deadline_reports_settled_vertices() {
+        let h = big_ring(9000);
+        let dl = Deadline::after(Duration::ZERO);
+        let err = hyper_distances_with(&h, VertexId(0), &dl).unwrap_err();
+        assert_eq!(err.phase, "bfs");
+        assert!(err.work_done < 9000, "{err:?}");
     }
 }

@@ -8,10 +8,15 @@
 //! number of vertices reachable in one step), so the claim is checkable
 //! rather than eyeballed.
 
+use hgobs::{Deadline, DeadlineExceeded};
+
 use crate::hypergraph::Hypergraph;
 use crate::hypergraph::VertexId;
 use crate::overlap::d2_vertex;
-use crate::path::{hyper_distance_stats, hyper_distance_stats_from, HyperDistanceStats};
+use crate::path::{
+    hyper_distance_stats, hyper_distance_stats_from, hyper_distance_stats_from_with,
+    hyper_distance_stats_with, HyperDistanceStats,
+};
 
 /// Small-world summary of a hypergraph.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -36,10 +41,30 @@ pub fn small_world_report(h: &Hypergraph) -> SmallWorldReport {
     report_from(h, distances)
 }
 
+/// [`small_world_report`] under a cooperative [`Deadline`]; the BFS
+/// sweep dominates and is the part that can expire.
+pub fn small_world_report_with(
+    h: &Hypergraph,
+    deadline: &Deadline,
+) -> Result<SmallWorldReport, DeadlineExceeded> {
+    let distances = hyper_distance_stats_with(h, deadline)?;
+    Ok(report_from(h, distances))
+}
+
 /// Compute the report using sampled BFS sources (for large hypergraphs).
 pub fn small_world_report_sampled(h: &Hypergraph, sources: &[VertexId]) -> SmallWorldReport {
     let distances = hyper_distance_stats_from(h, sources);
     report_from(h, distances)
+}
+
+/// [`small_world_report_sampled`] under a cooperative [`Deadline`].
+pub fn small_world_report_sampled_with(
+    h: &Hypergraph,
+    sources: &[VertexId],
+    deadline: &Deadline,
+) -> Result<SmallWorldReport, DeadlineExceeded> {
+    let distances = hyper_distance_stats_from_with(h, sources, deadline)?;
+    Ok(report_from(h, distances))
 }
 
 fn report_from(h: &Hypergraph, distances: HyperDistanceStats) -> SmallWorldReport {

@@ -6,7 +6,7 @@
 //! Market)". This crate provides:
 //!
 //! * a parser/writer for the Matrix Market coordinate format ([`parse`],
-//!   [`write`]), so genuine `.mtx` files can be used when available;
+//!   [`mod@write`]), so genuine `.mtx` files can be used when available;
 //! * deterministic synthetic matrix families of the same flavours and
 //!   scales as the (partly illegible) Table 1 matrices — banded waveguide,
 //!   finite-element meshes, 3-D stiffness, unstructured tokamak-like

@@ -30,8 +30,13 @@ pub mod par_kcore;
 pub mod par_overlap;
 pub mod scoped;
 
-pub use par_distance::par_hyper_distance_stats;
+pub use par_distance::{
+    par_hyper_distance_stats, par_hyper_distance_stats_from, par_hyper_distance_stats_from_with,
+    par_hyper_distance_stats_with,
+};
 pub use par_graph::par_core_decomposition;
-pub use par_kcore::{par_hypergraph_kcore, par_max_core};
-pub use par_overlap::par_overlap_table;
-pub use scoped::{scoped_hyper_distance_stats, scoped_run};
+pub use par_kcore::{
+    par_hypergraph_kcore, par_hypergraph_kcore_with, par_max_core, par_max_core_with,
+};
+pub use par_overlap::{par_overlap_table, par_overlap_table_with};
+pub use scoped::{scoped_hyper_distance_stats, scoped_hyper_distance_stats_with, scoped_run};

@@ -2,9 +2,18 @@
 //! distributed over threads (each with private scratch buffers), results
 //! reduced at the end. Exactly matches the sequential
 //! [`hypergraph::hyper_distance_stats`].
+//!
+//! The `*_with` variants share one [`hgobs::Deadline`] across all worker
+//! threads: the first BFS whose clock check trips latches the token's
+//! cancel flag, and every sibling worker observes it on its next
+//! amortized tick, so the whole sweep unwinds within one check interval
+//! per thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rayon::prelude::*;
 
+use hgobs::{Deadline, DeadlineExceeded};
 use hypergraph::path::UNREACHABLE;
 use hypergraph::{HyperDistanceStats, Hypergraph, VertexId};
 
@@ -15,15 +24,45 @@ pub fn par_hyper_distance_stats(h: &Hypergraph) -> HyperDistanceStats {
     par_hyper_distance_stats_from(h, &sources)
 }
 
+/// [`par_hyper_distance_stats`] under a cooperative [`Deadline`] shared
+/// by every worker. The error's `work_done` counts BFS sources fully
+/// completed across all threads.
+pub fn par_hyper_distance_stats_with(
+    h: &Hypergraph,
+    deadline: &Deadline,
+) -> Result<HyperDistanceStats, DeadlineExceeded> {
+    let sources: Vec<VertexId> = h.vertices().collect();
+    par_hyper_distance_stats_from_with(h, &sources, deadline)
+}
+
 /// Parallel distance statistics from the given BFS sources.
 pub fn par_hyper_distance_stats_from(h: &Hypergraph, sources: &[VertexId]) -> HyperDistanceStats {
+    match par_hyper_distance_stats_from_with(h, sources, &Deadline::none()) {
+        Ok(stats) => stats,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`par_hyper_distance_stats_from`] under a cooperative [`Deadline`].
+pub fn par_hyper_distance_stats_from_with(
+    h: &Hypergraph,
+    sources: &[VertexId],
+    deadline: &Deadline,
+) -> Result<HyperDistanceStats, DeadlineExceeded> {
     let _span = hgobs::Span::enter("bfs.par.sweep");
-    let (diameter, total, pairs) = sources
+    let completed = AtomicU64::new(0);
+    let reduced = sources
         .par_iter()
         .fold(
-            || (0u32, 0u128, 0u64),
-            |(mut diameter, mut total, mut pairs), &s| {
-                let dist = hypergraph::hyper_distances(h, s);
+            || Ok((0u32, 0u128, 0u64)),
+            |acc: Result<_, ()>, &s| {
+                let (mut diameter, mut total, mut pairs) = acc?;
+                // A flag-only pre-check lets workers skip whole sources
+                // once a sibling has latched expiry.
+                if deadline.cancelled() {
+                    return Err(());
+                }
+                let dist = hypergraph::hyper_distances_with(h, s, deadline).map_err(|_| ())?;
                 for (v, &d) in dist.iter().enumerate() {
                     if d != UNREACHABLE && v != s.index() {
                         diameter = diameter.max(d);
@@ -31,21 +70,28 @@ pub fn par_hyper_distance_stats_from(h: &Hypergraph, sources: &[VertexId]) -> Hy
                         pairs += 1;
                     }
                 }
-                (diameter, total, pairs)
+                completed.fetch_add(1, Ordering::Relaxed);
+                Ok((diameter, total, pairs))
             },
         )
         .reduce(
-            || (0u32, 0u128, 0u64),
-            |a, b| (a.0.max(b.0), a.1 + b.1, a.2 + b.2),
+            || Ok((0u32, 0u128, 0u64)),
+            |a, b| match (a, b) {
+                (Ok(x), Ok(y)) => Ok((x.0.max(y.0), x.1 + y.1, x.2 + y.2)),
+                _ => Err(()),
+            },
         );
-    HyperDistanceStats {
-        diameter,
-        average_path_length: if pairs == 0 {
-            0.0
-        } else {
-            total as f64 / pairs as f64
-        },
-        reachable_pairs: pairs,
+    match reduced {
+        Ok((diameter, total, pairs)) => Ok(HyperDistanceStats {
+            diameter,
+            average_path_length: if pairs == 0 {
+                0.0
+            } else {
+                total as f64 / pairs as f64
+            },
+            reachable_pairs: pairs,
+        }),
+        Err(()) => Err(deadline.exceeded("bfs.par.sweep", completed.load(Ordering::Relaxed))),
     }
 }
 
@@ -90,5 +136,38 @@ mod tests {
         let par = par_hyper_distance_stats_from(&h, &some);
         let seq = hypergraph::path::hyper_distance_stats_from(&h, &some);
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn unlimited_deadline_matches_plain_variant() {
+        let h = hypergen::uniform_random_hypergraph(80, 60, 4, 9);
+        assert_eq!(
+            par_hyper_distance_stats(&h),
+            par_hyper_distance_stats_with(&h, &Deadline::none()).unwrap()
+        );
+    }
+
+    #[test]
+    fn cancelled_deadline_propagates_across_workers() {
+        let h = hypergen::uniform_random_hypergraph(2000, 1500, 5, 3);
+        let dl = Deadline::cancellable();
+        dl.cancel();
+        let err = par_hyper_distance_stats_with(&h, &dl).unwrap_err();
+        assert_eq!(err.phase, "bfs.par.sweep");
+        assert_eq!(err.work_done, 0, "{err:?}");
+    }
+
+    #[test]
+    fn tiny_budget_stops_parallel_sweep_early() {
+        let h = hypergen::uniform_random_hypergraph(3000, 2400, 5, 11);
+        match par_hyper_distance_stats_with(&h, &Deadline::after_ms(2)) {
+            Err(err) => {
+                assert_eq!(err.phase, "bfs.par.sweep");
+                assert!(err.work_done < 3000, "{err:?}");
+            }
+            // A machine fast enough to finish 3000 BFS sweeps in 2ms just
+            // proves the Ok path; the cancelled test covers expiry.
+            Ok(stats) => assert_eq!(stats, par_hyper_distance_stats(&h)),
+        }
     }
 }

@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 use rayon::prelude::*;
 
+use hgobs::{Deadline, DeadlineExceeded};
 use hypergraph::{EdgeId, Hypergraph, KCore, VertexId};
 
 struct State<'h> {
@@ -126,20 +127,44 @@ fn is_alive_subset(s: &State<'_>, f: usize, g: usize) -> bool {
 /// Parallel k-core (level-synchronous). See the module docs for the
 /// algorithm and its equivalence to the sequential version.
 pub fn par_hypergraph_kcore(h: &Hypergraph, k: u32) -> KCore {
+    match par_hypergraph_kcore_with(h, k, &Deadline::none()) {
+        Ok(core) => core,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`par_hypergraph_kcore`] under a cooperative [`Deadline`]. The clock
+/// is read at every phase barrier (round top and between the edge and
+/// vertex phases), latching the shared flag that the per-item filter
+/// closures poll with a relaxed load — so overshoot is bounded by one
+/// parallel phase. The error's `work_done` counts vertices peeled by
+/// completed rounds.
+pub fn par_hypergraph_kcore_with(
+    h: &Hypergraph,
+    k: u32,
+    deadline: &Deadline,
+) -> Result<KCore, DeadlineExceeded> {
     let _span = hgobs::Span::enter("kcore.par");
     let s = State::new(h);
     let mut rounds: u64 = 0;
+    let mut peeled: u64 = 0;
 
     // Initial edge phase: reduce the input (all edges are "affected").
     let mut affected: Vec<u32> = (0..h.num_edges() as u32).collect();
     loop {
         rounds += 1;
+        deadline.check("kcore.par.round", peeled)?;
         // ---- edge phase: delete non-maximal affected edges ----
         let dead_edges: Vec<u32> = affected
             .par_iter()
             .copied()
-            .filter(|&f| s.e_alive(f as usize) && s.is_non_maximal(f as usize))
+            .filter(|&f| {
+                !deadline.cancelled() && s.e_alive(f as usize) && s.is_non_maximal(f as usize)
+            })
             .collect();
+        // A cancellation latched mid-filter may have skipped edges; bail
+        // before applying a partial phase rather than act on it.
+        deadline.check("kcore.par.edge_phase", peeled)?;
         // Claim and apply deletions (parallel; CAS makes claims unique).
         dead_edges.par_iter().for_each(|&f| {
             let f = f as usize;
@@ -158,8 +183,15 @@ pub fn par_hypergraph_kcore(h: &Hypergraph, k: u32) -> KCore {
         // ---- vertex phase: peel everything under the threshold ----
         let frontier: Vec<u32> = (0..h.num_vertices() as u32)
             .into_par_iter()
-            .filter(|&v| s.v_alive(v as usize) && s.deg_v[v as usize].load(Ordering::Relaxed) < k)
+            .filter(|&v| {
+                !deadline.cancelled()
+                    && s.v_alive(v as usize)
+                    && s.deg_v[v as usize].load(Ordering::Relaxed) < k
+            })
             .collect();
+        // Same guard: a partial frontier must never feed the break
+        // condition or the peel below.
+        deadline.check("kcore.par.vertex_phase", peeled)?;
         hgobs::hist!("kcore.par.frontier", frontier.len());
         if frontier.is_empty() && dead_edges.is_empty() {
             break;
@@ -202,6 +234,7 @@ pub fn par_hypergraph_kcore(h: &Hypergraph, k: u32) -> KCore {
             edges.dedup();
             edges
         };
+        peeled += frontier.len() as u64;
         affected = next_affected;
     }
 
@@ -217,25 +250,37 @@ pub fn par_hypergraph_kcore(h: &Hypergraph, k: u32) -> KCore {
         .map(|a| a.load(Ordering::Acquire))
         .collect();
     let (sub, vertices, edges) = h.sub_hypergraph(&keep_v, &keep_e, false);
-    KCore {
+    Ok(KCore {
         k,
         vertices,
         edges,
         sub,
-    }
+    })
 }
 
 /// Parallel maximum core: largest k with a non-empty k-core. Same
 /// doubling + binary search over `k` as [`hypergraph::max_core`]
 /// (k-cores are nested, so non-emptiness is monotone in `k`).
 pub fn par_max_core(h: &Hypergraph) -> Option<KCore> {
+    match par_max_core_with(h, &Deadline::none()) {
+        Ok(core) => core,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`par_max_core`] under a cooperative [`Deadline`]; every peel in the
+/// doubling and binary-search phases runs under the same token.
+pub fn par_max_core_with(
+    h: &Hypergraph,
+    deadline: &Deadline,
+) -> Result<Option<KCore>, DeadlineExceeded> {
     let _span = hgobs::Span::enter("kcore.par.max_core_search");
-    if par_hypergraph_kcore(h, 1).is_empty() {
-        return None;
+    if par_hypergraph_kcore_with(h, 1, deadline)?.is_empty() {
+        return Ok(None);
     }
     let mut lo = 1u32;
     let mut hi = 2u32;
-    while !par_hypergraph_kcore(h, hi).is_empty() {
+    while !par_hypergraph_kcore_with(h, hi, deadline)?.is_empty() {
         lo = hi;
         hi = hi.saturating_mul(2);
         if hi as usize > h.max_vertex_degree() + 1 {
@@ -245,13 +290,13 @@ pub fn par_max_core(h: &Hypergraph) -> Option<KCore> {
     }
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if par_hypergraph_kcore(h, mid).is_empty() {
+        if par_hypergraph_kcore_with(h, mid, deadline)?.is_empty() {
             hi = mid;
         } else {
             lo = mid;
         }
     }
-    Some(par_hypergraph_kcore(h, lo))
+    Ok(Some(par_hypergraph_kcore_with(h, lo, deadline)?))
 }
 
 #[cfg(test)]
@@ -348,6 +393,28 @@ mod tests {
         b.add_edge([]);
         let h = b.build();
         assert!(par_hypergraph_kcore(&h, 1).is_empty());
+    }
+
+    #[test]
+    fn cancelled_deadline_aborts_before_first_phase_applies() {
+        let h = hypergen::uniform_random_hypergraph(200, 300, 4, 21);
+        let dl = Deadline::cancellable();
+        dl.cancel();
+        let err = par_hypergraph_kcore_with(&h, 2, &dl).unwrap_err();
+        assert_eq!(err.phase, "kcore.par.round");
+        assert_eq!(err.work_done, 0, "{err:?}");
+        assert!(par_max_core_with(&h, &dl).is_err());
+    }
+
+    #[test]
+    fn unlimited_deadline_matches_plain_par_kcore() {
+        let h = hypergen::uniform_random_hypergraph(60, 120, 4, 2);
+        for k in 1..5 {
+            let a = par_hypergraph_kcore(&h, k);
+            let b = par_hypergraph_kcore_with(&h, k, &Deadline::none()).unwrap();
+            assert_eq!(a.vertices, b.vertices, "k = {k}");
+            assert_eq!(contents(&h, &a), contents(&h, &b), "k = {k}");
+        }
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //! to per-pair counts — same information, different layout: a flat sorted
 //! vector of `(f, g, |f ∩ g|)` with `f < g`.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use rayon::prelude::*;
 
+use hgobs::{Deadline, DeadlineExceeded};
 #[cfg(test)]
 use hypergraph::OverlapTable;
 use hypergraph::{EdgeId, Hypergraph};
@@ -15,12 +18,31 @@ use hypergraph::{EdgeId, Hypergraph};
 /// All nonzero pairwise overlaps as sorted `(f, g, count)` triples with
 /// `f < g`.
 pub fn par_overlap_table(h: &Hypergraph) -> Vec<(EdgeId, EdgeId, u32)> {
+    match par_overlap_table_with(h, &Deadline::none()) {
+        Ok(table) => table,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`par_overlap_table`] under a cooperative [`Deadline`], checked once
+/// per vertex by the parallel pair generators (each per-vertex chunk is
+/// `O(d(v)²)`, so overshoot is bounded by the widest adjacency list).
+/// The error's `work_done` counts the pairs generated before expiry.
+pub fn par_overlap_table_with(
+    h: &Hypergraph,
+    deadline: &Deadline,
+) -> Result<Vec<(EdgeId, EdgeId, u32)>, DeadlineExceeded> {
     let _span = hgobs::Span::enter("overlap.par.build");
+    let tripped = AtomicBool::new(false);
     let mut pairs: Vec<(u32, u32)> = h
         .vertices()
         .collect::<Vec<_>>()
         .par_iter()
         .flat_map_iter(|&v| {
+            if tripped.load(Ordering::Relaxed) || deadline.expired() {
+                tripped.store(true, Ordering::Relaxed);
+                return Vec::new();
+            }
             let adj = h.edges_of(v);
             let mut local = Vec::with_capacity(adj.len() * adj.len().saturating_sub(1) / 2);
             for (i, &f) in adj.iter().enumerate() {
@@ -32,6 +54,9 @@ pub fn par_overlap_table(h: &Hypergraph) -> Vec<(EdgeId, EdgeId, u32)> {
         })
         .collect();
     hgobs::counter!("overlap.par.pairs", pairs.len());
+    if tripped.load(Ordering::Relaxed) {
+        return Err(deadline.exceeded("overlap.par.build", pairs.len() as u64));
+    }
     pairs.par_sort_unstable();
 
     let mut out: Vec<(EdgeId, EdgeId, u32)> = Vec::new();
@@ -41,7 +66,7 @@ pub fn par_overlap_table(h: &Hypergraph) -> Vec<(EdgeId, EdgeId, u32)> {
             _ => out.push((EdgeId(f), EdgeId(g), 1)),
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -86,5 +111,24 @@ mod tests {
     fn empty() {
         let h = HypergraphBuilder::new(0).build();
         assert!(par_overlap_table(&h).is_empty());
+    }
+
+    #[test]
+    fn cancelled_deadline_stops_pair_generation() {
+        let h = hypergen::uniform_random_hypergraph(300, 400, 5, 8);
+        let dl = Deadline::cancellable();
+        dl.cancel();
+        let err = par_overlap_table_with(&h, &dl).unwrap_err();
+        assert_eq!(err.phase, "overlap.par.build");
+        assert_eq!(err.work_done, 0, "{err:?}");
+    }
+
+    #[test]
+    fn unlimited_deadline_matches_plain_table() {
+        let h = hypergen::uniform_random_hypergraph(50, 60, 5, 1);
+        assert_eq!(
+            par_overlap_table(&h),
+            par_overlap_table_with(&h, &Deadline::none()).unwrap()
+        );
     }
 }

@@ -7,6 +7,9 @@
 //! chunking wins marginally when costs are uniform and the task count is
 //! small. Results are identical either way, which the tests pin down.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hgobs::{Deadline, DeadlineExceeded};
 use hypergraph::path::UNREACHABLE;
 use hypergraph::{HyperDistanceStats, Hypergraph, VertexId};
 
@@ -46,27 +49,53 @@ where
 /// # Panics
 /// If `threads == 0`.
 pub fn scoped_hyper_distance_stats(h: &Hypergraph, threads: usize) -> HyperDistanceStats {
+    match scoped_hyper_distance_stats_with(h, threads, &Deadline::none()) {
+        Ok(stats) => stats,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`scoped_hyper_distance_stats`] under a cooperative [`Deadline`]
+/// shared across the scoped threads: each worker pre-checks the shared
+/// flag per source, the per-BFS amortized ticks do the clock work, and
+/// the first tripped check latches cancellation for every sibling. The
+/// error's `work_done` counts BFS sources fully completed by all threads.
+///
+/// # Panics
+/// If `threads == 0`.
+pub fn scoped_hyper_distance_stats_with(
+    h: &Hypergraph,
+    threads: usize,
+    deadline: &Deadline,
+) -> Result<HyperDistanceStats, DeadlineExceeded> {
     assert!(threads > 0, "need at least one thread");
     let sources: Vec<VertexId> = h.vertices().collect();
     if sources.is_empty() {
-        return HyperDistanceStats {
+        return Ok(HyperDistanceStats {
             diameter: 0,
             average_path_length: 0.0,
             reachable_pairs: 0,
-        };
+        });
     }
     let chunk = sources.len().div_ceil(threads);
+    let completed = AtomicU64::new(0);
 
-    let partials: Vec<(u32, u128, u64)> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<Option<(u32, u128, u64)>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = sources
             .chunks(chunk)
             .map(|chunk_sources| {
+                let completed = &completed;
                 scope.spawn(move |_| {
                     let mut diameter = 0u32;
                     let mut total = 0u128;
                     let mut pairs = 0u64;
                     for &s in chunk_sources {
-                        let dist = hypergraph::hyper_distances(h, s);
+                        if deadline.cancelled() {
+                            return None;
+                        }
+                        let Ok(dist) = hypergraph::hyper_distances_with(h, s, deadline) else {
+                            return None;
+                        };
                         for (v, &d) in dist.iter().enumerate() {
                             if d != UNREACHABLE && v != s.index() {
                                 diameter = diameter.max(d);
@@ -74,8 +103,9 @@ pub fn scoped_hyper_distance_stats(h: &Hypergraph, threads: usize) -> HyperDista
                                 pairs += 1;
                             }
                         }
+                        completed.fetch_add(1, Ordering::Relaxed);
                     }
-                    (diameter, total, pairs)
+                    Some((diameter, total, pairs))
                 })
             })
             .collect();
@@ -86,10 +116,17 @@ pub fn scoped_hyper_distance_stats(h: &Hypergraph, threads: usize) -> HyperDista
     })
     .expect("scope");
 
-    let (diameter, total, pairs) = partials.into_iter().fold((0u32, 0u128, 0u64), |a, b| {
-        (a.0.max(b.0), a.1 + b.1, a.2 + b.2)
-    });
-    HyperDistanceStats {
+    let mut acc = (0u32, 0u128, 0u64);
+    for partial in partials {
+        match partial {
+            Some(b) => acc = (acc.0.max(b.0), acc.1 + b.1, acc.2 + b.2),
+            None => {
+                return Err(deadline.exceeded("bfs.scoped.sweep", completed.load(Ordering::Relaxed)))
+            }
+        }
+    }
+    let (diameter, total, pairs) = acc;
+    Ok(HyperDistanceStats {
         diameter,
         average_path_length: if pairs == 0 {
             0.0
@@ -97,7 +134,7 @@ pub fn scoped_hyper_distance_stats(h: &Hypergraph, threads: usize) -> HyperDista
             total as f64 / pairs as f64
         },
         reachable_pairs: pairs,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -158,5 +195,24 @@ mod tests {
         let rayon = crate::par_hyper_distance_stats(&h);
         let scoped = scoped_hyper_distance_stats(&h, 4);
         assert_eq!(rayon, scoped);
+    }
+
+    #[test]
+    fn cancelled_deadline_stops_every_scoped_worker() {
+        let h = hypergen::uniform_random_hypergraph(1500, 1200, 5, 5);
+        let dl = Deadline::cancellable();
+        dl.cancel();
+        let err = scoped_hyper_distance_stats_with(&h, 4, &dl).unwrap_err();
+        assert_eq!(err.phase, "bfs.scoped.sweep");
+        assert_eq!(err.work_done, 0, "{err:?}");
+    }
+
+    #[test]
+    fn unlimited_deadline_matches_plain_scoped_variant() {
+        let h = hypergen::uniform_random_hypergraph(60, 50, 4, 11);
+        assert_eq!(
+            scoped_hyper_distance_stats(&h, 3),
+            scoped_hyper_distance_stats_with(&h, 3, &Deadline::none()).unwrap()
+        );
     }
 }
