@@ -1,0 +1,259 @@
+//! Deterministic kernel benchmark: scalar per-source BFS vs batched
+//! MS-BFS vs parallel MS-BFS on the all-pairs distance sweep, run from
+//! `hg bench --kernels` and gated by `ci.sh --bench`.
+//!
+//! Unlike the Criterion targets under `benches/`, this harness is a
+//! plain library so the CLI can invoke it and CI can diff its JSON
+//! (schema `hg-kernels/1`) against a checked-in baseline. Per engine we
+//! report best-of-`reps` wall time — the minimum is the standard
+//! low-noise estimator for a deterministic kernel — and every engine's
+//! [`HyperDistanceStats`] must be bit-identical before any timing is
+//! trusted; a mismatch is an error, not a footnote.
+
+use std::time::Instant;
+
+use hypergraph::{HyperDistanceStats, Hypergraph};
+
+/// Configuration for one `hg bench --kernels` run.
+pub struct KernelBenchConfig {
+    /// Timed repetitions per engine per dataset (best-of wins).
+    pub reps: usize,
+    /// Vertex count of the hypergen-scaled instance; the default sits
+    /// above hgserve's 4096-vertex parallel-routing threshold so the
+    /// benchmark exercises the same engine the server would pick.
+    pub scale: usize,
+    /// Path to a Cellzome `.hgr` file; when unreadable the benchmark
+    /// falls back to the deterministic `proteome::cellzome_like` twin.
+    pub cellzome_path: Option<String>,
+}
+
+impl Default for KernelBenchConfig {
+    fn default() -> Self {
+        KernelBenchConfig {
+            reps: 3,
+            scale: 6_000,
+            cellzome_path: Some("data/cellzome-2004.hgr".to_string()),
+        }
+    }
+}
+
+/// Best-of-reps timing for one engine on one dataset.
+pub struct EngineResult {
+    pub engine: &'static str,
+    pub best_us: u64,
+    pub median_us: u64,
+}
+
+/// One dataset's timings plus the (engine-agreed) distance statistics.
+pub struct DatasetResult {
+    pub name: String,
+    pub vertices: usize,
+    pub edges: usize,
+    pub stats: HyperDistanceStats,
+    pub engines: Vec<EngineResult>,
+}
+
+impl DatasetResult {
+    fn best(&self, engine: &str) -> Option<u64> {
+        self.engines
+            .iter()
+            .find(|e| e.engine == engine)
+            .map(|e| e.best_us)
+    }
+
+    /// Wall-clock speedup of `engine` over the scalar oracle.
+    pub fn speedup_over_scalar(&self, engine: &str) -> f64 {
+        match (self.best("scalar"), self.best(engine)) {
+            (Some(s), Some(e)) if e > 0 => s as f64 / e as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Full report of one benchmark run.
+pub struct KernelBenchReport {
+    pub reps: usize,
+    pub datasets: Vec<DatasetResult>,
+    /// Best MS-BFS time on the scaled instance, in microseconds: the
+    /// single number `ci.sh --bench` gates at +25% over baseline.
+    pub gate_msbfs_us: u64,
+}
+
+impl KernelBenchReport {
+    /// Render as schema `hg-kernels/1` JSON (one line, trailing newline).
+    pub fn render_json(&self) -> String {
+        let mut w = hgobs::json::JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string("hg-kernels/1");
+        w.key("reps").uint(self.reps as u64);
+        w.key("gate_msbfs_us").uint(self.gate_msbfs_us);
+        w.key("datasets").begin_array();
+        for d in &self.datasets {
+            w.begin_object();
+            w.key("name").string(&d.name);
+            w.key("vertices").uint(d.vertices as u64);
+            w.key("edges").uint(d.edges as u64);
+            w.key("diameter").uint(d.stats.diameter as u64);
+            w.key("average_path_length")
+                .float(d.stats.average_path_length);
+            w.key("reachable_pairs").uint(d.stats.reachable_pairs);
+            w.key("engines").begin_array();
+            for e in &d.engines {
+                w.begin_object();
+                w.key("engine").string(e.engine);
+                w.key("best_us").uint(e.best_us);
+                w.key("median_us").uint(e.median_us);
+                w.end_object();
+            }
+            w.end_array();
+            w.key("speedup_msbfs").float(d.speedup_over_scalar("msbfs"));
+            w.key("speedup_par_msbfs")
+                .float(d.speedup_over_scalar("par_msbfs"));
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
+
+    /// Human-readable summary table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.datasets {
+            out.push_str(&format!(
+                "{} ({} vertices, {} hyperedges): diameter {}, apl {:.3}\n",
+                d.name, d.vertices, d.edges, d.stats.diameter, d.stats.average_path_length
+            ));
+            for e in &d.engines {
+                out.push_str(&format!(
+                    "  {:<10} best {:>9} us  median {:>9} us  speedup {:.2}x\n",
+                    e.engine,
+                    e.best_us,
+                    e.median_us,
+                    d.speedup_over_scalar(e.engine)
+                ));
+            }
+        }
+        out.push_str(&format!("gate_msbfs_us: {}\n", self.gate_msbfs_us));
+        out
+    }
+}
+
+fn time_engine(
+    engine: &'static str,
+    reps: usize,
+    run: impl Fn() -> HyperDistanceStats,
+) -> (EngineResult, HyperDistanceStats) {
+    let mut times: Vec<u64> = Vec::with_capacity(reps);
+    let mut stats = run();
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        stats = run();
+        times.push(t.elapsed().as_micros() as u64);
+    }
+    times.sort_unstable();
+    (
+        EngineResult {
+            engine,
+            best_us: times[0],
+            median_us: times[times.len() / 2],
+        },
+        stats,
+    )
+}
+
+fn bench_dataset(name: &str, h: &Hypergraph, reps: usize) -> Result<DatasetResult, String> {
+    let (scalar, s_stats) = time_engine("scalar", reps, || {
+        hypergraph::scalar_hyper_distance_stats(h)
+    });
+    let (msbfs, m_stats) = time_engine("msbfs", reps, || hypergraph::msbfs_distance_stats(h));
+    let (par, p_stats) = time_engine("par_msbfs", reps, || parcore::par_msbfs_distance_stats(h));
+    // Bit-identical across engines or the timings mean nothing.
+    if s_stats != m_stats || s_stats != p_stats {
+        return Err(format!(
+            "engine disagreement on {name}: scalar {s_stats:?}, msbfs {m_stats:?}, par {p_stats:?}"
+        ));
+    }
+    Ok(DatasetResult {
+        name: name.to_string(),
+        vertices: h.num_vertices(),
+        edges: h.num_edges(),
+        stats: s_stats,
+        engines: vec![scalar, msbfs, par],
+    })
+}
+
+/// Deterministic seed for the scaled instance (one batch of entropy,
+/// fixed forever so baseline comparisons stay apples-to-apples).
+pub const SCALED_SEED: u64 = 41;
+
+/// Run the kernel benchmark: Cellzome plus a hypergen-scaled instance.
+pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport, String> {
+    let cellzome = cfg
+        .cellzome_path
+        .as_deref()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .and_then(|text| hypergraph::io::read_hgr(&text).ok())
+        .unwrap_or_else(|| proteome::cellzome_like(proteome::CELLZOME_SEED).hypergraph);
+    let scaled = hypergen::uniform_random_hypergraph(cfg.scale, cfg.scale * 3 / 4, 5, SCALED_SEED);
+
+    let datasets = vec![
+        bench_dataset("cellzome-2004", &cellzome, cfg.reps)?,
+        bench_dataset(&format!("hypergen-u{}", cfg.scale), &scaled, cfg.reps)?,
+    ];
+    let gate_msbfs_us = datasets[1]
+        .best("msbfs")
+        .ok_or("scaled dataset missing msbfs timing")?;
+    Ok(KernelBenchReport {
+        reps: cfg.reps,
+        datasets,
+        gate_msbfs_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> KernelBenchConfig {
+        KernelBenchConfig {
+            reps: 1,
+            scale: 300,
+            cellzome_path: None,
+        }
+    }
+
+    #[test]
+    fn report_carries_both_datasets_and_all_engines() {
+        let report = run(&tiny_config()).unwrap();
+        assert_eq!(report.datasets.len(), 2);
+        for d in &report.datasets {
+            let names: Vec<_> = d.engines.iter().map(|e| e.engine).collect();
+            assert_eq!(names, vec!["scalar", "msbfs", "par_msbfs"], "{}", d.name);
+        }
+        // Cellzome fallback twin reproduces the paper's diameter.
+        assert_eq!(report.datasets[0].stats.diameter, 6);
+    }
+
+    #[test]
+    fn json_matches_schema_and_gate_key_is_extractable() {
+        let report = run(&tiny_config()).unwrap();
+        let json = report.render_json();
+        assert!(json.contains("\"schema\":\"hg-kernels/1\""), "{json}");
+        assert!(json.contains("\"gate_msbfs_us\":"), "{json}");
+        assert!(json.contains("\"speedup_msbfs\":"), "{json}");
+        // The exact pattern ci.sh extracts with sed.
+        let gate: u64 = json
+            .split("\"gate_msbfs_us\":")
+            .nth(1)
+            .unwrap()
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap();
+        assert_eq!(gate, report.gate_msbfs_us);
+    }
+}

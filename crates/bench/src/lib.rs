@@ -1,2 +1,8 @@
-//! Benchmark-only crate: see `benches/` for one Criterion target per
-//! paper table/figure plus the ablations (DESIGN.md §4).
+//! Benchmark crate: `benches/` holds one Criterion target per paper
+//! table/figure plus the ablations (DESIGN.md §4); [`kernels`] is the
+//! plain-library kernel benchmark behind `hg bench --kernels` and the
+//! `ci.sh --bench` wall-time gate.
+
+pub mod kernels;
+
+pub use kernels::{DatasetResult, EngineResult, KernelBenchConfig, KernelBenchReport, SCALED_SEED};

@@ -118,15 +118,17 @@ pub fn distance_stats_exact(g: &Graph) -> DistanceStats {
     }
 }
 
-/// [`distance_stats_exact`] under a cooperative [`Deadline`]. The
-/// error's `work_done` counts BFS sources fully completed, and the
-/// `graph.bfs.sources` counter reflects that same partial count.
+/// [`distance_stats_exact`] under a cooperative [`Deadline`]. Runs the
+/// batched MS-BFS engine ([`crate::msbfs`]): on expiry the error's
+/// phase is `"graph.msbfs"` and `work_done` counts completed batches of
+/// [`crate::msbfs::BATCH`] sources; the `graph.bfs.sources` counter
+/// still reflects completed sources. [`distance_stats_sampled_with`]
+/// remains the per-source scalar oracle.
 pub fn distance_stats_exact_with(
     g: &Graph,
     deadline: &Deadline,
 ) -> Result<DistanceStats, DeadlineExceeded> {
-    let sources: Vec<NodeId> = g.nodes().collect();
-    distance_stats_sampled_with(g, &sources, deadline)
+    crate::msbfs::msbfs_distance_stats_with(g, deadline)
 }
 
 /// Distance statistics estimated by BFS from `sources` chosen by the

@@ -13,12 +13,30 @@ use crate::graph::{Graph, NodeId};
 /// paths, Brandes' accumulation), O(n·m). Scores count ordered pairs;
 /// for the undirected convention divide by 2 (or use
 /// [`betweenness_normalized`]).
+///
+/// Predecessor lists live in a flat CSR-style arena allocated once and
+/// reused across all n sources: a node's predecessors on shortest paths
+/// are a subset of its neighbors, so slot capacities are exactly the
+/// degrees and resetting a source is one `fill(0)` of the length array
+/// instead of n `Vec::clear` calls on n separate allocations.
 pub fn betweenness(g: &Graph) -> Vec<f64> {
     let n = g.num_nodes();
     let mut centrality = vec![0.0f64; n];
 
+    // Arena layout: node v's predecessor slots occupy
+    // pred_data[pred_start[v] .. pred_start[v] + degree(v)], of which
+    // the first pred_len[v] are live for the current source.
+    let mut pred_start: Vec<u32> = Vec::with_capacity(n + 1);
+    let mut acc = 0u32;
+    pred_start.push(0);
+    for v in 0..n {
+        acc += g.degree(NodeId(v as u32)) as u32;
+        pred_start.push(acc);
+    }
+    let mut pred_data: Vec<u32> = vec![0; acc as usize];
+    let mut pred_len: Vec<u32> = vec![0; n];
+
     let mut stack: Vec<u32> = Vec::with_capacity(n);
-    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut sigma = vec![0.0f64; n];
     let mut dist = vec![-1i64; n];
     let mut delta = vec![0.0f64; n];
@@ -27,9 +45,7 @@ pub fn betweenness(g: &Graph) -> Vec<f64> {
     for s in 0..n as u32 {
         stack.clear();
         queue.clear();
-        for p in preds.iter_mut() {
-            p.clear();
-        }
+        pred_len.fill(0);
         sigma.fill(0.0);
         dist.fill(-1);
         delta.fill(0.0);
@@ -47,12 +63,15 @@ pub fn betweenness(g: &Graph) -> Vec<f64> {
                 }
                 if dist[w as usize] == dist[v as usize] + 1 {
                     sigma[w as usize] += sigma[v as usize];
-                    preds[w as usize].push(v);
+                    pred_data[(pred_start[w as usize] + pred_len[w as usize]) as usize] = v;
+                    pred_len[w as usize] += 1;
                 }
             }
         }
         while let Some(w) = stack.pop() {
-            for &v in &preds[w as usize] {
+            let lo = pred_start[w as usize] as usize;
+            let hi = lo + pred_len[w as usize] as usize;
+            for &v in &pred_data[lo..hi] {
                 delta[v as usize] +=
                     sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
             }

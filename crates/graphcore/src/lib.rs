@@ -40,6 +40,7 @@ pub mod correlation;
 pub mod degree;
 pub mod graph;
 pub mod kcore;
+pub mod msbfs;
 pub mod pajek;
 pub mod unionfind;
 
@@ -56,6 +57,12 @@ pub use correlation::{degree_assortativity, mean_neighbor_degree_profile};
 pub use degree::{degree_histogram, DegreeStats};
 pub use graph::{Graph, NodeId};
 pub use kcore::{core_decomposition, core_decomposition_with, k_core_subgraph, CoreDecomposition};
+pub use msbfs::{
+    msbfs_distance_stats as graph_msbfs_distance_stats,
+    msbfs_distance_stats_from as graph_msbfs_distance_stats_from,
+    msbfs_distance_stats_from_with as graph_msbfs_distance_stats_from_with,
+    msbfs_distance_stats_with as graph_msbfs_distance_stats_with, GraphMsBfsScratch,
+};
 pub use unionfind::UnionFind;
 
 /// Distance value used throughout: `u32::MAX` encodes "unreachable".

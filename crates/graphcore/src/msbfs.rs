@@ -1,0 +1,247 @@
+//! Batched multi-source BFS (MS-BFS) on plain graphs — the same u64
+//! bitmask batching as `hypergraph::msbfs`, mirrored here so the DIP
+//! PPI baselines and the bipartite-view sweeps benefit too.
+//!
+//! Each node carries a `u64` "seen" mask and a frontier mask; one pass
+//! over the CSR adjacency advances up to [`BATCH`] BFS traversals at
+//! once, and distance statistics are accumulated per level without ever
+//! materializing per-source distance vectors. Results are bit-identical
+//! to [`crate::bfs::distance_stats_sampled`], the scalar oracle.
+
+use hgobs::{Deadline, DeadlineExceeded};
+
+use crate::bfs::DistanceStats;
+use crate::graph::{Graph, NodeId};
+
+/// Sources advanced per traversal: the width of the `u64` masks.
+pub const BATCH: usize = 64;
+
+/// Reusable per-traversal mask buffers (one allocation per worker).
+pub struct GraphMsBfsScratch {
+    seen: Vec<u64>,
+    frontier: Vec<u64>,
+    next: Vec<u64>,
+}
+
+impl GraphMsBfsScratch {
+    /// Allocate scratch sized for `g`.
+    pub fn new(g: &Graph) -> Self {
+        GraphMsBfsScratch {
+            seen: vec![0; g.num_nodes()],
+            frontier: vec![0; g.num_nodes()],
+            next: vec![0; g.num_nodes()],
+        }
+    }
+
+    fn reset(&mut self) {
+        self.seen.fill(0);
+        self.frontier.fill(0);
+        self.next.fill(0);
+    }
+}
+
+/// Advance one batch of at most [`BATCH`] sources to fixpoint,
+/// accumulating (diameter, total, pairs) partials. Returns `None` when
+/// the deadline fires; `ticks` amortizes clock reads across batches.
+fn msbfs_graph_batch(
+    g: &Graph,
+    batch: &[NodeId],
+    scratch: &mut GraphMsBfsScratch,
+    deadline: &Deadline,
+    ticks: &mut u32,
+) -> Option<(u32, u128, u64)> {
+    assert!(batch.len() <= BATCH, "batch wider than the u64 masks");
+    scratch.reset();
+    for (i, &s) in batch.iter().enumerate() {
+        let bit = 1u64 << i;
+        scratch.seen[s.index()] |= bit;
+        scratch.frontier[s.index()] |= bit;
+    }
+    let n = g.num_nodes();
+    let (mut diameter, mut total, mut pairs) = (0u32, 0u128, 0u64);
+    let mut level = 0u32;
+    let mut active = !batch.is_empty();
+    while active {
+        level += 1;
+        for v in 0..n {
+            if deadline.tick(ticks) {
+                return None;
+            }
+            let fv = scratch.frontier[v];
+            if fv == 0 {
+                continue;
+            }
+            for &w in g.neighbors(NodeId(v as u32)) {
+                let add = fv & !scratch.seen[w.index()];
+                if add != 0 {
+                    scratch.seen[w.index()] |= add;
+                    scratch.next[w.index()] |= add;
+                }
+            }
+        }
+        active = false;
+        for v in 0..n {
+            let nv = scratch.next[v];
+            scratch.frontier[v] = nv;
+            scratch.next[v] = 0;
+            if nv != 0 {
+                active = true;
+                let c = nv.count_ones() as u64;
+                pairs += c;
+                total += c as u128 * level as u128;
+            }
+        }
+        if active {
+            diameter = level;
+        }
+    }
+    Some((diameter, total, pairs))
+}
+
+/// Exact distance statistics by MS-BFS from every node. Bit-identical
+/// to [`crate::bfs::distance_stats_exact`]'s scalar oracle.
+pub fn msbfs_distance_stats(g: &Graph) -> DistanceStats {
+    match msbfs_distance_stats_with(g, &Deadline::none()) {
+        Ok(stats) => stats,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`msbfs_distance_stats`] under a cooperative [`Deadline`]; the
+/// error's `work_done` counts batches of [`BATCH`] sources completed.
+pub fn msbfs_distance_stats_with(
+    g: &Graph,
+    deadline: &Deadline,
+) -> Result<DistanceStats, DeadlineExceeded> {
+    let sources: Vec<NodeId> = g.nodes().collect();
+    msbfs_distance_stats_from_with(g, &sources, deadline)
+}
+
+/// Distance statistics restricted to caller-chosen sources.
+pub fn msbfs_distance_stats_from(g: &Graph, sources: &[NodeId]) -> DistanceStats {
+    match msbfs_distance_stats_from_with(g, sources, &Deadline::none()) {
+        Ok(stats) => stats,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`msbfs_distance_stats_from`] under a cooperative [`Deadline`],
+/// checked at batch boundaries and every [`hgobs::CHECK_INTERVAL`]
+/// scanned nodes. Expiry surfaces phase `"graph.msbfs"` and the number
+/// of completed batches; the `graph.msbfs.batches` and
+/// `graph.bfs.sources` counters carry the same partial progress.
+pub fn msbfs_distance_stats_from_with(
+    g: &Graph,
+    sources: &[NodeId],
+    deadline: &Deadline,
+) -> Result<DistanceStats, DeadlineExceeded> {
+    let _span = hgobs::Span::enter("graph.msbfs.sweep");
+    let mut scratch = GraphMsBfsScratch::new(g);
+    let mut ticks = 0u32;
+    let (mut diameter, mut total, mut pairs) = (0u32, 0u128, 0u64);
+    let mut batches = 0u64;
+    let mut completed_sources = 0u64;
+    let expired = 'sweep: {
+        for batch in sources.chunks(BATCH) {
+            if deadline.expired() {
+                break 'sweep true;
+            }
+            match msbfs_graph_batch(g, batch, &mut scratch, deadline, &mut ticks) {
+                Some((d, t, p)) => {
+                    diameter = diameter.max(d);
+                    total += t;
+                    pairs += p;
+                }
+                None => break 'sweep true,
+            }
+            batches += 1;
+            completed_sources += batch.len() as u64;
+        }
+        false
+    };
+    hgobs::counter!("graph.msbfs.batches", batches);
+    hgobs::counter!("graph.bfs.sources", completed_sources);
+    if expired {
+        return Err(deadline.exceeded("graph.msbfs", batches));
+    }
+    Ok(DistanceStats {
+        diameter,
+        average_path_length: if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        },
+        reachable_pairs: pairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::distance_stats_sampled;
+    use crate::GraphBuilder;
+    use std::time::Duration;
+
+    fn ring(n: u32) -> Graph {
+        let mut b = GraphBuilder::new(n as usize);
+        for i in 0..n {
+            b.add_edge(NodeId(i), NodeId((i + 1) % n));
+            b.add_edge(NodeId(i), NodeId((i + 9) % n));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matches_scalar_on_ring_across_batches() {
+        let g = ring(150);
+        let all: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(msbfs_distance_stats(&g), distance_stats_sampled(&g, &all));
+    }
+
+    #[test]
+    fn matches_scalar_on_disconnected_graph() {
+        let mut b = GraphBuilder::new(7);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(4), NodeId(5));
+        let g = b.build();
+        let all: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(msbfs_distance_stats(&g), distance_stats_sampled(&g, &all));
+    }
+
+    #[test]
+    fn empty_and_single_node() {
+        let s = msbfs_distance_stats(&GraphBuilder::new(0).build());
+        assert_eq!(s.reachable_pairs, 0);
+        let s = msbfs_distance_stats(&GraphBuilder::new(1).build());
+        assert_eq!(s.diameter, 0);
+        assert_eq!(s.reachable_pairs, 0);
+    }
+
+    #[test]
+    fn subset_of_sources_matches_scalar() {
+        let g = ring(90);
+        let some: Vec<NodeId> = (0..70).map(NodeId).collect();
+        assert_eq!(
+            msbfs_distance_stats_from(&g, &some),
+            distance_stats_sampled(&g, &some)
+        );
+    }
+
+    #[test]
+    fn pre_expired_deadline_reports_zero_batches() {
+        let g = ring(200);
+        let err = msbfs_distance_stats_with(&g, &Deadline::after(Duration::ZERO)).unwrap_err();
+        assert_eq!(err.phase, "graph.msbfs");
+        assert_eq!(err.work_done, 0, "{err:?}");
+    }
+
+    #[test]
+    fn unlimited_deadline_matches_plain_variant() {
+        let g = ring(80);
+        assert_eq!(
+            msbfs_distance_stats(&g),
+            msbfs_distance_stats_with(&g, &Deadline::none()).unwrap()
+        );
+    }
+}

@@ -38,7 +38,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE]\n  hg export-pajek <file.hgr> -o <base>\n  hg serve [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--deadline-ms MS]\n           [--queue N] [--preload FILE...]\n  hg loadgen [--addr HOST:PORT] [--dataset NAME] [--concurrency N]\n             [--requests N] [--mix stats=3,kcore=1,...] [--deadline-ms MS]\n             [--json FILE]\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
+    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE]\n  hg export-pajek <file.hgr> -o <base>\n  hg serve [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--deadline-ms MS]\n           [--queue N] [--preload FILE...]\n  hg loadgen [--addr HOST:PORT] [--dataset NAME] [--concurrency N]\n             [--requests N] [--mix stats=3,kcore=1,...] [--deadline-ms MS]\n             [--json FILE]\n  hg bench --kernels [--json FILE] [--reps N] [--scale N] [--cellzome FILE]\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
 }
 
 fn run(args: &[String]) -> Result<String, String> {
@@ -77,6 +77,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "export-pajek" => cmd_export_pajek(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "loadgen" => cmd_loadgen(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "repro" => cmd_repro(&args[1..]),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
@@ -656,6 +657,41 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
             report.sent,
             report.render_text()
         ));
+    }
+    Ok(report.render_text())
+}
+
+fn cmd_bench(args: &[String]) -> Result<String, String> {
+    let (kernels, rest) = take_switch(args, "--kernels");
+    if !kernels {
+        return Err("bench requires --kernels (the only mode so far)".to_string());
+    }
+    let (json_out, rest) = take_opt(&rest, "--json")?;
+    let (reps, rest) = take_opt(&rest, "--reps")?;
+    let (scale, rest) = take_opt(&rest, "--scale")?;
+    let (cellzome, rest) = take_opt(&rest, "--cellzome")?;
+    if let Some(extra) = rest.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+
+    let mut cfg = bench::KernelBenchConfig::default();
+    if let Some(r) = reps {
+        cfg.reps = r.parse().map_err(|e| format!("bad --reps: {e}"))?;
+        if cfg.reps == 0 {
+            return Err("--reps must be >= 1".to_string());
+        }
+    }
+    if let Some(s) = scale {
+        cfg.scale = s.parse().map_err(|e| format!("bad --scale: {e}"))?;
+    }
+    if let Some(p) = cellzome {
+        cfg.cellzome_path = Some(p);
+    }
+
+    let report = bench::kernels::run(&cfg)?;
+    if let Some(path) = json_out {
+        std::fs::write(&path, report.render_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     Ok(report.render_text())
 }

@@ -401,3 +401,45 @@ fn repro_appends_phase_breakdown() {
     assert!(out.contains("phase breakdown:"), "{out}");
     assert!(out.contains("graph.kcore"), "{out}");
 }
+
+#[test]
+fn bench_kernels_writes_schema_versioned_json() {
+    let dir = tmpdir("bench_kernels");
+    let json_path = dir.join("BENCH_kernels.json");
+    let json_s = json_path.to_str().unwrap();
+
+    // Tiny scale + 1 rep keeps the black-box run fast; the point is the
+    // plumbing (flags, JSON schema, engine agreement), not the timings.
+    let (ok, out, err) = hg(&[
+        "bench",
+        "--kernels",
+        "--reps",
+        "1",
+        "--scale",
+        "300",
+        "--json",
+        json_s,
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("cellzome-2004"), "{out}");
+    assert!(out.contains("hypergen-u300"), "{out}");
+    for engine in ["scalar", "msbfs", "par_msbfs"] {
+        assert!(out.contains(engine), "missing {engine} in:\n{out}");
+    }
+    assert!(out.contains("gate_msbfs_us:"), "{out}");
+
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    check_json(json.trim()).unwrap_or_else(|e| panic!("invalid bench JSON ({e}):\n{json}"));
+    assert!(json.contains("\"schema\":\"hg-kernels/1\""), "{json}");
+    assert!(json.contains("\"gate_msbfs_us\":"), "{json}");
+    assert!(json.contains("\"speedup_msbfs\":"), "{json}");
+    // Cellzome stats agree across engines and reproduce the paper run.
+    assert!(json.contains("\"diameter\":6"), "{json}");
+}
+
+#[test]
+fn bench_without_kernels_flag_errors() {
+    let (ok, _, err) = hg(&["bench"]);
+    assert!(!ok);
+    assert!(err.contains("--kernels"), "{err}");
+}

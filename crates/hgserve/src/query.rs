@@ -301,8 +301,10 @@ fn run_distance(
 }
 
 fn run_diameter(h: &Hypergraph, opts: &ExecOpts, w: &mut JsonWriter) -> Result<(), QueryError> {
+    // Both arms run the batched MS-BFS engine; the parallel arm shards
+    // batches over workers for datasets above the routing threshold.
     let s = if opts.parallel {
-        parcore::par_hyper_distance_stats_with(h, &opts.deadline)?
+        parcore::par_msbfs_distance_stats_with(h, &opts.deadline)?
     } else {
         hypergraph::hyper_distance_stats_with(h, &opts.deadline)?
     };
@@ -474,6 +476,24 @@ mod tests {
             let err = q.run_opts(&h, &opts).unwrap_err();
             assert_eq!(err.status, 504, "{q:?}: {}", err.message);
             assert!(err.message.contains("deadline exceeded"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn expired_diameter_504_names_the_msbfs_engine() {
+        // Both routing arms now run MS-BFS; the 504 body carries the
+        // engine phase and the batches-completed work count so clients
+        // can see how far the sweep got.
+        let h = chain();
+        for (parallel, phase) in [(false, "msbfs"), (true, "msbfs.par")] {
+            let opts = ExecOpts {
+                deadline: hgobs::Deadline::after(std::time::Duration::ZERO),
+                parallel,
+            };
+            let err = Query::Diameter.run_opts(&h, &opts).unwrap_err();
+            assert_eq!(err.status, 504, "{}", err.message);
+            assert!(err.message.contains(phase), "{}", err.message);
+            assert!(err.message.contains("0 work units done"), "{}", err.message);
         }
     }
 

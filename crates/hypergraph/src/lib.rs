@@ -57,6 +57,7 @@ pub mod hash;
 pub mod hypergraph;
 pub mod io;
 pub mod kcore;
+pub mod msbfs;
 pub mod multicover;
 pub mod mutable;
 pub mod naive;
@@ -82,17 +83,23 @@ pub use kcore::{
     core_numbers, core_profile, hypergraph_kcore, hypergraph_kcore_with, max_core, max_core_linear,
     max_core_with, KCore,
 };
+pub use msbfs::{
+    msbfs_batch, msbfs_distance_stats, msbfs_distance_stats_from, msbfs_distance_stats_from_with,
+    msbfs_distance_stats_with, msbfs_eccentricities, msbfs_eccentricities_with, BatchStats,
+    MsBfsScratch, BATCH,
+};
 pub use multicover::{greedy_multicover, is_multicover};
 pub use mutable::MutableHypergraph;
 pub use overlap::OverlapTable;
 pub use path::{
     hyper_distance_stats, hyper_distance_stats_with, hyper_distances, hyper_distances_with,
-    HyperDistanceStats,
+    scalar_hyper_distance_stats, scalar_hyper_distance_stats_from,
+    scalar_hyper_distance_stats_from_with, HyperDistanceStats,
 };
 pub use powerlaw::{fit_power_law, PowerLawFit};
 pub use projections::{clique_expansion, intersection_graph, star_expansion, SpaceReport};
 pub use reduce::{non_maximal_edges, reduce};
 pub use smallworld::{
-    small_world_report, small_world_report_sampled, small_world_report_sampled_with,
-    small_world_report_with, SmallWorldReport,
+    report_from_distances, small_world_report, small_world_report_sampled,
+    small_world_report_sampled_with, small_world_report_with, SmallWorldReport,
 };

@@ -114,7 +114,11 @@ pub struct HyperDistanceStats {
     pub reachable_pairs: u64,
 }
 
-/// Exact statistics by a BFS from every vertex: O(|V| · |E|).
+/// Exact statistics from every vertex. Since the batched MS-BFS kernel
+/// landed this routes through [`crate::msbfs::msbfs_distance_stats`]
+/// (bit-identical results, a fraction of the memory traffic); the
+/// per-source sweep survives as [`scalar_hyper_distance_stats`], the
+/// oracle the equivalence tests compare against.
 pub fn hyper_distance_stats(h: &Hypergraph) -> HyperDistanceStats {
     match hyper_distance_stats_with(h, &Deadline::none()) {
         Ok(stats) => stats,
@@ -122,18 +126,19 @@ pub fn hyper_distance_stats(h: &Hypergraph) -> HyperDistanceStats {
     }
 }
 
-/// [`hyper_distance_stats`] under a cooperative [`Deadline`]. The
-/// error's `work_done` counts BFS sources fully completed.
+/// [`hyper_distance_stats`] under a cooperative [`Deadline`]. On expiry
+/// the error carries phase `"msbfs"` and counts *batches* of
+/// [`crate::msbfs::BATCH`] sources fully completed.
 pub fn hyper_distance_stats_with(
     h: &Hypergraph,
     deadline: &Deadline,
 ) -> Result<HyperDistanceStats, DeadlineExceeded> {
-    let sources: Vec<VertexId> = h.vertices().collect();
-    hyper_distance_stats_from_with(h, &sources, deadline)
+    crate::msbfs::msbfs_distance_stats_with(h, deadline)
 }
 
 /// Statistics restricted to BFS sources chosen by the caller (sampling
-/// for large hypergraphs; diameter becomes a lower bound).
+/// for large hypergraphs; diameter becomes a lower bound). Routed
+/// through the batched MS-BFS kernel.
 pub fn hyper_distance_stats_from(h: &Hypergraph, sources: &[VertexId]) -> HyperDistanceStats {
     match hyper_distance_stats_from_with(h, sources, &Deadline::none()) {
         Ok(stats) => stats,
@@ -141,12 +146,41 @@ pub fn hyper_distance_stats_from(h: &Hypergraph, sources: &[VertexId]) -> HyperD
     }
 }
 
-/// [`hyper_distance_stats_from`] under a cooperative [`Deadline`],
-/// checked every [`hgobs::CHECK_INTERVAL`] settled vertices across the
-/// whole sweep. The `bfs.sources` counter reflects only the sources
-/// actually completed, on both the success and the expiry path, and the
-/// error's `work_done` is that same partial count.
+/// [`hyper_distance_stats_from`] under a cooperative [`Deadline`];
+/// deadline contract as in [`hyper_distance_stats_with`].
 pub fn hyper_distance_stats_from_with(
+    h: &Hypergraph,
+    sources: &[VertexId],
+    deadline: &Deadline,
+) -> Result<HyperDistanceStats, DeadlineExceeded> {
+    crate::msbfs::msbfs_distance_stats_from_with(h, sources, deadline)
+}
+
+/// The pre-MS-BFS engine: one scalar BFS per source. Kept as the oracle
+/// the batched kernel is tested against, and as the `scalar` engine in
+/// `hg bench --kernels`.
+pub fn scalar_hyper_distance_stats(h: &Hypergraph) -> HyperDistanceStats {
+    let sources: Vec<VertexId> = h.vertices().collect();
+    scalar_hyper_distance_stats_from(h, &sources)
+}
+
+/// [`scalar_hyper_distance_stats`] restricted to caller-chosen sources.
+pub fn scalar_hyper_distance_stats_from(
+    h: &Hypergraph,
+    sources: &[VertexId],
+) -> HyperDistanceStats {
+    match scalar_hyper_distance_stats_from_with(h, sources, &Deadline::none()) {
+        Ok(stats) => stats,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`scalar_hyper_distance_stats_from`] under a cooperative
+/// [`Deadline`], checked every [`hgobs::CHECK_INTERVAL`] settled
+/// vertices across the whole sweep. The `bfs.sources` counter reflects
+/// only the sources actually completed, on both the success and the
+/// expiry path, and the error's `work_done` is that same partial count.
+pub fn scalar_hyper_distance_stats_from_with(
     h: &Hypergraph,
     sources: &[VertexId],
     deadline: &Deadline,
@@ -313,6 +347,13 @@ mod tests {
     }
 
     #[test]
+    fn default_engine_matches_scalar_oracle() {
+        for h in [chain(), big_ring(200)] {
+            assert_eq!(hyper_distance_stats(&h), scalar_hyper_distance_stats(&h));
+        }
+    }
+
+    #[test]
     fn empty_hypergraph_stats() {
         let h = HypergraphBuilder::new(0).build();
         let s = hyper_distance_stats(&h);
@@ -335,11 +376,22 @@ mod tests {
     }
 
     #[test]
-    fn pre_cancelled_deadline_stops_sweep_before_any_source_completes() {
+    fn pre_cancelled_deadline_stops_default_engine_with_zero_batches() {
         let h = big_ring(3000);
         let dl = Deadline::after(Duration::ZERO);
         assert!(dl.expired());
         let err = hyper_distance_stats_with(&h, &dl).unwrap_err();
+        assert_eq!(err.phase, "msbfs");
+        assert_eq!(err.work_done, 0, "{err:?}");
+    }
+
+    #[test]
+    fn pre_cancelled_deadline_stops_scalar_sweep_before_any_source_completes() {
+        let h = big_ring(3000);
+        let sources: Vec<VertexId> = h.vertices().collect();
+        let dl = Deadline::after(Duration::ZERO);
+        assert!(dl.expired());
+        let err = scalar_hyper_distance_stats_from_with(&h, &sources, &dl).unwrap_err();
         assert_eq!(err.phase, "bfs.sweep");
         // The first tick window (CHECK_INTERVAL settled vertices) spans at
         // most one 3000-vertex source, so no source can have completed.
@@ -347,15 +399,16 @@ mod tests {
     }
 
     #[test]
-    fn deadline_fires_mid_bfs_sweep_with_partial_source_count() {
+    fn deadline_fires_mid_scalar_sweep_with_partial_source_count() {
         // A full sweep over 3000 sources × 3000 vertices is ~9M settles;
         // walk the budget up from 1ms until one lands mid-sweep. On any
         // machine fast enough to finish the whole sweep inside 1ms the
         // escalation simply ends at Ok and the pre-cancelled test above
         // still covers the expiry path.
         let h = big_ring(3000);
+        let sources: Vec<VertexId> = h.vertices().collect();
         for ms in [1u64, 2, 4, 8, 16, 32, 64] {
-            match hyper_distance_stats_with(&h, &Deadline::after_ms(ms)) {
+            match scalar_hyper_distance_stats_from_with(&h, &sources, &Deadline::after_ms(ms)) {
                 Err(err) => {
                     assert_eq!(err.phase, "bfs.sweep");
                     assert!(err.work_done < 3000, "{err:?}");

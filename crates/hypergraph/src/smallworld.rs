@@ -38,7 +38,7 @@ pub struct SmallWorldReport {
 /// Compute the small-world report with exact distances.
 pub fn small_world_report(h: &Hypergraph) -> SmallWorldReport {
     let distances = hyper_distance_stats(h);
-    report_from(h, distances)
+    report_from_distances(h, distances)
 }
 
 /// [`small_world_report`] under a cooperative [`Deadline`]; the BFS
@@ -48,13 +48,13 @@ pub fn small_world_report_with(
     deadline: &Deadline,
 ) -> Result<SmallWorldReport, DeadlineExceeded> {
     let distances = hyper_distance_stats_with(h, deadline)?;
-    Ok(report_from(h, distances))
+    Ok(report_from_distances(h, distances))
 }
 
 /// Compute the report using sampled BFS sources (for large hypergraphs).
 pub fn small_world_report_sampled(h: &Hypergraph, sources: &[VertexId]) -> SmallWorldReport {
     let distances = hyper_distance_stats_from(h, sources);
-    report_from(h, distances)
+    report_from_distances(h, distances)
 }
 
 /// [`small_world_report_sampled`] under a cooperative [`Deadline`].
@@ -64,10 +64,14 @@ pub fn small_world_report_sampled_with(
     deadline: &Deadline,
 ) -> Result<SmallWorldReport, DeadlineExceeded> {
     let distances = hyper_distance_stats_from_with(h, sources, deadline)?;
-    Ok(report_from(h, distances))
+    Ok(report_from_distances(h, distances))
 }
 
-fn report_from(h: &Hypergraph, distances: HyperDistanceStats) -> SmallWorldReport {
+/// Assemble a [`SmallWorldReport`] from already-computed distance
+/// statistics — the yardstick arithmetic without the BFS sweep. Public
+/// so external engines (`parcore::par_small_world_report`) can reuse
+/// the exact same classification.
+pub fn report_from_distances(h: &Hypergraph, distances: HyperDistanceStats) -> SmallWorldReport {
     let n = h.num_vertices();
     let mean_reach = if n == 0 {
         0.0

@@ -15,6 +15,9 @@
 //!   a plain graph (the "ParK" scheme) used for the DIP baselines.
 //! * [`par_distance`] — embarrassingly parallel per-source BFS for the
 //!   hypergraph distance statistics of §2.
+//! * [`par_msbfs`] — the batched multi-source bitset BFS engine
+//!   (64 sources per u64-mask batch) distributed over workers with
+//!   private scratch; the default heavy-path engine for hgserve.
 //! * [`par_overlap`] — parallel construction of the pairwise hyperedge
 //!   overlap table.
 //!
@@ -27,6 +30,7 @@
 pub mod par_distance;
 pub mod par_graph;
 pub mod par_kcore;
+pub mod par_msbfs;
 pub mod par_overlap;
 pub mod scoped;
 
@@ -37,6 +41,10 @@ pub use par_distance::{
 pub use par_graph::par_core_decomposition;
 pub use par_kcore::{
     par_hypergraph_kcore, par_hypergraph_kcore_with, par_max_core, par_max_core_with,
+};
+pub use par_msbfs::{
+    par_msbfs_distance_stats, par_msbfs_distance_stats_from, par_msbfs_distance_stats_from_with,
+    par_msbfs_distance_stats_with, par_small_world_report, par_small_world_report_with,
 };
 pub use par_overlap::{par_overlap_table, par_overlap_table_with};
 pub use scoped::{scoped_hyper_distance_stats, scoped_hyper_distance_stats_with, scoped_run};

@@ -1,0 +1,206 @@
+//! Parallel batched multi-source BFS: batches of up to
+//! [`hypergraph::BATCH`] sources distributed over rayon workers, each
+//! worker holding private [`MsBfsScratch`] mask buffers, partial
+//! [`BatchStats`] reduced at the end. Exactly matches the sequential
+//! [`hypergraph::msbfs_distance_stats`], which itself matches the
+//! scalar per-source oracle bit for bit.
+//!
+//! Cancellation follows the [`par_distance`](crate::par_distance)
+//! scheme: one shared [`Deadline`] token; the first worker whose clock
+//! check trips latches the cancel flag, siblings observe it on their
+//! flag-only pre-check at the next batch boundary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rayon::prelude::*;
+
+use hgobs::{Deadline, DeadlineExceeded};
+use hypergraph::msbfs::{msbfs_batch, stats_from_acc, BatchStats, MsBfsScratch, BATCH};
+use hypergraph::{
+    report_from_distances, HyperDistanceStats, Hypergraph, SmallWorldReport, VertexId,
+};
+
+/// Parallel MS-BFS distance statistics from every vertex.
+pub fn par_msbfs_distance_stats(h: &Hypergraph) -> HyperDistanceStats {
+    let sources: Vec<VertexId> = h.vertices().collect();
+    par_msbfs_distance_stats_from(h, &sources)
+}
+
+/// [`par_msbfs_distance_stats`] under a cooperative [`Deadline`] shared
+/// by every worker. The error's phase is `"msbfs.par"` and `work_done`
+/// counts batches fully completed across all threads.
+pub fn par_msbfs_distance_stats_with(
+    h: &Hypergraph,
+    deadline: &Deadline,
+) -> Result<HyperDistanceStats, DeadlineExceeded> {
+    let sources: Vec<VertexId> = h.vertices().collect();
+    par_msbfs_distance_stats_from_with(h, &sources, deadline)
+}
+
+/// Parallel MS-BFS distance statistics from caller-chosen sources.
+pub fn par_msbfs_distance_stats_from(h: &Hypergraph, sources: &[VertexId]) -> HyperDistanceStats {
+    match par_msbfs_distance_stats_from_with(h, sources, &Deadline::none()) {
+        Ok(stats) => stats,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`par_msbfs_distance_stats_from`] under a cooperative [`Deadline`].
+///
+/// Each rayon "thread" fold carries its own lazily-allocated
+/// [`MsBfsScratch`] (mask buffers sized n + m u64s) and amortized tick
+/// counter, so workers never contend on traversal state; only the
+/// completed-batch counter and the deadline's latch are shared.
+pub fn par_msbfs_distance_stats_from_with(
+    h: &Hypergraph,
+    sources: &[VertexId],
+    deadline: &Deadline,
+) -> Result<HyperDistanceStats, DeadlineExceeded> {
+    let _span = hgobs::Span::enter("msbfs.par.sweep");
+    let completed = AtomicU64::new(0);
+    let batches: Vec<&[VertexId]> = sources.chunks(BATCH).collect();
+    let reduced = batches
+        .par_iter()
+        .fold(
+            || (None, Ok(BatchStats::default())),
+            |state: (Option<(MsBfsScratch, u32)>, Result<BatchStats, ()>), batch| {
+                let (mut scratch, acc) = state;
+                let Ok(mut stats) = acc else {
+                    return (scratch, Err(()));
+                };
+                // Batch-boundary check: one clock read per 64 sources
+                // keeps expiry deterministic on inputs too small for
+                // the amortized in-kernel tick to ever fire, and the
+                // latch it sets lets siblings bail on their flag check.
+                if deadline.expired() {
+                    return (scratch, Err(()));
+                }
+                let (sc, ticks) = scratch.get_or_insert_with(|| (MsBfsScratch::new(h), 0u32));
+                match msbfs_batch(h, batch, sc, deadline, ticks, None) {
+                    Some(b) => {
+                        stats.merge(&b);
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        (scratch, Ok(stats))
+                    }
+                    None => (scratch, Err(())),
+                }
+            },
+        )
+        .map(|(_, acc)| acc)
+        .reduce(
+            || Ok(BatchStats::default()),
+            |a, b| match (a, b) {
+                (Ok(mut x), Ok(y)) => {
+                    x.merge(&y);
+                    Ok(x)
+                }
+                _ => Err(()),
+            },
+        );
+    let done = completed.load(Ordering::Relaxed);
+    hgobs::counter!("msbfs.par.batches", done);
+    match reduced {
+        Ok(acc) => Ok(stats_from_acc(acc)),
+        Err(()) => Err(deadline.exceeded("msbfs.par", done)),
+    }
+}
+
+/// Small-world report whose all-pairs sweep runs on the parallel
+/// MS-BFS engine; the yardstick arithmetic is shared with the
+/// sequential [`hypergraph::small_world_report`] via
+/// [`report_from_distances`], so classifications agree exactly.
+pub fn par_small_world_report(h: &Hypergraph) -> SmallWorldReport {
+    match par_small_world_report_with(h, &Deadline::none()) {
+        Ok(report) => report,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`par_small_world_report`] under a cooperative [`Deadline`]; the
+/// distance sweep dominates and is the part that can expire.
+pub fn par_small_world_report_with(
+    h: &Hypergraph,
+    deadline: &Deadline,
+) -> Result<SmallWorldReport, DeadlineExceeded> {
+    let distances = par_msbfs_distance_stats_with(h, deadline)?;
+    Ok(report_from_distances(h, distances))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::{
+        hyper_distance_stats, msbfs_distance_stats, scalar_hyper_distance_stats,
+        small_world_report, HypergraphBuilder,
+    };
+
+    #[test]
+    fn matches_sequential_msbfs_and_scalar_oracle() {
+        for seed in 0..3u64 {
+            let h = hypergen::uniform_random_hypergraph(200, 150, 4, seed);
+            let par = par_msbfs_distance_stats(&h);
+            assert_eq!(par, msbfs_distance_stats(&h));
+            assert_eq!(par, scalar_hyper_distance_stats(&h));
+        }
+    }
+
+    #[test]
+    fn matches_default_engine_on_multi_batch_input() {
+        // 200 vertices = 4 batches: exercises the fold across chunks.
+        let mut b = HypergraphBuilder::new(200);
+        for i in 0..199u32 {
+            b.add_edge([i, i + 1]);
+        }
+        let h = b.build();
+        assert_eq!(par_msbfs_distance_stats(&h), hyper_distance_stats(&h));
+    }
+
+    #[test]
+    fn empty_and_subset_sources() {
+        let h = HypergraphBuilder::new(0).build();
+        assert_eq!(par_msbfs_distance_stats(&h).reachable_pairs, 0);
+
+        let mut b = HypergraphBuilder::new(5);
+        b.add_edge([0, 1, 2]);
+        b.add_edge([2, 3, 4]);
+        let h = b.build();
+        let some = [VertexId(0), VertexId(4)];
+        assert_eq!(
+            par_msbfs_distance_stats_from(&h, &some),
+            hypergraph::path::hyper_distance_stats_from(&h, &some)
+        );
+    }
+
+    #[test]
+    fn cancelled_deadline_stops_with_zero_batches() {
+        let h = hypergen::uniform_random_hypergraph(2000, 1500, 5, 3);
+        let dl = Deadline::cancellable();
+        dl.cancel();
+        let err = par_msbfs_distance_stats_with(&h, &dl).unwrap_err();
+        assert_eq!(err.phase, "msbfs.par");
+        assert_eq!(err.work_done, 0, "{err:?}");
+    }
+
+    #[test]
+    fn tiny_budget_stops_parallel_sweep_early() {
+        let h = hypergen::uniform_random_hypergraph(6000, 4800, 5, 11);
+        match par_msbfs_distance_stats_with(&h, &Deadline::after_ms(1)) {
+            Err(err) => {
+                assert_eq!(err.phase, "msbfs.par");
+                assert!(
+                    (err.work_done as usize) < 6000_usize.div_ceil(BATCH),
+                    "{err:?}"
+                );
+            }
+            // A machine fast enough to finish inside 1ms just proves the
+            // Ok path; the cancelled test covers expiry.
+            Ok(stats) => assert_eq!(stats, par_msbfs_distance_stats(&h)),
+        }
+    }
+
+    #[test]
+    fn small_world_report_matches_sequential() {
+        let h = hypergen::uniform_random_hypergraph(120, 90, 4, 7);
+        assert_eq!(par_small_world_report(&h), small_world_report(&h));
+    }
+}

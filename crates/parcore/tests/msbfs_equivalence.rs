@@ -1,0 +1,154 @@
+//! MS-BFS equivalence suite: the batched bitset engines (sequential and
+//! parallel) must be *bit-identical* to the scalar per-source BFS oracle
+//! on arbitrary hypergraphs — same diameter, same integer pair counts,
+//! and the exact same f64 average path length (all accumulators are
+//! integers, so no floating-point tolerance is needed or used).
+
+use proptest::prelude::*;
+
+use hgobs::Deadline;
+use hypergraph::{
+    msbfs_distance_stats, msbfs_eccentricities, scalar_hyper_distance_stats,
+    scalar_hyper_distance_stats_from, Hypergraph, HypergraphBuilder, VertexId,
+};
+use parcore::{par_msbfs_distance_stats, par_msbfs_distance_stats_from};
+
+fn arb_hypergraph(
+    max_v: usize,
+    max_e: usize,
+    max_size: usize,
+) -> impl Strategy<Value = Hypergraph> {
+    (1..=max_v).prop_flat_map(move |n| {
+        proptest::collection::vec(
+            proptest::collection::vec(0..n as u32, 0..=max_size),
+            0..=max_e,
+        )
+        .prop_map(move |edges| {
+            let mut b = HypergraphBuilder::new(n);
+            for e in edges {
+                b.add_edge(e);
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequential MS-BFS == scalar oracle, bit for bit. The generator
+    /// produces disconnected hypergraphs, isolated vertices, duplicate
+    /// and empty hyperedges as a matter of course.
+    #[test]
+    fn msbfs_bit_identical_to_scalar(h in arb_hypergraph(90, 40, 6)) {
+        let oracle = scalar_hyper_distance_stats(&h);
+        let batched = msbfs_distance_stats(&h);
+        prop_assert_eq!(oracle.diameter, batched.diameter);
+        prop_assert_eq!(oracle.reachable_pairs, batched.reachable_pairs);
+        // Exact f64 equality is intentional: both engines divide the
+        // same u128 total by the same u64 pair count.
+        prop_assert_eq!(
+            oracle.average_path_length.to_bits(),
+            batched.average_path_length.to_bits()
+        );
+    }
+
+    /// Parallel MS-BFS == scalar oracle, bit for bit.
+    #[test]
+    fn par_msbfs_bit_identical_to_scalar(h in arb_hypergraph(90, 40, 6)) {
+        let oracle = scalar_hyper_distance_stats(&h);
+        let batched = par_msbfs_distance_stats(&h);
+        prop_assert_eq!(oracle, batched);
+        prop_assert_eq!(
+            oracle.average_path_length.to_bits(),
+            batched.average_path_length.to_bits()
+        );
+    }
+
+    /// Source-subset sweeps agree too (the sampled-diameter path).
+    #[test]
+    fn subset_sources_bit_identical(
+        (h, take) in arb_hypergraph(70, 30, 5)
+            .prop_flat_map(|h| {
+                let n = h.num_vertices();
+                (Just(h), 0..=n)
+            })
+    ) {
+        let sources: Vec<VertexId> = (0..take as u32).map(VertexId).collect();
+        let oracle = scalar_hyper_distance_stats_from(&h, &sources);
+        prop_assert_eq!(
+            oracle,
+            hypergraph::path::hyper_distance_stats_from(&h, &sources)
+        );
+        prop_assert_eq!(oracle, par_msbfs_distance_stats_from(&h, &sources));
+    }
+
+    /// Batched eccentricities match one scalar BFS per source.
+    #[test]
+    fn msbfs_eccentricities_match_scalar_bfs(h in arb_hypergraph(70, 30, 5)) {
+        let sources: Vec<VertexId> = h.vertices().collect();
+        let ecc = msbfs_eccentricities(&h, &sources);
+        for (&s, &e) in sources.iter().zip(&ecc) {
+            let scalar = hypergraph::hyper_distances(&h, s)
+                .into_iter()
+                .filter(|&d| d != hypergraph::path::UNREACHABLE)
+                .max()
+                .unwrap_or(0);
+            prop_assert_eq!(e, scalar, "source {:?}", s);
+        }
+    }
+}
+
+#[test]
+fn empty_and_single_vertex_edge_cases() {
+    let h = HypergraphBuilder::new(0).build();
+    assert_eq!(scalar_hyper_distance_stats(&h), msbfs_distance_stats(&h));
+    assert_eq!(
+        scalar_hyper_distance_stats(&h),
+        par_msbfs_distance_stats(&h)
+    );
+
+    let mut b = HypergraphBuilder::new(1);
+    b.add_edge([0]);
+    let h = b.build();
+    let s = msbfs_distance_stats(&h);
+    assert_eq!(s, scalar_hyper_distance_stats(&h));
+    assert_eq!(s, par_msbfs_distance_stats(&h));
+    assert_eq!(s.reachable_pairs, 0);
+}
+
+#[test]
+fn hypergen_instances_bit_identical_across_engines() {
+    for seed in [1u64, 17, 99] {
+        let h = hypergen::uniform_random_hypergraph(500, 350, 5, seed);
+        let oracle = scalar_hyper_distance_stats(&h);
+        assert_eq!(oracle, msbfs_distance_stats(&h), "seed {seed}");
+        assert_eq!(oracle, par_msbfs_distance_stats(&h), "seed {seed}");
+    }
+}
+
+/// A deadline that expires mid-sweep surfaces a 504-grade error carrying
+/// the batches completed so far — strictly between zero and the total —
+/// proving partial work is reported, not discarded or rounded to "none".
+#[test]
+fn mid_sweep_expiry_reports_partial_batch_count() {
+    // Long pair-edge chain: per-batch fixpoint needs ~n levels, so the
+    // sweep is slow enough for a microsecond budget to trip mid-way on
+    // any realistic machine; escalate the size until it does.
+    for n in [4_000u32, 8_000, 16_000] {
+        let mut b = HypergraphBuilder::new(n as usize);
+        for i in 0..n - 1 {
+            b.add_edge([i, i + 1]);
+        }
+        let h = b.build();
+        let total_batches = (n as u64).div_ceil(64);
+        let err = match parcore::par_msbfs_distance_stats_with(&h, &Deadline::after_ms(3)) {
+            Err(e) => e,
+            Ok(_) => continue,
+        };
+        assert_eq!(err.phase, "msbfs.par");
+        assert!(err.work_done < total_batches, "{err:?}");
+        return;
+    }
+    panic!("even the 16k-vertex chain finished inside 3ms; budget too generous");
+}
