@@ -80,20 +80,22 @@ run_bench() {
         exit 1
     fi
 
-    echo "==> hg bench --kernels (MS-BFS wall-time gate)"
+    echo "==> hg bench --kernels (MS-BFS + kcore wall-time gates)"
     ./target/release/hg bench --kernels --json BENCH_kernels.json
-    KUS=$(sed -n 's/.*"gate_msbfs_us":\([0-9]*\).*/\1/p' BENCH_kernels.json)
-    KBASE=$(sed -n 's/.*"gate_msbfs_us":\([0-9]*\).*/\1/p' bench/kernels-baseline.json)
-    if [ -z "$KUS" ] || [ -z "$KBASE" ]; then
-        echo "cannot extract gate_msbfs_us (got run='$KUS' baseline='$KBASE')" >&2
-        exit 1
-    fi
-    KLIMIT=$((KBASE * 125 / 100))
-    echo "bench: msbfs ${KUS}us (baseline ${KBASE}us, limit ${KLIMIT}us)"
-    if [ "$KUS" -gt "$KLIMIT" ]; then
-        echo "BENCH FAIL: msbfs ${KUS}us regressed >25% over baseline ${KBASE}us" >&2
-        exit 1
-    fi
+    for GATE in gate_msbfs_us gate_kcore_us; do
+        KUS=$(sed -n "s/.*\"$GATE\":\([0-9]*\).*/\1/p" BENCH_kernels.json)
+        KBASE=$(sed -n "s/.*\"$GATE\":\([0-9]*\).*/\1/p" bench/kernels-baseline.json)
+        if [ -z "$KUS" ] || [ -z "$KBASE" ]; then
+            echo "cannot extract $GATE (got run='$KUS' baseline='$KBASE')" >&2
+            exit 1
+        fi
+        KLIMIT=$((KBASE * 125 / 100))
+        echo "bench: $GATE ${KUS}us (baseline ${KBASE}us, limit ${KLIMIT}us)"
+        if [ "$KUS" -gt "$KLIMIT" ]; then
+            echo "BENCH FAIL: $GATE ${KUS}us regressed >25% over baseline ${KBASE}us" >&2
+            exit 1
+        fi
+    done
     echo "BENCH OK"
 }
 

@@ -1,6 +1,8 @@
 //! Deterministic kernel benchmark: scalar per-source BFS vs batched
-//! MS-BFS vs parallel MS-BFS on the all-pairs distance sweep, run from
-//! `hg bench --kernels` and gated by `ci.sh --bench`.
+//! MS-BFS vs parallel MS-BFS on the all-pairs distance sweep, and the
+//! per-k hash-map k-core drivers vs the one-pass incremental CSR
+//! decomposition, run from `hg bench --kernels` and gated by
+//! `ci.sh --bench`.
 //!
 //! Unlike the Criterion targets under `benches/`, this harness is a
 //! plain library so the CLI can invoke it and CI can diff its JSON
@@ -51,19 +53,41 @@ pub struct DatasetResult {
     pub edges: usize,
     pub stats: HyperDistanceStats,
     pub engines: Vec<EngineResult>,
+    /// k-core decomposition drivers (`max_core` + `core_profile` +
+    /// `core_numbers`): per-k hash-map oracle vs one incremental CSR
+    /// sweep, results cross-validated before timings are trusted.
+    pub kcore_engines: Vec<EngineResult>,
+    /// Depth of the maximum core (engine-agreed).
+    pub k_max: u32,
+}
+
+fn best_of(engines: &[EngineResult], engine: &str) -> Option<u64> {
+    engines
+        .iter()
+        .find(|e| e.engine == engine)
+        .map(|e| e.best_us)
 }
 
 impl DatasetResult {
     fn best(&self, engine: &str) -> Option<u64> {
-        self.engines
-            .iter()
-            .find(|e| e.engine == engine)
-            .map(|e| e.best_us)
+        best_of(&self.engines, engine)
     }
 
     /// Wall-clock speedup of `engine` over the scalar oracle.
     pub fn speedup_over_scalar(&self, engine: &str) -> f64 {
         match (self.best("scalar"), self.best(engine)) {
+            (Some(s), Some(e)) if e > 0 => s as f64 / e as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Wall-clock speedup of the incremental kcore sweep over the per-k
+    /// hash-map drivers.
+    pub fn speedup_kcore(&self) -> f64 {
+        match (
+            best_of(&self.kcore_engines, "kcore_per_k"),
+            best_of(&self.kcore_engines, "kcore_decompose"),
+        ) {
             (Some(s), Some(e)) if e > 0 => s as f64 / e as f64,
             _ => 0.0,
         }
@@ -77,6 +101,9 @@ pub struct KernelBenchReport {
     /// Best MS-BFS time on the scaled instance, in microseconds: the
     /// single number `ci.sh --bench` gates at +25% over baseline.
     pub gate_msbfs_us: u64,
+    /// Best incremental kcore decomposition time on the scaled instance,
+    /// in microseconds; gated by `ci.sh --bench` at +25% over baseline.
+    pub gate_kcore_us: u64,
 }
 
 impl KernelBenchReport {
@@ -87,6 +114,7 @@ impl KernelBenchReport {
         w.key("schema").string("hg-kernels/1");
         w.key("reps").uint(self.reps as u64);
         w.key("gate_msbfs_us").uint(self.gate_msbfs_us);
+        w.key("gate_kcore_us").uint(self.gate_kcore_us);
         w.key("datasets").begin_array();
         for d in &self.datasets {
             w.begin_object();
@@ -109,6 +137,17 @@ impl KernelBenchReport {
             w.key("speedup_msbfs").float(d.speedup_over_scalar("msbfs"));
             w.key("speedup_par_msbfs")
                 .float(d.speedup_over_scalar("par_msbfs"));
+            w.key("k_max").uint(d.k_max as u64);
+            w.key("kcore_engines").begin_array();
+            for e in &d.kcore_engines {
+                w.begin_object();
+                w.key("engine").string(e.engine);
+                w.key("best_us").uint(e.best_us);
+                w.key("median_us").uint(e.median_us);
+                w.end_object();
+            }
+            w.end_array();
+            w.key("speedup_kcore").float(d.speedup_kcore());
             w.end_object();
         }
         w.end_array();
@@ -128,24 +167,35 @@ impl KernelBenchReport {
             ));
             for e in &d.engines {
                 out.push_str(&format!(
-                    "  {:<10} best {:>9} us  median {:>9} us  speedup {:.2}x\n",
+                    "  {:<16} best {:>9} us  median {:>9} us  speedup {:.2}x\n",
                     e.engine,
                     e.best_us,
                     e.median_us,
                     d.speedup_over_scalar(e.engine)
                 ));
             }
+            out.push_str(&format!("  k-core decomposition (k_max {}):\n", d.k_max));
+            for e in &d.kcore_engines {
+                out.push_str(&format!(
+                    "  {:<16} best {:>9} us  median {:>9} us  speedup {:.2}x\n",
+                    e.engine,
+                    e.best_us,
+                    e.median_us,
+                    if e.engine == "kcore_decompose" {
+                        d.speedup_kcore()
+                    } else {
+                        1.0
+                    }
+                ));
+            }
         }
         out.push_str(&format!("gate_msbfs_us: {}\n", self.gate_msbfs_us));
+        out.push_str(&format!("gate_kcore_us: {}\n", self.gate_kcore_us));
         out
     }
 }
 
-fn time_engine(
-    engine: &'static str,
-    reps: usize,
-    run: impl Fn() -> HyperDistanceStats,
-) -> (EngineResult, HyperDistanceStats) {
+fn time_engine<T>(engine: &'static str, reps: usize, run: impl Fn() -> T) -> (EngineResult, T) {
     let mut times: Vec<u64> = Vec::with_capacity(reps);
     let mut stats = run();
     for _ in 0..reps.max(1) {
@@ -164,6 +214,15 @@ fn time_engine(
     )
 }
 
+/// The three kcore driver outputs an engine must agree on before its
+/// timing counts: max core (k, vertex ids, edge ids), level profile,
+/// per-vertex core numbers.
+type KcoreOutputs = (
+    Option<(u32, Vec<hypergraph::VertexId>, Vec<hypergraph::EdgeId>)>,
+    Vec<(u32, usize, usize)>,
+    Vec<u32>,
+);
+
 fn bench_dataset(name: &str, h: &Hypergraph, reps: usize) -> Result<DatasetResult, String> {
     let (scalar, s_stats) = time_engine("scalar", reps, || {
         hypergraph::scalar_hyper_distance_stats(h)
@@ -176,12 +235,43 @@ fn bench_dataset(name: &str, h: &Hypergraph, reps: usize) -> Result<DatasetResul
             "engine disagreement on {name}: scalar {s_stats:?}, msbfs {m_stats:?}, par {p_stats:?}"
         ));
     }
+
+    // k-core drivers: the pre-incremental path runs an independent
+    // hash-map peel per probed k for each of the three outputs; the
+    // incremental path gets all three from one decomposition sweep.
+    let (per_k, o_out): (EngineResult, KcoreOutputs) = time_engine("kcore_per_k", reps, || {
+        (
+            hypergraph::max_core_bsearch(h).map(|c| (c.k, c.vertices, c.edges)),
+            hypergraph::core_profile_per_k(h),
+            hypergraph::core_numbers_per_k(h),
+        )
+    });
+    let (decomp, d_out): (EngineResult, KcoreOutputs) =
+        time_engine("kcore_decompose", reps, || {
+            let d = hypergraph::decompose(h);
+            (
+                d.max_core.map(|c| (c.k, c.vertices, c.edges)),
+                d.profile,
+                d.core_numbers,
+            )
+        });
+    if o_out != d_out {
+        return Err(format!(
+            "kcore engine disagreement on {name}: per-k (k_max {:?}) vs decompose (k_max {:?})",
+            o_out.0.as_ref().map(|c| c.0),
+            d_out.0.as_ref().map(|c| c.0)
+        ));
+    }
+    let k_max = d_out.0.as_ref().map(|c| c.0).unwrap_or(0);
+
     Ok(DatasetResult {
         name: name.to_string(),
         vertices: h.num_vertices(),
         edges: h.num_edges(),
         stats: s_stats,
         engines: vec![scalar, msbfs, par],
+        kcore_engines: vec![per_k, decomp],
+        k_max,
     })
 }
 
@@ -206,10 +296,13 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport, String> {
     let gate_msbfs_us = datasets[1]
         .best("msbfs")
         .ok_or("scaled dataset missing msbfs timing")?;
+    let gate_kcore_us = best_of(&datasets[1].kcore_engines, "kcore_decompose")
+        .ok_or("scaled dataset missing kcore_decompose timing")?;
     Ok(KernelBenchReport {
         reps: cfg.reps,
         datasets,
         gate_msbfs_us,
+        gate_kcore_us,
     })
 }
 
@@ -232,9 +325,13 @@ mod tests {
         for d in &report.datasets {
             let names: Vec<_> = d.engines.iter().map(|e| e.engine).collect();
             assert_eq!(names, vec!["scalar", "msbfs", "par_msbfs"], "{}", d.name);
+            let knames: Vec<_> = d.kcore_engines.iter().map(|e| e.engine).collect();
+            assert_eq!(knames, vec!["kcore_per_k", "kcore_decompose"], "{}", d.name);
         }
-        // Cellzome fallback twin reproduces the paper's diameter.
+        // Cellzome fallback twin reproduces the paper's diameter and
+        // max-core depth (Table 1: the 6-core).
         assert_eq!(report.datasets[0].stats.diameter, 6);
+        assert_eq!(report.datasets[0].k_max, 6);
     }
 
     #[test]
@@ -244,16 +341,22 @@ mod tests {
         assert!(json.contains("\"schema\":\"hg-kernels/1\""), "{json}");
         assert!(json.contains("\"gate_msbfs_us\":"), "{json}");
         assert!(json.contains("\"speedup_msbfs\":"), "{json}");
-        // The exact pattern ci.sh extracts with sed.
-        let gate: u64 = json
-            .split("\"gate_msbfs_us\":")
-            .nth(1)
-            .unwrap()
-            .chars()
-            .take_while(|c| c.is_ascii_digit())
-            .collect::<String>()
-            .parse()
-            .unwrap();
-        assert_eq!(gate, report.gate_msbfs_us);
+        assert!(json.contains("\"speedup_kcore\":"), "{json}");
+        // The exact patterns ci.sh extracts with sed.
+        for (key, want) in [
+            ("\"gate_msbfs_us\":", report.gate_msbfs_us),
+            ("\"gate_kcore_us\":", report.gate_kcore_us),
+        ] {
+            let gate: u64 = json
+                .split(key)
+                .nth(1)
+                .unwrap()
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap();
+            assert_eq!(gate, want, "{key}");
+        }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! hg stats <file.hgr>                         structural statistics
-//! hg kcore <file.hgr> [--k K] [--par]         k-core / maximum core
+//! hg kcore <file.hgr> [--k K] [--par] [--profile]   k-core / maximum core / level table
 //! hg fit <file.hgr>                           power-law fit of degrees
 //! hg cover <file.hgr> [--weights unit|deg2] [--multicover R]
 //! hg profile <file.hgr>... [--algo A]         per-algorithm metrics JSON
@@ -38,7 +38,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE]\n  hg export-pajek <file.hgr> -o <base>\n  hg serve [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--deadline-ms MS]\n           [--queue N] [--preload FILE...]\n  hg loadgen [--addr HOST:PORT] [--dataset NAME] [--concurrency N]\n             [--requests N] [--mix stats=3,kcore=1,...] [--deadline-ms MS]\n             [--json FILE]\n  hg bench --kernels [--json FILE] [--reps N] [--scale N] [--cellzome FILE]\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
+    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par] [--profile]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE]\n  hg export-pajek <file.hgr> -o <base>\n  hg serve [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--deadline-ms MS]\n           [--queue N] [--preload FILE...]\n  hg loadgen [--addr HOST:PORT] [--dataset NAME] [--concurrency N]\n             [--requests N] [--mix stats=3,kcore=1,...] [--deadline-ms MS]\n             [--json FILE]\n  hg bench --kernels [--json FILE] [--reps N] [--scale N] [--cellzome FILE]\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
 }
 
 fn run(args: &[String]) -> Result<String, String> {
@@ -172,8 +172,29 @@ fn cmd_stats(args: &[String]) -> Result<String, String> {
 fn cmd_kcore(args: &[String]) -> Result<String, String> {
     let (k_opt, rest) = take_opt(args, "--k")?;
     let (par, rest) = take_switch(&rest, "--par");
+    let (profile, rest) = take_switch(&rest, "--profile");
     let path = rest.first().ok_or_else(usage)?;
     let h = load(path)?;
+
+    if profile {
+        // One incremental sweep yields every level's sizes.
+        let (d, secs) = if par {
+            timed(|| parcore::par_decompose(&h))
+        } else {
+            timed(|| hypergraph::decompose(&h))
+        };
+        let mut t = Table::new(&["k", "vertices", "hyperedges"]);
+        for &(k, nv, ne) in &d.profile {
+            t.row(cells![k, nv, ne]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!(
+            "max core k = {} ({})\n",
+            d.profile.last().map(|p| p.0).unwrap_or(0),
+            format_time(secs)
+        ));
+        return Ok(out);
+    }
 
     let (core, secs) = match k_opt {
         Some(ks) => {
@@ -181,13 +202,13 @@ fn cmd_kcore(args: &[String]) -> Result<String, String> {
             let (c, s) = if par {
                 timed(|| parcore::par_hypergraph_kcore(&h, k))
             } else {
-                timed(|| hypergraph::hypergraph_kcore(&h, k))
+                timed(|| hypergraph::csr_kcore(&h, k))
             };
             (Some(c), s)
         }
         None => {
             if par {
-                timed(|| parcore::par_max_core(&h))
+                timed(|| parcore::par_decompose(&h).max_core)
             } else {
                 timed(|| hypergraph::max_core(&h))
             }

@@ -60,6 +60,18 @@ fn gen_stats_kcore_fit_cover_roundtrip() {
     assert!(ok, "{out}");
     assert!(out.starts_with("2-core:"));
 
+    // The level table ends at the paper's 6-core: 41 proteins, 54 complexes.
+    let (ok, out, _) = hg(&["kcore", file_s, "--profile"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("max core k = 6"), "{out}");
+    let last_level = out
+        .lines()
+        .rfind(|l| l.trim_start().starts_with('6'))
+        .unwrap_or_default()
+        .to_string();
+    assert!(last_level.contains("41"), "{out}");
+    assert!(last_level.contains("54"), "{out}");
+
     let (ok, out, _) = hg(&["fit", file_s]);
     assert!(ok);
     assert!(out.contains("gamma ="));
@@ -323,7 +335,7 @@ fn metrics_flag_writes_valid_json_report() {
     assert!(json.starts_with("{\"schema\":\"hgobs/1\""), "{json}");
     check_json(json.trim()).unwrap_or_else(|e| panic!("invalid JSON ({e}):\n{json}"));
 
-    // max_core runs the peeler once per probed k, so at least one round.
+    // The decomposition sweep counts one round per level, so at least one.
     let rounds: u64 = json
         .split("\"kcore.rounds\":")
         .nth(1)
@@ -337,7 +349,7 @@ fn metrics_flag_writes_valid_json_report() {
 
     // The whole-run span wraps everything.
     assert!(json.contains("\"total\":{\"count\":1,"), "{json}");
-    assert!(json.contains("total/kcore.max_core_search"), "{json}");
+    assert!(json.contains("total/kcore.decompose"), "{json}");
 }
 
 #[test]

@@ -249,10 +249,14 @@ fn run_kcore(
     w: &mut JsonWriter,
 ) -> Result<(), QueryError> {
     let core = match (k, opts.parallel) {
-        (Some(k), false) => Some(hypergraph::hypergraph_kcore_with(h, k, &opts.deadline)?),
+        // Single-k: the CSR peeler sequentially, the level-synchronous
+        // engine when parallel routing is on.
+        (Some(k), false) => Some(hypergraph::csr_kcore_with(h, k, &opts.deadline)?),
         (Some(k), true) => Some(parcore::par_hypergraph_kcore_with(h, k, &opts.deadline)?),
+        // Maximum core: one incremental decomposition sweep; parallel
+        // routing moves the dominant overlap build onto rayon.
         (None, false) => hypergraph::max_core_with(h, &opts.deadline)?,
-        (None, true) => parcore::par_max_core_with(h, &opts.deadline)?,
+        (None, true) => parcore::par_decompose_with(h, &opts.deadline)?.max_core,
     };
     match core {
         Some(c) if !c.is_empty() => {

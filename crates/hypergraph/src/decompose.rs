@@ -1,0 +1,504 @@
+//! One-pass incremental k-core decomposition over the CSR overlap engine.
+//!
+//! Hypergraph k-cores are nested (property-tested in this crate): the
+//! (k+1)-core is a sub-hypergraph of the k-core, and peeling is
+//! confluent — any order of deleting sub-threshold vertices reaches the
+//! same fixpoint. So the peeler state that survives the k-peel is a
+//! valid starting point for k+1: instead of rebuilding the `O(Σ_v d(v)²)`
+//! overlap table for every `k` (what the per-k drivers in
+//! [`crate::kcore`] do), [`decompose`] builds it **once**, runs the
+//! reduce sweep once, and then sweeps `k = 1, 2, …` re-seeding the queue
+//! from the survivors, recording each level's sizes and stamping core
+//! numbers as it goes. `core_profile`, `core_numbers` and `max_core` all
+//! fall out of the single sweep.
+//!
+//! The peeling rules are identical to the hash-map [`crate::kcore`]
+//! peeler (the property-test oracle): a hyperedge dies as soon as it is
+//! contained in an alive hyperedge of higher id-breaking rank, and ties
+//! between identical hyperedges keep the lowest id. The surviving
+//! vertex/edge id sets match the oracle's for every `k`.
+
+use hgobs::{Deadline, DeadlineExceeded};
+
+use crate::csr_overlap::CsrOverlap;
+use crate::hypergraph::{EdgeId, Hypergraph, VertexId};
+use crate::kcore::KCore;
+
+/// Everything one incremental sweep produces.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    /// `(k, vertices, edges)` for every non-empty k-core, `k = 1..=k_max`
+    /// (same shape as [`crate::core_profile`]).
+    pub profile: Vec<(u32, usize, usize)>,
+    /// Per-vertex core numbers: the largest `k` whose k-core contains the
+    /// vertex, 0 outside even the 1-core.
+    pub core_numbers: Vec<u32>,
+    /// The deepest non-empty core, or `None` when even the 1-core is
+    /// empty.
+    pub max_core: Option<KCore>,
+}
+
+/// Peeling state over a [`CsrOverlap`]; flat arrays only, no hashing.
+struct CsrPeeler<'h> {
+    h: &'h Hypergraph,
+    ov: CsrOverlap,
+    alive_v: Vec<bool>,
+    alive_e: Vec<bool>,
+    deg_v: Vec<u32>,
+    deg_e: Vec<u32>,
+    edges_alive: usize,
+    queue: Vec<u32>,
+    queued: Vec<bool>,
+    k: u32,
+    /// Scratch for the alive edges through a vertex being deleted,
+    /// reused across deletions to avoid per-vertex allocation.
+    scratch: Vec<u32>,
+    vertices_peeled: u64,
+    edges_deleted: u64,
+    nonmax_checks: u64,
+    overlap_probes: u64,
+}
+
+impl<'h> CsrPeeler<'h> {
+    fn new(h: &'h Hypergraph, ov: CsrOverlap) -> Self {
+        debug_assert_eq!(ov.num_edges(), h.num_edges());
+        CsrPeeler {
+            h,
+            ov,
+            alive_v: vec![true; h.num_vertices()],
+            alive_e: vec![true; h.num_edges()],
+            deg_v: h.vertices().map(|v| h.vertex_degree(v) as u32).collect(),
+            deg_e: h.edges().map(|f| h.edge_degree(f) as u32).collect(),
+            edges_alive: h.num_edges(),
+            queue: Vec::new(),
+            queued: vec![false; h.num_vertices()],
+            k: 0,
+            scratch: Vec::new(),
+            vertices_peeled: 0,
+            edges_deleted: 0,
+            nonmax_checks: 0,
+            overlap_probes: 0,
+        }
+    }
+
+    /// `true` iff alive `f` is currently contained in some alive `g ≠ f`
+    /// (identical sets: the higher id is the contained one), or is empty.
+    /// Zeroed entries are dead neighbors — skipped without a liveness
+    /// lookup thanks to the [`CsrOverlap`] kill invariant.
+    fn is_non_maximal(&mut self, f: usize) -> bool {
+        self.nonmax_checks += 1;
+        let df = self.deg_e[f];
+        if df == 0 {
+            return true;
+        }
+        let (lo, hi) = self.ov.bounds(f);
+        for i in lo..hi {
+            let c = self.ov.counts[i];
+            if c == 0 {
+                continue;
+            }
+            self.overlap_probes += 1;
+            if c == df {
+                let g = self.ov.neighbors[i] as usize;
+                let dg = self.deg_e[g];
+                if dg > df || (dg == df && g < f) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Delete hyperedge `f`: zero its overlap entries both ways,
+    /// decrement member vertex degrees, queue vertices falling below `k`.
+    fn delete_edge(&mut self, f: usize) {
+        debug_assert!(self.alive_e[f]);
+        self.alive_e[f] = false;
+        self.edges_alive -= 1;
+        self.edges_deleted += 1;
+        self.ov.kill_edge(f);
+        for &w in self.h.pins(EdgeId(f as u32)) {
+            let w = w.index();
+            if self.alive_v[w] {
+                self.deg_v[w] -= 1;
+                if self.deg_v[w] < self.k && !self.queued[w] {
+                    self.queued[w] = true;
+                    self.queue.push(w as u32);
+                }
+            }
+        }
+    }
+
+    /// Delete vertex `v` from every alive hyperedge containing it,
+    /// updating overlaps, then delete hyperedges that stop being maximal.
+    fn delete_vertex(&mut self, v: usize) {
+        debug_assert!(self.alive_v[v]);
+        self.alive_v[v] = false;
+        self.vertices_peeled += 1;
+
+        let mut alive_edges = std::mem::take(&mut self.scratch);
+        alive_edges.clear();
+        alive_edges.extend(
+            self.h
+                .edges_of(VertexId(v as u32))
+                .iter()
+                .map(|f| f.0)
+                .filter(|&f| self.alive_e[f as usize]),
+        );
+
+        // All pairs of alive edges through v lose one shared vertex.
+        for (i, &f) in alive_edges.iter().enumerate() {
+            for &g in &alive_edges[i + 1..] {
+                self.ov.decrement_pair(f as usize, g);
+            }
+        }
+        // Each alive edge containing v loses one member.
+        for &f in &alive_edges {
+            self.deg_e[f as usize] -= 1;
+        }
+        // Only these degree-decremented edges can newly be non-maximal.
+        for &f in &alive_edges {
+            let f = f as usize;
+            if self.alive_e[f] && self.is_non_maximal(f) {
+                self.delete_edge(f);
+            }
+        }
+        self.scratch = alive_edges;
+    }
+
+    /// Initial sweep: make the hypergraph reduced before peeling. Per-edge
+    /// work is bounded, so a plain [`Deadline::expired`] check per edge
+    /// keeps overshoot to one edge's worth of work.
+    fn reduce_sweep(
+        &mut self,
+        deadline: &Deadline,
+        phase: &'static str,
+    ) -> Result<(), DeadlineExceeded> {
+        for f in 0..self.h.num_edges() {
+            if deadline.expired() {
+                return Err(deadline.exceeded(phase, self.edges_deleted));
+            }
+            if self.alive_e[f] && self.is_non_maximal(f) {
+                self.delete_edge(f);
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn enqueue_if_below(&mut self, v: usize) {
+        if self.deg_v[v] < self.k && !self.queued[v] {
+            self.queued[v] = true;
+            self.queue.push(v as u32);
+        }
+    }
+
+    /// Run peeling to fixpoint. On expiry the error's `work_done` is the
+    /// total number of vertices peeled so far (across levels, for the
+    /// incremental sweep).
+    fn run(&mut self, deadline: &Deadline, phase: &'static str) -> Result<(), DeadlineExceeded> {
+        while let Some(v) = self.queue.pop() {
+            if deadline.expired() {
+                return Err(deadline.exceeded(phase, self.vertices_peeled));
+            }
+            let v = v as usize;
+            self.queued[v] = false;
+            if self.alive_v[v] {
+                self.delete_vertex(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush the accumulated counters to the sink (no-op when disabled).
+    fn flush_metrics(&self) {
+        hgobs::counter!("kcore.csr.vertices_peeled", self.vertices_peeled);
+        hgobs::counter!("kcore.csr.edges_deleted", self.edges_deleted);
+        hgobs::counter!("kcore.csr.nonmax_checks", self.nonmax_checks);
+        hgobs::counter!("kcore.csr.overlap_probes", self.overlap_probes);
+    }
+
+    fn extract(&self, k: u32) -> KCore {
+        let (sub, vmap, emap) = self.h.sub_hypergraph(&self.alive_v, &self.alive_e, false);
+        KCore {
+            k,
+            vertices: vmap,
+            edges: emap,
+            sub,
+        }
+    }
+}
+
+/// Compute the full k-core decomposition in one overlap build plus one
+/// monotone peel sweep. See the module docs for why the incremental
+/// restart at each level is sound.
+pub fn decompose(h: &Hypergraph) -> Decomposition {
+    match decompose_with(h, &Deadline::none()) {
+        Ok(d) => d,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`decompose`] under a cooperative [`Deadline`] (phase
+/// `kcore.decompose` for the sweep; the overlap build reports its own
+/// phase). The error's `work_done` is edges deleted during the reduce
+/// sweep or total vertices peeled during levelling; partial work counters
+/// are flushed even on expiry.
+pub fn decompose_with(
+    h: &Hypergraph,
+    deadline: &Deadline,
+) -> Result<Decomposition, DeadlineExceeded> {
+    let ov = CsrOverlap::build_with(h, deadline)?;
+    decompose_from_overlap(h, ov, deadline)
+}
+
+/// [`decompose_with`] starting from an already-built overlap table —
+/// `ov` must be freshly built from `h` (this is how `parcore` plugs its
+/// sharded parallel builder in front of the sequential sweep).
+pub fn decompose_from_overlap(
+    h: &Hypergraph,
+    ov: CsrOverlap,
+    deadline: &Deadline,
+) -> Result<Decomposition, DeadlineExceeded> {
+    let _span = hgobs::Span::enter("kcore.decompose");
+    let mut p = CsrPeeler::new(h, ov);
+    let mut profile: Vec<(u32, usize, usize)> = Vec::new();
+    let mut core_numbers = vec![0u32; h.num_vertices()];
+    let mut snapshot: Option<(Vec<bool>, Vec<bool>)> = None;
+    let swept = (|| {
+        p.reduce_sweep(deadline, "kcore.decompose")?;
+        // Survivor list, compacted at each level so seeding k+1 costs
+        // O(|k-core|) rather than O(|V|).
+        let mut alive_list: Vec<u32> = (0..h.num_vertices() as u32).collect();
+        let mut k = 1u32;
+        loop {
+            hgobs::counter!("kcore.rounds");
+            p.k = k;
+            alive_list.retain(|&v| p.alive_v[v as usize]);
+            for &v in &alive_list {
+                p.enqueue_if_below(v as usize);
+            }
+            p.run(deadline, "kcore.decompose")?;
+            alive_list.retain(|&v| p.alive_v[v as usize]);
+            if alive_list.is_empty() {
+                return Ok(());
+            }
+            profile.push((k, alive_list.len(), p.edges_alive));
+            for &v in &alive_list {
+                core_numbers[v as usize] = k;
+            }
+            snapshot = Some((p.alive_v.clone(), p.alive_e.clone()));
+            k += 1;
+        }
+    })();
+    p.flush_metrics();
+    swept?;
+    let max_core = snapshot.map(|(alive_v, alive_e)| {
+        let k_max = profile
+            .last()
+            .expect("snapshot implies a non-empty level")
+            .0;
+        let (sub, vmap, emap) = h.sub_hypergraph(&alive_v, &alive_e, false);
+        KCore {
+            k: k_max,
+            vertices: vmap,
+            edges: emap,
+            sub,
+        }
+    });
+    Ok(Decomposition {
+        profile,
+        core_numbers,
+        max_core,
+    })
+}
+
+/// Single-`k` core via the CSR engine — same result as
+/// [`crate::hypergraph_kcore`] (the hash-map oracle), minus the hashing.
+pub fn csr_kcore(h: &Hypergraph, k: u32) -> KCore {
+    match csr_kcore_with(h, k, &Deadline::none()) {
+        Ok(core) => core,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`csr_kcore`] under a cooperative [`Deadline`], checked during the
+/// overlap build (per pair), the reduce sweep (per edge, phase
+/// `kcore.csr.reduce`) and the peel (per vertex, phase `kcore.csr.peel`).
+pub fn csr_kcore_with(
+    h: &Hypergraph,
+    k: u32,
+    deadline: &Deadline,
+) -> Result<KCore, DeadlineExceeded> {
+    let _span = hgobs::Span::enter("kcore.csr");
+    hgobs::counter!("kcore.rounds");
+    let ov = CsrOverlap::build_with(h, deadline)?;
+    let mut p = CsrPeeler::new(h, ov);
+    p.k = k;
+    let peeled = (|| {
+        p.reduce_sweep(deadline, "kcore.csr.reduce")?;
+        for v in 0..h.num_vertices() {
+            if p.alive_v[v] {
+                p.enqueue_if_below(v);
+            }
+        }
+        p.run(deadline, "kcore.csr.peel")
+    })();
+    p.flush_metrics();
+    peeled?;
+    Ok(p.extract(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kcore::{core_numbers_per_k, core_profile_per_k, hypergraph_kcore, max_core_linear};
+    use crate::HypergraphBuilder;
+
+    fn triangle_like() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(6);
+        b.add_edge([0, 1, 3]);
+        b.add_edge([1, 2, 4]);
+        b.add_edge([0, 2, 5]);
+        b.build()
+    }
+
+    fn assert_matches_oracle(h: &Hypergraph) {
+        let d = decompose(h);
+        assert_eq!(d.profile, core_profile_per_k(h), "profile");
+        assert_eq!(d.core_numbers, core_numbers_per_k(h), "core numbers");
+        match (d.max_core, max_core_linear(h)) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.k, b.k);
+                assert_eq!(a.vertices, b.vertices);
+                assert_eq!(a.edges, b.edges);
+            }
+            (None, None) => {}
+            (a, b) => panic!(
+                "max_core disagreement: incremental {:?}, oracle {:?}",
+                a.map(|c| c.k),
+                b.map(|c| c.k)
+            ),
+        }
+        for k in 0..=4u32 {
+            let a = csr_kcore(h, k);
+            let b = hypergraph_kcore(h, k);
+            assert_eq!(a.vertices, b.vertices, "k = {k}");
+            assert_eq!(a.edges, b.edges, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_small_cases() {
+        assert_matches_oracle(&triangle_like());
+
+        // Fan: four copies of {0,1,2} plus distinct tails.
+        let mut b = HypergraphBuilder::new(7);
+        for t in 3..7u32 {
+            b.add_edge([0, 1, 2, t]);
+        }
+        assert_matches_oracle(&b.build());
+
+        // Nested + duplicate edges.
+        let mut b = HypergraphBuilder::new(4);
+        b.add_edge([0, 1, 2, 3]);
+        b.add_edge([0, 1, 2]);
+        b.add_edge([0, 1, 2]);
+        b.add_edge([1, 2]);
+        b.add_edge([]);
+        assert_matches_oracle(&b.build());
+
+        // Ring of triples: a 2-core (every vertex in 3 edges, overlaps 2).
+        let mut b = HypergraphBuilder::new(8);
+        for s in 0..8u32 {
+            b.add_edge([s, (s + 1) % 8, (s + 2) % 8]);
+        }
+        assert_matches_oracle(&b.build());
+
+        // Empty and isolated-vertex cases.
+        assert_matches_oracle(&HypergraphBuilder::new(0).build());
+        let mut b = HypergraphBuilder::new(3);
+        b.add_edge([0, 1]);
+        assert_matches_oracle(&b.build());
+    }
+
+    #[test]
+    fn decompose_profile_is_strictly_levelled() {
+        let h = triangle_like();
+        let d = decompose(&h);
+        assert_eq!(d.profile, vec![(1, 6, 3), (2, 3, 3)]);
+        assert_eq!(d.core_numbers, vec![2, 2, 2, 1, 1, 1]);
+        let mc = d.max_core.unwrap();
+        assert_eq!(mc.k, 2);
+        assert_eq!(mc.vertices, vec![VertexId(0), VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn csr_kcore_k0_keeps_isolated_vertices() {
+        let mut b = HypergraphBuilder::new(3);
+        b.add_edge([0, 1]);
+        let h = b.build();
+        assert_eq!(csr_kcore(&h, 0).vertices.len(), 3);
+        assert_eq!(csr_kcore(&h, 1).vertices.len(), 2);
+    }
+
+    #[test]
+    fn pre_expired_deadline_stops_decompose_with_zero_work() {
+        // Disjoint pairs: no overlap pairs at all, so the build cannot
+        // tick; the reduce sweep's per-edge check fires first.
+        let mut b = HypergraphBuilder::new(64);
+        for i in 0..32u32 {
+            b.add_edge([2 * i, 2 * i + 1]);
+        }
+        let h = b.build();
+        let dl = Deadline::after(std::time::Duration::ZERO);
+        let err = decompose_with(&h, &dl).unwrap_err();
+        assert_eq!(err.phase, "kcore.decompose");
+        assert_eq!(err.work_done, 0, "{err:?}");
+        assert!(csr_kcore_with(&h, 2, &dl).is_err());
+    }
+
+    #[test]
+    fn deadline_fires_mid_decompose_with_partial_work() {
+        // 60k disjoint pair edges: the overlap build is trivial and the
+        // k=1 level keeps everything, so nearly all the time is the k=2
+        // level peeling 120k vertices. Escalate the budget until one
+        // lands mid-sweep; a machine that finishes inside 1ms just ends
+        // at Ok (the expiry path is still covered by the pre-expired
+        // test above).
+        let n = 60_000u32;
+        let mut b = HypergraphBuilder::new(2 * n as usize);
+        for i in 0..n {
+            b.add_edge([2 * i, 2 * i + 1]);
+        }
+        let h = b.build();
+        for ms in [1u64, 2, 4, 8, 16, 32, 64] {
+            match decompose_with(&h, &Deadline::after_ms(ms)) {
+                Err(err) if err.work_done > 0 => {
+                    assert_eq!(err.phase, "kcore.decompose", "{err:?}");
+                    assert!(err.work_done < 2 * n as u64, "{err:?}");
+                    return;
+                }
+                Err(err) => {
+                    // Expired before any vertex was peeled; phase must
+                    // still be the sweep's.
+                    assert_eq!(err.phase, "kcore.decompose", "{err:?}");
+                    continue;
+                }
+                Ok(d) => {
+                    assert_eq!(d.profile, vec![(1, 2 * n as usize, n as usize)]);
+                    return;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unlimited_deadline_matches_plain() {
+        let h = triangle_like();
+        let a = decompose(&h);
+        let b = decompose_with(&h, &Deadline::none()).unwrap();
+        assert_eq!(a.profile, b.profile);
+        assert_eq!(a.core_numbers, b.core_numbers);
+    }
+}

@@ -293,10 +293,10 @@ pub fn hypergraph_kcore_with(
 /// non-empty, together with that core.
 ///
 /// Returns `None` when even the 1-core is empty (no vertices, or every
-/// hyperedge vanishes). Uses exponential doubling plus binary search on
-/// `k` (k-cores are nested, so non-emptiness is monotone in `k`): about
-/// `2 log k_max` peels instead of `k_max`, which matters for the Table 1
-/// mesh hypergraphs whose maximum cores are deep.
+/// hyperedge vanishes). Backed by the incremental
+/// [`decompose`](crate::decompose()) sweep: one CSR overlap build and one
+/// monotone peel instead of the `~2 log k_max` independent hash-map peels
+/// [`max_core_bsearch`] runs.
 pub fn max_core(h: &Hypergraph) -> Option<KCore> {
     match max_core_with(h, &Deadline::none()) {
         Ok(core) => core,
@@ -304,9 +304,29 @@ pub fn max_core(h: &Hypergraph) -> Option<KCore> {
     }
 }
 
-/// [`max_core`] under a cooperative [`Deadline`]; every peel in the
-/// doubling and binary-search phases runs under the same token.
+/// [`max_core`] under a cooperative [`Deadline`] (phase
+/// `kcore.decompose`).
 pub fn max_core_with(
+    h: &Hypergraph,
+    deadline: &Deadline,
+) -> Result<Option<KCore>, DeadlineExceeded> {
+    Ok(crate::decompose::decompose_with(h, deadline)?.max_core)
+}
+
+/// Doubling-plus-binary-search maximum core over the per-k hash-map
+/// peeler: the pre-incremental driver, kept as a cross-validation oracle
+/// and benchmark baseline (k-cores are nested, so non-emptiness is
+/// monotone in `k` and the search is sound).
+pub fn max_core_bsearch(h: &Hypergraph) -> Option<KCore> {
+    match max_core_bsearch_with(h, &Deadline::none()) {
+        Ok(core) => core,
+        Err(_) => unreachable!("an unlimited deadline cannot expire"),
+    }
+}
+
+/// [`max_core_bsearch`] under a cooperative [`Deadline`]; every peel in
+/// the doubling and binary-search phases runs under the same token.
+pub fn max_core_bsearch_with(
     h: &Hypergraph,
     deadline: &Deadline,
 ) -> Result<Option<KCore>, DeadlineExceeded> {
@@ -353,8 +373,43 @@ pub fn max_core_linear(h: &Hypergraph) -> Option<KCore> {
 }
 
 /// Sizes of the k-core for every k from 1 to the maximum:
-/// `profile[i] = (k, vertices, edges)` with `k = i + 1`.
+/// `profile[i] = (k, vertices, edges)` with `k = i + 1`. Backed by the
+/// incremental [`decompose`](crate::decompose()) sweep.
 pub fn core_profile(h: &Hypergraph) -> Vec<(u32, usize, usize)> {
+    crate::decompose::decompose(h).profile
+}
+
+/// [`core_profile`] under a cooperative [`Deadline`] (phase
+/// `kcore.decompose`), so an `X-Deadline-Ms` request into a deep-core
+/// dataset can be cut short mid-sweep.
+pub fn core_profile_with(
+    h: &Hypergraph,
+    deadline: &Deadline,
+) -> Result<Vec<(u32, usize, usize)>, DeadlineExceeded> {
+    Ok(crate::decompose::decompose_with(h, deadline)?.profile)
+}
+
+/// The core number of every vertex: the largest `k` for which the vertex
+/// belongs to the k-core (0 for vertices outside even the 1-core, e.g.
+/// isolated vertices or vertices whose hyperedges all vanish). Backed by
+/// the incremental [`decompose`](crate::decompose()) sweep.
+pub fn core_numbers(h: &Hypergraph) -> Vec<u32> {
+    crate::decompose::decompose(h).core_numbers
+}
+
+/// [`core_numbers`] under a cooperative [`Deadline`] (phase
+/// `kcore.decompose`).
+pub fn core_numbers_with(
+    h: &Hypergraph,
+    deadline: &Deadline,
+) -> Result<Vec<u32>, DeadlineExceeded> {
+    Ok(crate::decompose::decompose_with(h, deadline)?.core_numbers)
+}
+
+/// Per-k `core_profile` oracle: one independent hash-map peel per level.
+/// Kept for cross-validation of the incremental sweep and as the
+/// benchmark "before" driver.
+pub fn core_profile_per_k(h: &Hypergraph) -> Vec<(u32, usize, usize)> {
     let mut out = Vec::new();
     let mut k = 1u32;
     loop {
@@ -367,14 +422,11 @@ pub fn core_profile(h: &Hypergraph) -> Vec<(u32, usize, usize)> {
     }
 }
 
-/// The core number of every vertex: the largest `k` for which the vertex
-/// belongs to the k-core (0 for vertices outside even the 1-core, e.g.
-/// isolated vertices or vertices whose hyperedges all vanish).
-///
-/// Computed by sweeping `k = 1..` and stamping survivors — correct
-/// because hypergraph k-cores are nested in their vertex sets (checked
-/// by property tests); O(k_max) peels.
-pub fn core_numbers(h: &Hypergraph) -> Vec<u32> {
+/// Per-k `core_numbers` oracle: sweeps `k = 1..` stamping survivors —
+/// correct because hypergraph k-cores are nested in their vertex sets
+/// (checked by property tests); O(k_max) full peels. Kept for
+/// cross-validation and as the benchmark "before" driver.
+pub fn core_numbers_per_k(h: &Hypergraph) -> Vec<u32> {
     let mut core = vec![0u32; h.num_vertices()];
     let mut k = 1u32;
     loop {
@@ -550,9 +602,13 @@ mod tests {
         for h in &cases {
             let a = max_core(h).unwrap();
             let b = max_core_linear(h).unwrap();
+            let c = max_core_bsearch(h).unwrap();
             assert_eq!(a.k, b.k);
             assert_eq!(a.vertices, b.vertices);
             assert_eq!(a.edges, b.edges);
+            assert_eq!(a.k, c.k);
+            assert_eq!(a.vertices, c.vertices);
+            assert_eq!(a.edges, c.edges);
         }
     }
 
@@ -644,11 +700,14 @@ mod tests {
         let h = b.build();
         for ms in [1u64, 2, 4, 8, 16, 32, 64] {
             match hypergraph_kcore_with(&h, 2, &Deadline::after_ms(ms)) {
-                Err(err) if err.phase == "kcore.peel" => {
-                    assert!(err.work_done > 0 && err.work_done < 2 * n as u64, "{err:?}");
+                Err(err) if err.phase == "kcore.peel" && err.work_done > 0 => {
+                    assert!(err.work_done < 2 * n as u64, "{err:?}");
                     return;
                 }
-                Err(_) => continue, // expired before the peel began
+                // Expired before any vertex was peeled (the peel loop
+                // checks the deadline before its first deletion, so a
+                // peel-phase error can carry zero work): escalate.
+                Err(_) => continue,
                 Ok(core) => {
                     assert!(core.is_empty());
                     return;

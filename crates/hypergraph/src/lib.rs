@@ -16,7 +16,9 @@
 //!   sub-hypergraph in which every vertex lies in at least `k` hyperedges,
 //!   with the paper's overlap-counting maximality test;
 //! * reduced hypergraphs ([`reduce()`](crate::reduce())) and pairwise overlap tables
-//!   ([`overlap`]);
+//!   ([`overlap`], flat CSR form in [`csr_overlap`]), plus the one-pass
+//!   incremental core decomposition ([`decompose()`]) behind `max_core`,
+//!   `core_profile` and `core_numbers`;
 //! * greedy, dual, and primal-dual **vertex covers** and multicovers
 //!   ([`cover`], [`multicover`], [`cover_dual`]) for bait-protein selection;
 //! * the lossy graph projections the paper argues against
@@ -50,6 +52,8 @@ pub mod builder;
 pub mod components;
 pub mod cover;
 pub mod cover_dual;
+pub mod csr_overlap;
+pub mod decompose;
 pub mod degree;
 pub mod dual;
 pub mod generalized;
@@ -75,13 +79,18 @@ pub use builder::HypergraphBuilder;
 pub use components::{hypergraph_components, ComponentSummary, HyperComponents};
 pub use cover::{greedy_vertex_cover, is_vertex_cover, CoverError, CoverResult};
 pub use cover_dual::{dual_lower_bound, pricing_vertex_cover};
+pub use csr_overlap::CsrOverlap;
+pub use decompose::{
+    csr_kcore, csr_kcore_with, decompose, decompose_from_overlap, decompose_with, Decomposition,
+};
 pub use degree::{edge_degree_histogram, vertex_degree_histogram};
 pub use dual::dual;
 pub use generalized::{ks_core, max_ks_core, KsCore};
 pub use hypergraph::{EdgeId, Hypergraph, VertexId};
 pub use kcore::{
-    core_numbers, core_profile, hypergraph_kcore, hypergraph_kcore_with, max_core, max_core_linear,
-    max_core_with, KCore,
+    core_numbers, core_numbers_per_k, core_numbers_with, core_profile, core_profile_per_k,
+    core_profile_with, hypergraph_kcore, hypergraph_kcore_with, max_core, max_core_bsearch,
+    max_core_bsearch_with, max_core_linear, max_core_with, KCore,
 };
 pub use msbfs::{
     msbfs_batch, msbfs_distance_stats, msbfs_distance_stats_from, msbfs_distance_stats_from_with,

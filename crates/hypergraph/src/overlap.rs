@@ -100,20 +100,37 @@ impl OverlapTable {
 /// length-two path in `B(H)`). Drives the greedy cover bound
 /// `O(Σ_v d₂(v)) ≤ O(Δ_F |E|)`.
 pub fn d2_vertex(h: &Hypergraph, v: VertexId) -> usize {
-    let mut seen: Vec<u32> = h
-        .edges_of(v)
-        .iter()
-        .flat_map(|&f| h.pins(f).iter().map(|w| w.0))
-        .filter(|&w| w != v.0)
-        .collect();
-    seen.sort_unstable();
-    seen.dedup();
-    seen.len()
+    let mut stamp = vec![u32::MAX; h.num_vertices()];
+    d2_vertex_stamped(h, v, &mut stamp)
 }
 
-/// Maximum vertex degree-2 over all vertices.
+/// [`d2_vertex`] against a caller-owned stamp array (`stamp.len() ==
+/// num_vertices`, entries never equal to a live vertex id on entry —
+/// `u32::MAX` works since ids are indices). Marks neighbors with `v`'s
+/// own id, so one allocation serves every vertex in a sweep without any
+/// clearing between rounds.
+fn d2_vertex_stamped(h: &Hypergraph, v: VertexId, stamp: &mut [u32]) -> usize {
+    let mut count = 0usize;
+    for &f in h.edges_of(v) {
+        for &w in h.pins(f) {
+            if w != v && stamp[w.index()] != v.0 {
+                stamp[w.index()] = v.0;
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Maximum vertex degree-2 over all vertices. One shared stamp array
+/// replaces the per-vertex collect+sort+dedup the naive driver would do:
+/// `O(|V| + Σ_v Σ_{f ∋ v} |f|)` total, no sorting.
 pub fn max_d2_vertex(h: &Hypergraph) -> usize {
-    h.vertices().map(|v| d2_vertex(h, v)).max().unwrap_or(0)
+    let mut stamp = vec![u32::MAX; h.num_vertices()];
+    h.vertices()
+        .map(|v| d2_vertex_stamped(h, v, &mut stamp))
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

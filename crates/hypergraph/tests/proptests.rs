@@ -137,6 +137,34 @@ proptest! {
         }
     }
 
+    /// The one-pass incremental decomposition agrees with the per-k
+    /// hash-map oracles on every output: level profile, core numbers,
+    /// max core ids, and single-k surviving id sets (including inputs
+    /// with empty, nested, and duplicate hyperedges).
+    #[test]
+    fn decompose_matches_per_k_oracle(h in arb_hypergraph(12, 12, 6)) {
+        let d = hypergraph::decompose(&h);
+        prop_assert_eq!(&d.profile, &hypergraph::core_profile_per_k(&h));
+        prop_assert_eq!(&d.core_numbers, &hypergraph::core_numbers_per_k(&h));
+        let k_max = d.profile.last().map(|p| p.0).unwrap_or(0);
+        match (&d.max_core, hypergraph::max_core_bsearch(&h)) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.k, b.k);
+                prop_assert_eq!(&a.vertices, &b.vertices);
+                prop_assert_eq!(&a.edges, &b.edges);
+            }
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "max_core liveness disagreement: {:?} vs {:?}",
+                a.as_ref().map(|c| c.k), b.map(|c| c.k)),
+        }
+        for k in 0..=k_max + 1 {
+            let fast = hypergraph::csr_kcore(&h, k);
+            let oracle = hypergraph_kcore(&h, k);
+            prop_assert_eq!(&fast.vertices, &oracle.vertices, "k = {}", k);
+            prop_assert_eq!(&fast.edges, &oracle.edges, "k = {}", k);
+        }
+    }
+
     /// Greedy cover is valid and within the harmonic bound of the
     /// exhaustive optimum on small instances without empty edges.
     #[test]

@@ -20,6 +20,9 @@
 //!   private scratch; the default heavy-path engine for hgserve.
 //! * [`par_overlap`] — parallel construction of the pairwise hyperedge
 //!   overlap table.
+//! * [`par_csr_overlap()`] — sharded parallel assembly of the flat CSR
+//!   overlap engine, feeding the sequential incremental decomposition
+//!   ([`par_decompose`]).
 //!
 //! Memory-ordering notes: degree counters use `fetch_sub(Relaxed)` — the
 //! value is only *read* after the round's barrier (rayon's fork-join
@@ -27,6 +30,7 @@
 //! counters themselves. Liveness flags are claimed with
 //! `compare_exchange(AcqRel)` so each vertex/edge is deleted exactly once.
 
+pub mod par_csr_overlap;
 pub mod par_distance;
 pub mod par_graph;
 pub mod par_kcore;
@@ -34,6 +38,9 @@ pub mod par_msbfs;
 pub mod par_overlap;
 pub mod scoped;
 
+pub use par_csr_overlap::{
+    par_csr_overlap, par_csr_overlap_with, par_decompose, par_decompose_with,
+};
 pub use par_distance::{
     par_hyper_distance_stats, par_hyper_distance_stats_from, par_hyper_distance_stats_from_with,
     par_hyper_distance_stats_with,

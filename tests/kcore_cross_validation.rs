@@ -104,6 +104,75 @@ fn kcore_nested_on_cellzome() {
     }
 }
 
+/// Full agreement between the incremental CSR decomposition and the
+/// per-k hash-map oracles on one instance: profile, core numbers,
+/// max core, and per-k surviving id sets.
+fn assert_decompose_matches_oracle(h: &Hypergraph, label: &str) {
+    let d = hypergraph::decompose(h);
+    assert_eq!(d.profile, hypergraph::core_profile_per_k(h), "{label}");
+    assert_eq!(d.core_numbers, hypergraph::core_numbers_per_k(h), "{label}");
+    let k_max = d.profile.last().map(|p| p.0).unwrap_or(0);
+    match (&d.max_core, hypergraph::max_core_bsearch(h)) {
+        (Some(a), Some(b)) => {
+            assert_eq!(a.k, b.k, "{label}");
+            assert_eq!(a.vertices, b.vertices, "{label}");
+            assert_eq!(a.edges, b.edges, "{label}");
+        }
+        (None, None) => {}
+        (a, b) => panic!(
+            "{label}: max_core liveness disagreement ({:?} vs {:?})",
+            a.as_ref().map(|c| c.k),
+            b.map(|c| c.k)
+        ),
+    }
+    for k in 0..=k_max + 1 {
+        let fast = hypergraph::csr_kcore(h, k);
+        let oracle = hypergraph_kcore(h, k);
+        assert_eq!(fast.vertices, oracle.vertices, "{label} k = {k}");
+        assert_eq!(fast.edges, oracle.edges, "{label} k = {k}");
+    }
+}
+
+#[test]
+fn decompose_matches_oracle_on_cellzome_and_hypergen() {
+    let h = cellzome_like(CELLZOME_SEED).hypergraph;
+    assert_decompose_matches_oracle(&h, "cellzome");
+    for seed in [1u64, 7] {
+        let h = hypergen::uniform_random_hypergraph(400, 500, 5, seed);
+        assert_decompose_matches_oracle(&h, &format!("hypergen-u400 seed {seed}"));
+    }
+    let h = hypergen::planted_core_hypergraph(12, 18, 9, 40, 3);
+    assert_decompose_matches_oracle(&h, "planted-core");
+}
+
+#[test]
+fn decompose_matches_oracle_on_table1_mesh() {
+    let m = matrixmarket::fem_mesh_2d(24, 24, 0.1, 7);
+    let h = matrixmarket::row_net(&m);
+    assert_decompose_matches_oracle(&h, "fem-mesh-24");
+}
+
+#[test]
+fn decompose_reports_paper_core_on_cellzome() {
+    // Reproduction guard: the paper's Table 1 row for the Cellzome 2004
+    // network — a 6-core with 41 proteins and 54 complexes — must come
+    // out of the new engine unchanged.
+    let h = cellzome_like(CELLZOME_SEED).hypergraph;
+    let d = hypergraph::decompose(&h);
+    assert_eq!(d.profile.last().copied(), Some((6, 41, 54)));
+    let mc = d.max_core.expect("cellzome has a non-empty max core");
+    assert_eq!(mc.k, 6);
+    assert_eq!(mc.vertices.len(), 41);
+    assert_eq!(mc.edges.len(), 54);
+    assert_eq!(
+        d.core_numbers.iter().filter(|&&c| c >= 6).count(),
+        41,
+        "core numbers must place exactly the 41 max-core proteins at 6"
+    );
+    let six = hypergraph::csr_kcore(&h, 6);
+    assert_eq!((six.vertices.len(), six.edges.len()), (41, 54));
+}
+
 #[test]
 fn reduce_then_kcore_equals_kcore() {
     // Reducing first must not change the k-core (the algorithm's initial
