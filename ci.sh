@@ -147,8 +147,25 @@ curl -sf "http://$ADDR/v1/cellzome-2004/diameter" >/dev/null
 curl -sf "http://$ADDR/v1/cellzome-2004/diameter" >/dev/null
 HITS=$(curl -sf "http://$ADDR/metrics" | awk '$1 == "hgserve_cache_hits" { print $2 }')
 [ "${HITS:-0}" -ge 1 ] || { echo "expected a cache hit, got hits=${HITS:-none}"; exit 1; }
+# Observability surface: bucketed latency series are exported, a traced
+# request round-trips through `hg trace`, and the slow-query log answers.
+BUCKETS=$(curl -sf "http://$ADDR/metrics" | grep -c '^hg_serve_latency_us_.*_bucket{le=')
+[ "${BUCKETS:-0}" -ge 1 ] || {
+    echo "expected serve.latency_us _bucket series in /metrics, got $BUCKETS"
+    exit 1
+}
+curl -sf "http://$ADDR/v1/cellzome-2004/diameter?trace=1" >trace-sample.json
+./target/release/hg trace trace-sample.json | grep -q 'msbfs.batch' || {
+    echo "traced diameter did not yield msbfs.batch phases:"
+    cat trace-sample.json
+    exit 1
+}
+curl -sf "http://$ADDR/debug/slowlog" | grep -q '"schema":"hg-slowlog/1"' || {
+    echo "/debug/slowlog did not answer well-formed slowlog JSON"
+    exit 1
+}
 stop_server
 rm -f smoke.log
-echo "smoke OK (cache hits: $HITS, deadline probe: $CODE)"
+echo "smoke OK (cache hits: $HITS, deadline probe: $CODE, bucket series: $BUCKETS)"
 
 echo "CI OK"

@@ -20,15 +20,19 @@ use std::time::{Duration, Instant};
 use hypergraph::max_core;
 use proteome::cellzome::{cellzome_like, CELLZOME_SEED};
 
-/// Nanoseconds per disabled recording call (counter + span pair),
-/// measured over a tight loop long enough to swamp timer resolution.
+/// Nanoseconds per disabled recording call (counter + span + trace
+/// phase triple), measured over a tight loop long enough to swamp
+/// timer resolution.
 fn disabled_ns_per_op() -> f64 {
     hgobs::disable();
     const OPS: u64 = 4_000_000;
+    let trace = hgobs::TraceCtx::disabled();
     let start = Instant::now();
     for i in 0..OPS {
         hgobs::counter!("obs.overhead.probe", black_box(i));
         let _s = hgobs::Span::enter("obs.overhead.probe");
+        let mut tp = black_box(&trace).phase("obs.overhead.probe");
+        tp.add_work(black_box(i));
     }
     start.elapsed().as_nanos() as f64 / OPS as f64
 }

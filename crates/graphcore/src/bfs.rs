@@ -26,6 +26,7 @@ pub fn bfs_distances_with(
     source: NodeId,
     deadline: &Deadline,
 ) -> Result<Vec<u32>, DeadlineExceeded> {
+    let mut tp = deadline.trace().phase("graph.bfs");
     // Upfront check: the amortized tick only fires every CHECK_INTERVAL
     // settled nodes, which a small graph may never reach.
     if deadline.expired() {
@@ -50,6 +51,7 @@ pub fn bfs_distances_with(
             }
         }
     }
+    tp.add_work(settled);
     Ok(dist)
 }
 

@@ -82,6 +82,7 @@ pub fn core_decomposition_with(
     deadline: &Deadline,
 ) -> Result<CoreDecomposition, DeadlineExceeded> {
     let _span = hgobs::Span::enter("graph.kcore");
+    let mut tp = deadline.trace().phase("graph.kcore.peel");
     let n = g.num_nodes();
     if n == 0 {
         return Ok(CoreDecomposition {
@@ -156,6 +157,7 @@ pub fn core_decomposition_with(
         }
     }
 
+    tp.add_work(n as u64);
     hgobs::counter!("graph.kcore.nodes_peeled", n);
     hgobs::counter!("graph.kcore.degree_decrements", degree_decrements);
 

@@ -143,6 +143,10 @@ pub fn msbfs_distance_stats_from_with(
     let mut completed_sources = 0u64;
     let expired = 'sweep: {
         for batch in sources.chunks(BATCH) {
+            // The phase guard opens before the boundary check so a
+            // request that expires mid-sweep still shows the batch it
+            // was attempting in its trace.
+            let mut tp = deadline.trace().phase("graph.msbfs.batch");
             if deadline.expired() {
                 break 'sweep true;
             }
@@ -154,6 +158,7 @@ pub fn msbfs_distance_stats_from_with(
                 }
                 None => break 'sweep true,
             }
+            tp.add_work(batch.len() as u64);
             batches += 1;
             completed_sources += batch.len() as u64;
         }

@@ -38,7 +38,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par] [--profile]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE]\n  hg export-pajek <file.hgr> -o <base>\n  hg serve [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--deadline-ms MS]\n           [--queue N] [--preload FILE...]\n  hg loadgen [--addr HOST:PORT] [--dataset NAME] [--concurrency N]\n             [--requests N] [--mix stats=3,kcore=1,...] [--deadline-ms MS]\n             [--json FILE]\n  hg bench --kernels [--json FILE] [--reps N] [--scale N] [--cellzome FILE]\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
+    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par] [--profile]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE]\n  hg export-pajek <file.hgr> -o <base>\n  hg serve [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--deadline-ms MS]\n           [--queue N] [--preload FILE...]\n  hg loadgen [--addr HOST:PORT] [--dataset NAME] [--concurrency N]\n             [--requests N] [--mix stats=3,kcore=1,...] [--deadline-ms MS]\n             [--json FILE]\n  hg trace <trace.json>   pretty-print a saved request trace\n  hg bench --kernels [--json FILE] [--reps N] [--scale N] [--cellzome FILE]\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
 }
 
 fn run(args: &[String]) -> Result<String, String> {
@@ -77,6 +77,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "export-pajek" => cmd_export_pajek(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "loadgen" => cmd_loadgen(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "repro" => cmd_repro(&args[1..]),
         "help" | "--help" | "-h" => Ok(usage()),
@@ -682,6 +683,66 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
     Ok(report.render_text())
 }
 
+/// `hg trace FILE` — pretty-print a saved request trace (a `?trace=1`
+/// response body, a `/debug/slowlog` entry, or a bare trace object).
+fn cmd_trace(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or_else(usage)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let t = hgobs::trace::parse_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(render_trace(&t))
+}
+
+/// Timeline plus per-phase rollup for one parsed trace. Phase rows can
+/// sum past 100% of the total: parallel kernels run phases on several
+/// workers at once, so event durations add up CPU time, not wall time.
+fn render_trace(t: &hgobs::trace::ParsedTrace) -> String {
+    let span_end = t.events.iter().map(|e| e.end_us).max().unwrap_or(0);
+    let total = t.total_us.unwrap_or(span_end);
+    let id = if t.id.is_empty() { "<no id>" } else { &t.id };
+    let mut out = format!("trace {id}: {} events, total {total}us\n", t.events.len());
+    const WIDTH: usize = 32;
+    let scale = span_end.max(1) as u128;
+    for e in &t.events {
+        let b0 = ((e.start_us as u128 * WIDTH as u128 / scale) as usize).min(WIDTH - 1);
+        let b1 = ((e.end_us as u128 * WIDTH as u128).div_ceil(scale) as usize).clamp(b0 + 1, WIDTH);
+        let bar: String = (0..WIDTH)
+            .map(|i| if i >= b0 && i < b1 { '#' } else { '.' })
+            .collect();
+        out.push_str(&format!(
+            "  {bar} {:>8}us..{:<8}us {:>8}us  {}  work={}\n",
+            e.start_us,
+            e.end_us,
+            e.end_us - e.start_us,
+            e.phase,
+            e.work
+        ));
+    }
+    let mut phases: Vec<(&str, u64, u64, u64)> = Vec::new(); // name, events, us, work
+    for e in &t.events {
+        match phases.iter_mut().find(|(n, ..)| *n == e.phase) {
+            Some((_, c, us, w)) => {
+                *c += 1;
+                *us += e.end_us - e.start_us;
+                *w += e.work;
+            }
+            None => phases.push((&e.phase, 1, e.end_us - e.start_us, e.work)),
+        }
+    }
+    phases.sort_by_key(|&(_, _, us, _)| std::cmp::Reverse(us));
+    out.push_str("phase totals:\n");
+    for (n, c, us, w) in &phases {
+        let pct = if total > 0 {
+            100.0 * *us as f64 / total as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {n:<20} {c:>5} events {us:>9}us ({pct:5.1}% of total)  work={w}\n"
+        ));
+    }
+    out
+}
+
 fn cmd_bench(args: &[String]) -> Result<String, String> {
     let (kernels, rest) = take_switch(args, "--kernels");
     if !kernels {
@@ -745,10 +806,35 @@ fn cmd_repro(args: &[String]) -> Result<String, String> {
 
 #[cfg(test)]
 mod tests {
-    use super::take_opt;
+    use super::{render_trace, take_opt};
 
     fn v(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn render_trace_timeline_and_rollup() {
+        let t = hgobs::trace::parse_trace(
+            "{\"id\":\"00000000deadbeef\",\"total_us\":100,\"events\":[\
+             {\"phase\":\"msbfs.batch\",\"start_us\":0,\"end_us\":60,\"work\":64},\
+             {\"phase\":\"msbfs.batch\",\"start_us\":60,\"end_us\":90,\"work\":22},\
+             {\"phase\":\"kcore.peel\",\"start_us\":90,\"end_us\":100,\"work\":4}]}",
+        )
+        .unwrap();
+        let out = render_trace(&t);
+        assert!(
+            out.starts_with("trace 00000000deadbeef: 3 events, total 100us"),
+            "{out}"
+        );
+        assert!(out.contains("phase totals:"), "{out}");
+        assert!(out.contains("msbfs.batch"), "{out}");
+        // 60 + 30 = 90us over a 100us total.
+        assert!(out.contains("90us ( 90.0% of total)  work=86"), "{out}");
+        // Bars exist and are width 32.
+        assert!(
+            out.lines().nth(1).unwrap().trim_start().starts_with('#'),
+            "{out}"
+        );
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Log-linear histogram bucket layout: HDR-style, two sub-buckets per
+//! octave, covering the full `u64` range in [`NUM_BUCKETS`] slots.
+//!
+//! Bucket 0 holds exactly the value 0 and bucket 1 exactly the value 1;
+//! every later octave `[2^e, 2^(e+1))` is split at `1.5 * 2^e` into two
+//! buckets, so the relative width of any bucket is at most 50% of its
+//! lower bound. That is coarse enough to keep the registry's per-name
+//! footprint at 128 `u64`s and fine enough that a quantile read off the
+//! bucket boundaries brackets the exact order statistic within one
+//! bucket (≤ 50% relative error), which the proptests pin down.
+
+/// Number of bucket slots: indices `0..=127`.
+pub const NUM_BUCKETS: usize = 128;
+
+/// Map a value to its bucket index.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    match v {
+        0 => 0,
+        1 => 1,
+        _ => {
+            // v >= 2, so e >= 1 and bit e-1 exists: it decides which
+            // half of the octave [2^e, 2^(e+1)) the value falls in.
+            let e = 63 - v.leading_zeros() as usize;
+            let half = ((v >> (e - 1)) & 1) as usize;
+            2 * e + half
+        }
+    }
+}
+
+/// Largest value that lands in bucket `i` (inclusive upper bound).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    debug_assert!(i < NUM_BUCKETS);
+    match i {
+        0 => 0,
+        1 => 1,
+        _ => {
+            let e = i / 2;
+            if i % 2 == 0 {
+                // First half of the octave: [2^e, 1.5 * 2^e).
+                (3u64 << (e - 1)) - 1
+            } else if e == 63 {
+                u64::MAX
+            } else {
+                (1u64 << (e + 1)) - 1
+            }
+        }
+    }
+}
+
+/// Smallest value that lands in bucket `i` (inclusive lower bound).
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    debug_assert!(i < NUM_BUCKETS);
+    if i == 0 {
+        0
+    } else {
+        bucket_upper_bound(i - 1) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 3);
+        assert_eq!(bucket_index(4), 4);
+        assert_eq!(bucket_index(5), 4);
+        assert_eq!(bucket_index(6), 5);
+        assert_eq!(bucket_index(7), 5);
+        assert_eq!(bucket_index(8), 6);
+    }
+
+    #[test]
+    fn bounds_partition_the_u64_range() {
+        // Every bucket's bounds are consistent with bucket_index, and
+        // consecutive buckets tile the range with no gaps or overlaps.
+        for i in 0..NUM_BUCKETS {
+            let lo = bucket_lower_bound(i);
+            let hi = bucket_upper_bound(i);
+            assert!(lo <= hi, "bucket {i}: {lo} > {hi}");
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+            if i > 0 {
+                assert_eq!(bucket_lower_bound(i), bucket_upper_bound(i - 1) + 1);
+            }
+        }
+        assert_eq!(bucket_lower_bound(0), 0);
+        assert_eq!(bucket_upper_bound(NUM_BUCKETS - 1), u64::MAX);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_width_is_at_most_half() {
+        // For v >= 2, the bucket containing v spans at most 0.5 * lower.
+        for i in 2..NUM_BUCKETS - 1 {
+            let lo = bucket_lower_bound(i) as u128;
+            let hi = bucket_upper_bound(i) as u128;
+            assert!((hi - lo) * 2 <= lo, "bucket {i}: [{lo}, {hi}]");
+        }
+    }
+}

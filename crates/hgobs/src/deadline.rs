@@ -39,6 +39,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::trace::TraceCtx;
+
 /// How many [`Deadline::tick`] calls elapse between wall-clock reads.
 ///
 /// Power of two so the amortization test below stays a cheap mask; at
@@ -61,12 +63,20 @@ struct Inner {
 #[derive(Clone)]
 pub struct Deadline {
     inner: Option<Arc<Inner>>,
+    /// The request trace riding along, if any. Living inside the deadline
+    /// means every kernel that already threads a `&Deadline` — and every
+    /// worker that clones one — can emit trace events with no signature
+    /// changes; see [`Deadline::trace`].
+    trace: TraceCtx,
 }
 
 impl Deadline {
     /// A token that never expires and cannot be cancelled.
     pub fn none() -> Self {
-        Deadline { inner: None }
+        Deadline {
+            inner: None,
+            trace: TraceCtx::disabled(),
+        }
     }
 
     /// A token with no wall-clock budget that still honors [`cancel`].
@@ -79,6 +89,7 @@ impl Deadline {
                 start: Instant::now(),
                 budget: None,
             })),
+            trace: TraceCtx::disabled(),
         }
     }
 
@@ -90,7 +101,23 @@ impl Deadline {
                 start: Instant::now(),
                 budget: Some(budget),
             })),
+            trace: TraceCtx::disabled(),
         }
+    }
+
+    /// Attach a request trace; clones (and the workers they're handed
+    /// to) share its event list. The kernels' cost model is unchanged:
+    /// a disabled trace makes [`Deadline::trace`] a field read and every
+    /// phase open a branch.
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The trace riding on this token ([`TraceCtx::disabled`] when none).
+    #[inline]
+    pub fn trace(&self) -> &TraceCtx {
+        &self.trace
     }
 
     /// Convenience for [`Deadline::after`] with a millisecond budget.
@@ -305,6 +332,19 @@ mod tests {
             assert!(!dl.tick(&mut ticks));
         }
         assert!(dl.tick(&mut ticks), "interval boundary must check");
+    }
+
+    #[test]
+    fn trace_rides_through_clones() {
+        let dl = Deadline::none();
+        assert!(!dl.trace().is_enabled(), "traces are opt-in");
+        let dl = Deadline::cancellable().with_trace(TraceCtx::new(9));
+        let clone = dl.clone();
+        clone.trace().phase("worker.phase").finish();
+        let events = dl.trace().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].phase, "worker.phase");
+        assert_eq!(dl.trace().id(), 9);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! hgobs::disable();
 //! ```
 
+pub mod buckets;
 mod deadline;
 pub mod json;
 pub mod log;
@@ -46,14 +47,17 @@ mod metrics;
 mod report;
 mod span;
 mod time;
+pub mod trace;
 
 pub use deadline::{Deadline, DeadlineExceeded, CHECK_INTERVAL};
 pub use metrics::{add_counter, disable, enable, enabled, record_hist, reset};
 pub use report::{
-    absorb, snapshot_report, take_report, HistSummary, Report, SpanSummary, SCHEMA_VERSION,
+    absorb, sanitize_metric_name, snapshot_report, take_report, HistSummary, Report, SpanSummary,
+    SCHEMA_VERSION,
 };
 pub use span::Span;
 pub use time::{format_time, timed};
+pub use trace::{TraceCtx, TraceEvent, TracePhase};
 
 /// Increment a named counter: `counter!("kcore.rounds")` adds 1,
 /// `counter!("kcore.edges_deleted", n)` adds `n`. No-op while the sink
@@ -178,26 +182,12 @@ mod tests {
     fn merge_combines_reports() {
         let mut a = Report::default();
         a.counters.insert("c".into(), 1);
-        a.histograms.insert(
-            "h".into(),
-            HistSummary {
-                count: 1,
-                sum: 5,
-                min: 5,
-                max: 5,
-            },
-        );
+        a.histograms
+            .insert("h".into(), HistSummary::from_values(&[5]));
         let mut b = Report::default();
         b.counters.insert("c".into(), 2);
-        b.histograms.insert(
-            "h".into(),
-            HistSummary {
-                count: 2,
-                sum: 4,
-                min: 1,
-                max: 3,
-            },
-        );
+        b.histograms
+            .insert("h".into(), HistSummary::from_values(&[1, 3]));
         b.spans.insert(
             "s".into(),
             SpanSummary {

@@ -1,12 +1,18 @@
-//! `HG_LOG` env-filtered stderr logging (`off` < `info` < `debug`).
+//! `HG_LOG` env-filtered stderr logging (`off` < `warn` < `info` < `debug`).
+//!
+//! `warn` is for operator-actionable events (connections shed, requests
+//! timed out); it is on whenever logging is on at all, and its lines
+//! carry a Unix timestamp so admission incidents can be correlated with
+//! client-side logs after the fact.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Level {
     Off = 0,
-    Info = 1,
-    Debug = 2,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
 }
 
 const UNSET: u8 = u8::MAX;
@@ -17,8 +23,9 @@ static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
 pub fn level() -> Level {
     match LEVEL.load(Ordering::Relaxed) {
         0 => Level::Off,
-        1 => Level::Info,
-        2 => Level::Debug,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
         _ => init_from_env(),
     }
 }
@@ -28,6 +35,7 @@ pub fn init_from_env() -> Level {
     let lvl = match std::env::var("HG_LOG").as_deref() {
         Ok("debug") => Level::Debug,
         Ok("info") => Level::Info,
+        Ok("warn") => Level::Warn,
         _ => Level::Off,
     };
     set_level(lvl);
@@ -48,6 +56,11 @@ pub fn info_enabled() -> bool {
     level() >= Level::Info
 }
 
+#[inline]
+pub fn warn_enabled() -> bool {
+    level() >= Level::Warn
+}
+
 /// Log at info level (lazy: the closure only runs when enabled).
 pub fn info(msg: impl FnOnce() -> String) {
     if info_enabled() {
@@ -62,22 +75,42 @@ pub fn debug(msg: impl FnOnce() -> String) {
     }
 }
 
+/// Log at warn level with a `seconds.millis` Unix timestamp (lazy: the
+/// closure only runs when enabled).
+pub fn warn(msg: impl FnOnce() -> String) {
+    if warn_enabled() {
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap_or_default();
+        eprintln!(
+            "[hg] WARN {}.{:03} {}",
+            now.as_secs(),
+            now.subsec_millis(),
+            msg()
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn levels_order() {
-        assert!(Level::Off < Level::Info && Level::Info < Level::Debug);
+        assert!(Level::Off < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
     }
 
     #[test]
     fn set_level_wins() {
         set_level(Level::Debug);
-        assert!(debug_enabled() && info_enabled());
+        assert!(debug_enabled() && info_enabled() && warn_enabled());
         set_level(Level::Info);
-        assert!(!debug_enabled() && info_enabled());
+        assert!(!debug_enabled() && info_enabled() && warn_enabled());
+        set_level(Level::Warn);
+        assert!(!info_enabled() && warn_enabled());
         set_level(Level::Off);
-        assert!(!info_enabled());
+        assert!(!warn_enabled());
     }
 }

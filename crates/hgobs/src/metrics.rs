@@ -25,12 +25,15 @@ pub fn disable() {
     ENABLED.store(false, Ordering::SeqCst);
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct Hist {
     pub count: u64,
     pub sum: u64,
     pub min: u64,
     pub max: u64,
+    /// Dense log-linear bucket counts ([`crate::buckets`]); allocated on
+    /// the first observation so untouched names stay four words.
+    pub buckets: Vec<u64>,
 }
 
 impl Hist {
@@ -40,6 +43,7 @@ impl Hist {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            buckets: Vec::new(),
         }
     }
 
@@ -48,6 +52,10 @@ impl Hist {
         self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; crate::buckets::NUM_BUCKETS];
+        }
+        self.buckets[crate::buckets::bucket_index(v)] += 1;
     }
 }
 
@@ -149,6 +157,12 @@ pub(crate) fn absorb_report(report: &crate::Report) {
         if h.count > 0 {
             e.min = e.min.min(h.min);
             e.max = e.max.max(h.max);
+        }
+        if !h.buckets.is_empty() && e.buckets.is_empty() {
+            e.buckets = vec![0; crate::buckets::NUM_BUCKETS];
+        }
+        for &(idx, n) in &h.buckets {
+            e.buckets[idx as usize] += n;
         }
     }
     for (k, s) in &report.spans {

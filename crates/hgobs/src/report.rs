@@ -8,15 +8,43 @@ use crate::json::JsonWriter;
 /// the report object changes incompatibly.
 pub const SCHEMA_VERSION: &str = "hgobs/1";
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistSummary {
     pub count: u64,
     pub sum: u64,
     pub min: u64,
     pub max: u64,
+    /// Sparse log-linear bucket counts, sorted by bucket index
+    /// ([`crate::buckets`]): `(bucket_index, observations)` for every
+    /// non-empty bucket. Quantiles are read off these boundaries.
+    pub buckets: Vec<(u32, u64)>,
 }
 
 impl HistSummary {
+    /// An empty summary (`min` reported as 0, like the registry does).
+    pub fn empty() -> Self {
+        HistSummary::default()
+    }
+
+    /// Summarize a slice of observations; the bucketed result is
+    /// identical to recording each value through the registry.
+    pub fn from_values(values: &[u64]) -> Self {
+        let mut s = HistSummary {
+            count: values.len() as u64,
+            sum: 0,
+            min: values.iter().copied().min().unwrap_or(0),
+            max: values.iter().copied().max().unwrap_or(0),
+            buckets: Vec::new(),
+        };
+        let mut dense = vec![0u64; crate::buckets::NUM_BUCKETS];
+        for &v in values {
+            s.sum = s.sum.saturating_add(v);
+            dense[crate::buckets::bucket_index(v)] += 1;
+        }
+        s.buckets = dense_to_sparse(&dense);
+        s
+    }
+
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -24,6 +52,46 @@ impl HistSummary {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `(lower, upper)` bounds of the bucket holding the `q`-quantile
+    /// (rank `ceil(q * count)`, the same order statistic a sorted vector
+    /// would index): the exact quantile is guaranteed to lie inside.
+    /// `(0, 0)` when the histogram is empty.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return (
+                    crate::buckets::bucket_lower_bound(idx as usize),
+                    crate::buckets::bucket_upper_bound(idx as usize),
+                );
+            }
+        }
+        // Only reachable when buckets were not populated (e.g. a summary
+        // merged from a pre-bucket report): fall back to the range.
+        (self.min, self.max)
+    }
+
+    /// Point estimate for the `q`-quantile: the upper bound of its
+    /// bucket, clamped to the observed `max` so estimates never exceed
+    /// any real observation.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1.min(self.max)
+    }
+}
+
+fn dense_to_sparse(dense: &[u64]) -> Vec<(u32, u64)> {
+    dense
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(i, &n)| (i as u32, n))
+        .collect()
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,6 +141,7 @@ fn registry_to_report(reg: crate::metrics::Registry) -> Report {
                         sum: h.sum,
                         min: if h.count == 0 { 0 } else { h.min },
                         max: h.max,
+                        buckets: dense_to_sparse(&h.buckets),
                     },
                 )
             })
@@ -118,6 +187,7 @@ impl Report {
                 sum: 0,
                 min: u64::MAX,
                 max: 0,
+                buckets: Vec::new(),
             });
             e.count += h.count;
             e.sum = e.sum.saturating_add(h.sum);
@@ -128,6 +198,36 @@ impl Report {
             if e.count == 0 {
                 e.min = 0;
             }
+            // Merge the two sorted sparse bucket lists.
+            let mut merged = Vec::with_capacity(e.buckets.len() + h.buckets.len());
+            let (mut i, mut j) = (0, 0);
+            while i < e.buckets.len() || j < h.buckets.len() {
+                match (e.buckets.get(i), h.buckets.get(j)) {
+                    (Some(&(ai, an)), Some(&(bi, bn))) if ai == bi => {
+                        merged.push((ai, an + bn));
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(&a), Some(&b)) if a.0 < b.0 => {
+                        merged.push(a);
+                        i += 1;
+                    }
+                    (Some(_), Some(&b)) => {
+                        merged.push(b);
+                        j += 1;
+                    }
+                    (Some(&a), None) => {
+                        merged.push(a);
+                        i += 1;
+                    }
+                    (None, Some(&b)) => {
+                        merged.push(b);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+            e.buckets = merged;
         }
         for (k, s) in &other.spans {
             let e = self.spans.entry(k.clone()).or_insert(SpanSummary {
@@ -156,6 +256,18 @@ impl Report {
             w.key("min").uint(h.min);
             w.key("max").uint(h.max);
             w.key("mean").float(h.mean());
+            w.key("p50").uint(h.quantile(0.5));
+            w.key("p95").uint(h.quantile(0.95));
+            w.key("p99").uint(h.quantile(0.99));
+            // `[upper_bound, observations]` per non-empty bucket.
+            w.key("buckets").begin_array();
+            for &(idx, n) in &h.buckets {
+                w.begin_array();
+                w.uint(crate::buckets::bucket_upper_bound(idx as usize));
+                w.uint(n);
+                w.end_array();
+            }
+            w.end_array();
             w.end_object();
         }
         w.end_object();
@@ -184,32 +296,35 @@ impl Report {
 
     /// Render this report in the Prometheus text exposition format, the
     /// payload `hg serve` answers on `GET /metrics`. Metric names are the
-    /// registry names with `.`/`/` mapped to `_` and an `hg_` prefix:
-    /// counters become `hg_<name>_total`, histograms expose
-    /// `_count`/`_sum`/`_min`/`_max`, spans expose `_count` and
-    /// `_seconds_total`. Maps are ordered, so the output is stable.
+    /// registry names sanitized ([`sanitize_metric_name`]) with an `hg_`
+    /// prefix: counters become `hg_<name>_total`, histograms are proper
+    /// Prometheus histograms (cumulative `_bucket{le="…"}` series plus
+    /// `_sum`/`_count`, and `_min`/`_max` gauges), spans expose `_count`
+    /// and `_seconds_total`. Maps are ordered, so the output is stable.
     pub fn render_prometheus(&self) -> String {
-        fn sanitize(name: &str) -> String {
-            name.chars()
-                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-                .collect()
-        }
         let mut out = String::new();
         for (k, v) in &self.counters {
-            let n = sanitize(k);
+            let n = sanitize_metric_name(k);
             out.push_str(&format!("# TYPE hg_{n}_total counter\n"));
             out.push_str(&format!("hg_{n}_total {v}\n"));
         }
         for (k, h) in &self.histograms {
-            let n = sanitize(k);
-            out.push_str(&format!("# TYPE hg_{n} summary\n"));
-            out.push_str(&format!("hg_{n}_count {}\n", h.count));
+            let n = sanitize_metric_name(k);
+            out.push_str(&format!("# TYPE hg_{n} histogram\n"));
+            let mut cumulative = 0u64;
+            for &(idx, count) in &h.buckets {
+                cumulative += count;
+                let le = crate::buckets::bucket_upper_bound(idx as usize);
+                out.push_str(&format!("hg_{n}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("hg_{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
             out.push_str(&format!("hg_{n}_sum {}\n", h.sum));
+            out.push_str(&format!("hg_{n}_count {}\n", h.count));
             out.push_str(&format!("hg_{n}_min {}\n", h.min));
             out.push_str(&format!("hg_{n}_max {}\n", h.max));
         }
         for (k, s) in &self.spans {
-            let n = sanitize(k);
+            let n = sanitize_metric_name(k);
             out.push_str(&format!("# TYPE hg_span_{n}_seconds_total counter\n"));
             out.push_str(&format!("hg_span_{n}_count {}\n", s.count));
             out.push_str(&format!(
@@ -250,14 +365,44 @@ impl Report {
             out.push_str("histograms:\n");
             for (k, h) in &self.histograms {
                 out.push_str(&format!(
-                    "  {k}: n={} mean={:.2} min={} max={}\n",
+                    "  {k}: n={} mean={:.2} min={} max={} p50={} p99={}\n",
                     h.count,
                     h.mean(),
                     h.min,
-                    h.max
+                    h.max,
+                    h.quantile(0.5),
+                    h.quantile(0.99),
                 ));
             }
         }
+        out
+    }
+}
+
+/// Map an arbitrary registry name to a valid Prometheus metric-name
+/// fragment: every run of non-alphanumeric characters (`.`, `/`, `-`,
+/// spaces, …) collapses to a single `_`, and an empty or all-invalid
+/// name becomes `"other"`. The caller prepends `hg_`, so a leading digit
+/// is already legal. Bounding cardinality is the *recorder's* job (see
+/// `hgserve`'s endpoint label mapping); this keeps whatever does get
+/// recorded lexically valid.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut gap = false;
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            if gap && !out.is_empty() {
+                out.push('_');
+            }
+            gap = false;
+            out.push(c);
+        } else {
+            gap = true;
+        }
+    }
+    if out.is_empty() {
+        "other".to_string()
+    } else {
         out
     }
 }
@@ -271,12 +416,7 @@ mod tests {
         r.counters.insert("kcore.rounds".into(), 3);
         r.histograms.insert(
             "bfs.frontier".into(),
-            HistSummary {
-                count: 4,
-                sum: 10,
-                min: 1,
-                max: 4,
-            },
+            HistSummary::from_values(&[1, 2, 3, 4]),
         );
         r.spans.insert(
             "total".into(),
@@ -302,7 +442,8 @@ mod tests {
             js,
             "{\"schema\":\"hgobs/1\",\
              \"counters\":{\"kcore.rounds\":3},\
-             \"histograms\":{\"bfs.frontier\":{\"count\":4,\"sum\":10,\"min\":1,\"max\":4,\"mean\":2.5}},\
+             \"histograms\":{\"bfs.frontier\":{\"count\":4,\"sum\":10,\"min\":1,\"max\":4,\"mean\":2.5,\
+             \"p50\":2,\"p95\":4,\"p99\":4,\"buckets\":[[1,1],[2,1],[3,1],[5,1]]}},\
              \"spans\":{\"total\":{\"count\":1,\"total_ns\":2000000,\"seconds\":0.002},\
              \"total/kcore\":{\"count\":2,\"total_ns\":1000000,\"seconds\":0.001}}}"
         );
@@ -315,19 +456,71 @@ mod tests {
         assert!(text.contains("total"));
         assert!(text.contains("total/kcore"));
         assert!(text.contains("kcore.rounds = 3"));
-        assert!(text.contains("bfs.frontier: n=4 mean=2.50 min=1 max=4"));
+        assert!(text.contains("bfs.frontier: n=4 mean=2.50 min=1 max=4 p50=2 p99=4"));
     }
 
     #[test]
     fn prometheus_rendering_is_stable_and_sanitized() {
         let text = sample().render_prometheus();
+        assert!(text.contains("# TYPE hg_bfs_frontier histogram\n"));
         assert!(text.contains("hg_kcore_rounds_total 3\n"));
         assert!(text.contains("hg_bfs_frontier_count 4\n"));
         assert!(text.contains("hg_bfs_frontier_sum 10\n"));
+        // Cumulative bucket series ending in the +Inf catch-all.
+        assert!(text.contains("hg_bfs_frontier_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("hg_bfs_frontier_bucket{le=\"2\"} 2\n"));
+        assert!(text.contains("hg_bfs_frontier_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("hg_bfs_frontier_bucket{le=\"5\"} 4\n"));
+        assert!(text.contains("hg_bfs_frontier_bucket{le=\"+Inf\"} 4\n"));
         assert!(text.contains("hg_span_total_kcore_count 2\n"));
         assert!(text.contains("hg_span_total_kcore_seconds_total 0.001\n"));
         // Deterministic: same report renders byte-identically.
         assert_eq!(text, sample().render_prometheus());
+    }
+
+    #[test]
+    fn metric_names_sanitize_to_valid_fragments() {
+        assert_eq!(sanitize_metric_name("kcore.rounds"), "kcore_rounds");
+        assert_eq!(
+            sanitize_metric_name("serve.latency_us.v1/kcore"),
+            "serve_latency_us_v1_kcore"
+        );
+        assert_eq!(sanitize_metric_name("a..//--b"), "a_b");
+        assert_eq!(sanitize_metric_name("...",), "other");
+        assert_eq!(sanitize_metric_name(""), "other");
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_the_exact_order_statistic() {
+        let values: Vec<u64> = (0..500).map(|i| i * i % 7919).collect();
+        let h = HistSummary::from_values(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &q in &[0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let (lo, hi) = h.quantile_bounds(q);
+            assert!(
+                lo <= exact && exact <= hi,
+                "q={q}: {exact} not in [{lo},{hi}]"
+            );
+            assert!(h.quantile(q) <= h.max);
+        }
+    }
+
+    #[test]
+    fn merged_histograms_preserve_buckets_and_quantiles() {
+        let mut a = Report::default();
+        a.histograms
+            .insert("h".into(), HistSummary::from_values(&[1, 100]));
+        let mut b = Report::default();
+        b.histograms
+            .insert("h".into(), HistSummary::from_values(&[100, 5000]));
+        a.merge(&b);
+        let h = &a.histograms["h"];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 4);
+        assert_eq!(h, &HistSummary::from_values(&[1, 100, 100, 5000]));
     }
 
     #[test]

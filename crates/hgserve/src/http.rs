@@ -300,6 +300,9 @@ pub struct Response {
     /// When set, emitted as a `Retry-After: <seconds>` header — used by
     /// the 503 shed path so well-behaved clients back off.
     pub retry_after: Option<u32>,
+    /// Additional response headers, e.g. `X-Trace-Id`. Names must be
+    /// valid header tokens; values must not contain CR/LF.
+    pub extra_headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -309,6 +312,7 @@ impl Response {
             content_type: "application/json",
             body,
             retry_after: None,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -318,12 +322,19 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body,
             retry_after: None,
+            extra_headers: Vec::new(),
         }
     }
 
     /// Attach a `Retry-After: <seconds>` header.
     pub fn with_retry_after(mut self, seconds: u32) -> Self {
         self.retry_after = Some(seconds);
+        self
+    }
+
+    /// Attach an arbitrary response header (e.g. `X-Trace-Id`).
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra_headers.push((name, value));
         self
     }
 
@@ -348,6 +359,9 @@ impl Response {
         )?;
         if let Some(seconds) = self.retry_after {
             write!(w, "Retry-After: {seconds}\r\n")?;
+        }
+        for (name, value) in &self.extra_headers {
+            write!(w, "{name}: {value}\r\n")?;
         }
         w.write_all(b"\r\n")?;
         w.write_all(self.body.as_bytes())?;
@@ -463,6 +477,18 @@ mod tests {
         let (head, body) = s.split_once("\r\n\r\n").unwrap();
         assert!(head.contains("\r\nRetry-After: 2"), "{head}");
         assert!(body.contains("overloaded"), "{body}");
+    }
+
+    #[test]
+    fn extra_headers_emitted_before_body() {
+        let mut out = Vec::new();
+        Response::json(200, "{}".into())
+            .with_header("X-Trace-Id", "00000000deadbeef".into())
+            .write_to(&mut out, false)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        let (head, _) = s.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("\r\nX-Trace-Id: 00000000deadbeef"), "{head}");
     }
 
     #[test]

@@ -51,7 +51,22 @@
 //! | `GET /v1/{ds}/powerlaw` | degree power-law fit |
 //! | `GET /v1/{ds}/cover` | greedy vertex cover |
 //! | `GET /metrics` | hgobs counters/histograms + cache stats (Prometheus text) |
+//! | `GET /debug/slowlog` | retained traces of the slowest + most recent requests |
 //! | `POST /admin/shutdown` | graceful drain |
+//!
+//! # Tracing
+//!
+//! Every response carries an `X-Trace-Id` header (deterministic from
+//! method, path, and a per-process sequence number). Adding `?trace=1`
+//! to a query — or sending `X-Trace: 1` — embeds a `"trace"` block in
+//! the JSON body: per-kernel-phase events (MS-BFS batches, k-core peel
+//! levels, overlap shards) with microsecond bounds and work counts,
+//! plus `total_us`, the exact latency the request recorded to its
+//! `serve.latency_us.{endpoint}` histogram. Traced requests bypass the
+//! result cache so the events describe the compute that produced the
+//! body. Saved trace JSON pretty-prints with `hg trace <file>`, and
+//! [`slowlog`] retains the slowest/most recent traces for
+//! `GET /debug/slowlog`.
 //!
 //! # Example
 //!
@@ -84,9 +99,11 @@ pub mod loadgen;
 pub mod query;
 pub mod registry;
 pub mod server;
+pub mod slowlog;
 
 pub use cache::{CacheStats, ShardedLru};
-pub use loadgen::{parse_mix, Client, LoadgenConfig, LoadgenReport, MixEntry};
+pub use loadgen::{parse_mix, Client, LoadgenConfig, LoadgenReport, MixEntry, SlowSample};
 pub use query::{ExecOpts, Query, QueryError};
 pub use registry::{Dataset, Format, Registry};
 pub use server::{install_sigint_flag, start, AppState, ServerConfig, ServerHandle};
+pub use slowlog::{SlowLog, SlowLogEntry};

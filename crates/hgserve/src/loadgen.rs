@@ -66,6 +66,15 @@ pub struct LoadgenConfig {
     pub deadline_ms: Option<u64>,
 }
 
+/// One tail-latency request: its latency and the server-assigned
+/// trace id, so the matching trace can be pulled from
+/// `GET /debug/slowlog` (or the request replayed with `?trace=1`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SlowSample {
+    pub latency_us: u64,
+    pub trace_id: String,
+}
+
 /// Outcome of one run.
 #[derive(Clone, Debug, Default)]
 pub struct LoadgenReport {
@@ -83,11 +92,17 @@ pub struct LoadgenReport {
     pub elapsed: Duration,
     /// Sorted request latencies in microseconds.
     pub latencies_us: Vec<u64>,
+    /// The p99-and-above outliers (slowest first, at most
+    /// [`MAX_SLOW_SAMPLES`]) with their `X-Trace-Id`s.
+    pub slowest: Vec<SlowSample>,
     /// `hgserve_cache_hits` delta over the run, when `/metrics` was
     /// reachable before and after.
     pub cache_hits_delta: Option<u64>,
     pub cache_misses_delta: Option<u64>,
 }
+
+/// Cap on [`LoadgenReport::slowest`].
+pub const MAX_SLOW_SAMPLES: usize = 5;
 
 impl LoadgenReport {
     pub fn percentile_us(&self, p: f64) -> u64 {
@@ -146,6 +161,13 @@ impl LoadgenReport {
                 pct(self.deadline_exceeded),
             ));
         }
+        if !self.slowest.is_empty() {
+            out.push_str("slowest traces:");
+            for s in &self.slowest {
+                out.push_str(&format!(" {}={}us", s.trace_id, s.latency_us));
+            }
+            out.push('\n');
+        }
         if let (Some(h), Some(m)) = (self.cache_hits_delta, self.cache_misses_delta) {
             let total = h + m;
             let rate = if total == 0 {
@@ -184,6 +206,14 @@ impl LoadgenReport {
         w.key("max_us")
             .uint(self.latencies_us.last().copied().unwrap_or(0));
         w.key("cache_hit_rate_pct").float(hit_rate);
+        w.key("slowest").begin_array();
+        for s in &self.slowest {
+            w.begin_object();
+            w.key("us").uint(s.latency_us);
+            w.key("trace_id").string(&s.trace_id);
+            w.end_object();
+        }
+        w.end_array();
         w.end_object();
         let mut out = w.finish();
         out.push('\n');
@@ -196,6 +226,7 @@ pub struct Client {
     addr: String,
     stream: Option<BufReader<TcpStream>>,
     deadline_ms: Option<u64>,
+    last_trace_id: Option<String>,
 }
 
 impl Client {
@@ -204,7 +235,13 @@ impl Client {
             addr: addr.to_string(),
             stream: None,
             deadline_ms: None,
+            last_trace_id: None,
         }
+    }
+
+    /// The `X-Trace-Id` header of the most recent response, if any.
+    pub fn last_trace_id(&self) -> Option<&str> {
+        self.last_trace_id.as_deref()
     }
 
     /// Send `X-Deadline-Ms: <ms>` with every subsequent request.
@@ -280,6 +317,7 @@ impl Client {
 
         let mut content_length = 0usize;
         let mut close = false;
+        self.last_trace_id = None;
         loop {
             let mut h = String::new();
             reader.read_line(&mut h).map_err(|e| e.to_string())?;
@@ -294,6 +332,8 @@ impl Client {
                     content_length = value.parse().map_err(|e| format!("content-length: {e}"))?;
                 } else if name == "connection" && value.eq_ignore_ascii_case("close") {
                     close = true;
+                } else if name == "x-trace-id" {
+                    self.last_trace_id = Some(value.to_string());
                 }
             }
         }
@@ -363,7 +403,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let started = Instant::now();
 
     let per_worker = cfg.requests.div_ceil(cfg.concurrency);
-    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+    let samples: Vec<Vec<(u64, String)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.concurrency)
             .map(|w| {
                 let table = &table;
@@ -383,7 +423,10 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                         let t0 = Instant::now();
                         match client.get(&path) {
                             Ok((status, body)) => {
-                                lat.push(t0.elapsed().as_micros() as u64);
+                                lat.push((
+                                    t0.elapsed().as_micros() as u64,
+                                    client.last_trace_id().unwrap_or("").to_string(),
+                                ));
                                 if (200..300).contains(&status)
                                     && body.trim_start().starts_with('{')
                                 {
@@ -414,8 +457,29 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     });
 
     let elapsed = started.elapsed();
-    let mut latencies_us: Vec<u64> = latencies.into_iter().flatten().collect();
-    latencies_us.sort_unstable();
+    let mut samples: Vec<(u64, String)> = samples.into_iter().flatten().collect();
+    samples.sort_unstable();
+    let latencies_us: Vec<u64> = samples.iter().map(|(us, _)| *us).collect();
+    // p99 tail with trace ids: the slowest requests at or above the p99
+    // mark, slowest first — the ids to look up in `/debug/slowlog`.
+    let p99 = {
+        let tmp = LoadgenReport {
+            latencies_us: latencies_us.clone(),
+            ..LoadgenReport::default()
+        };
+        tmp.percentile_us(99.0)
+    };
+    let slowest: Vec<SlowSample> = samples
+        .iter()
+        .rev()
+        .take_while(|(us, _)| *us >= p99)
+        .take(MAX_SLOW_SAMPLES)
+        .filter(|(_, id)| !id.is_empty())
+        .map(|(us, id)| SlowSample {
+            latency_us: *us,
+            trace_id: id.clone(),
+        })
+        .collect();
 
     let hits_after = fetch_metric(&cfg.addr, "hgserve_cache_hits");
     let misses_after = fetch_metric(&cfg.addr, "hgserve_cache_misses");
@@ -431,6 +495,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         deadline_exceeded: deadline_exceeded.load(Ordering::Relaxed),
         elapsed,
         latencies_us,
+        slowest,
         cache_hits_delta: hits_before
             .zip(hits_after)
             .map(|(b, a)| a.saturating_sub(b)),
@@ -498,6 +563,30 @@ mod tests {
         assert!(text.contains("4 requests"));
         assert!(text.contains("75.0% hit rate"));
         assert!(!text.contains("robustness"), "{text}");
+    }
+
+    #[test]
+    fn report_slowest_samples_render() {
+        let r = LoadgenReport {
+            sent: 3,
+            ok: 3,
+            latencies_us: vec![10, 20, 5000],
+            slowest: vec![SlowSample {
+                latency_us: 5000,
+                trace_id: "00000000deadbeef".into(),
+            }],
+            ..LoadgenReport::default()
+        };
+        let text = r.render_text();
+        assert!(
+            text.contains("slowest traces: 00000000deadbeef=5000us"),
+            "{text}"
+        );
+        let json = r.render_json();
+        assert!(
+            json.contains("\"slowest\":[{\"us\":5000,\"trace_id\":\"00000000deadbeef\"}]"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! (cache-on vs cache-off) and the CLI reuse it directly.
 
 use hgobs::json::JsonWriter;
-use hgobs::{Deadline, DeadlineExceeded};
+use hgobs::{Deadline, DeadlineExceeded, TraceCtx};
 use hypergraph::{Hypergraph, VertexId};
 
 /// A parsed, validated analytics query.
@@ -69,6 +69,12 @@ pub struct ExecOpts {
     /// datasets so a deadline-bounded sweep still makes maximal
     /// progress before the budget runs out.
     pub parallel: bool,
+    /// Request-scoped trace context. [`Query::run_opts`] attaches it to
+    /// the deadline it hands the kernels, so every instrumented phase
+    /// (MS-BFS batches, k-core peel levels, overlap shards) lands in
+    /// this request's event list without per-kernel plumbing. The
+    /// default is disabled: a branch per phase, no allocation.
+    pub trace: TraceCtx,
 }
 
 /// Endpoint names servable under `/v1/{dataset}/…`, in docs order.
@@ -158,6 +164,15 @@ impl Query {
     /// (returning a 504 [`QueryError`] on expiry) and optionally run on
     /// the `parcore` parallel kernels.
     pub fn run_opts(&self, h: &Hypergraph, opts: &ExecOpts) -> Result<String, QueryError> {
+        // The trace rides on the deadline: kernels already thread the
+        // deadline everywhere, so attaching it here is the only
+        // plumbing the whole request path needs.
+        let opts = ExecOpts {
+            deadline: opts.deadline.clone().with_trace(opts.trace.clone()),
+            parallel: opts.parallel,
+            trace: opts.trace.clone(),
+        };
+        let opts = &opts;
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("query").string(&self.canonical());
@@ -469,7 +484,7 @@ mod tests {
         let h = chain();
         let opts = ExecOpts {
             deadline: hgobs::Deadline::after(std::time::Duration::ZERO),
-            parallel: false,
+            ..ExecOpts::default()
         };
         for q in [
             Query::Diameter,
@@ -493,6 +508,7 @@ mod tests {
             let opts = ExecOpts {
                 deadline: hgobs::Deadline::after(std::time::Duration::ZERO),
                 parallel,
+                ..ExecOpts::default()
             };
             let err = Query::Diameter.run_opts(&h, &opts).unwrap_err();
             assert_eq!(err.status, 504, "{}", err.message);
@@ -507,6 +523,7 @@ mod tests {
         let par = ExecOpts {
             deadline: hgobs::Deadline::none(),
             parallel: true,
+            ..ExecOpts::default()
         };
         for q in [Query::Diameter, Query::KCore { k: Some(1) }] {
             assert_eq!(q.run(&h).unwrap(), q.run_opts(&h, &par).unwrap(), "{q:?}");

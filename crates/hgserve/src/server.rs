@@ -23,12 +23,14 @@ use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use hgobs::Deadline;
+use hgobs::trace::trace_id;
+use hgobs::{Deadline, TraceCtx};
 
 use crate::cache::ShardedLru;
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::query::{ExecOpts, Query};
 use crate::registry::{Format, Registry};
+use crate::slowlog::{unix_ms_now, SlowLog, SlowLogEntry};
 
 /// Server tunables, all CLI-exposed.
 #[derive(Clone, Debug)]
@@ -78,7 +80,12 @@ impl Default for ServerConfig {
 pub struct AppState {
     pub registry: Arc<Registry>,
     pub cache: ShardedLru,
+    /// Retained traces of the slowest and most recent requests,
+    /// served at `GET /debug/slowlog`.
+    pub slowlog: SlowLog,
     pub started: Instant,
+    /// Sequence number feeding each request's deterministic trace id.
+    trace_seq: AtomicU64,
     shutdown: AtomicBool,
     max_body_bytes: usize,
     /// Connections rejected with 503 because the accept queue was full.
@@ -99,7 +106,9 @@ impl AppState {
         AppState {
             registry,
             cache: ShardedLru::new(config.cache_bytes, config.threads.max(1) * 2),
+            slowlog: SlowLog::new(),
             started: Instant::now(),
+            trace_seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             max_body_bytes: config.max_body_bytes,
             shed: AtomicU64::new(0),
@@ -298,8 +307,11 @@ pub fn start(config: &ServerConfig, registry: Arc<Registry>) -> std::io::Result<
 /// it. The helper count is bounded; past the cap a flood of connections
 /// is simply dropped (they were being shed anyway).
 fn shed_connection(state: &AppState, stream: TcpStream) {
-    state.shed.fetch_add(1, Ordering::Relaxed);
+    let shed_total = state.shed.fetch_add(1, Ordering::Relaxed) + 1;
     hgobs::counter!("serve.shed");
+    hgobs::log::warn(|| {
+        format!("shedding connection with 503: accept queue full ({shed_total} shed so far)")
+    });
     static SHEDDERS: AtomicU64 = AtomicU64::new(0);
     const MAX_SHEDDERS: u64 = 64;
     if SHEDDERS.fetch_add(1, Ordering::Relaxed) >= MAX_SHEDDERS {
@@ -353,6 +365,9 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
             Err(HttpError::Eof) => return,
             Err(HttpError::Bad { status, message }) => {
                 hgobs::counter!("serve.bad_requests");
+                if status == 408 {
+                    hgobs::log::warn(|| format!("closing slow connection with 408: {message}"));
+                }
                 let _ = Response::error(status, &message).write_to(&mut writer, true);
                 return;
             }
@@ -361,12 +376,25 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
     }
 }
 
-/// Dispatch one request to its handler, recording request counters and
-/// a per-endpoint latency histogram.
+/// Does the client want the trace block embedded in the response body?
+/// Either `?trace=1` or an `X-Trace: 1` header opts in.
+fn wants_trace(req: &Request) -> bool {
+    req.param("trace").is_some_and(|v| v == "1")
+        || req.header("x-trace").is_some_and(|v| v.trim() == "1")
+}
+
+/// Dispatch one request to its handler, recording request counters, a
+/// per-endpoint latency histogram, and a slow-query-log entry carrying
+/// the request's trace. Every response gets an `X-Trace-Id` header;
+/// `?trace=1` (or `X-Trace: 1`) additionally embeds the trace block —
+/// with `total_us` equal to the latency observation — in a 200 body.
 pub fn route(state: &AppState, req: &Request) -> Response {
     let t0 = Instant::now();
     hgobs::counter!("serve.requests");
-    let (resp, endpoint) = route_inner(state, req);
+    let seq = state.trace_seq.fetch_add(1, Ordering::Relaxed);
+    let trace = TraceCtx::new(trace_id(&[req.method.as_str(), req.path.as_str()], seq));
+    let explicit = wants_trace(req);
+    let (mut resp, endpoint) = route_inner(state, req, &trace, explicit);
     let us = t0.elapsed().as_micros() as u64;
     hgobs::record_hist(&format!("serve.latency_us.{endpoint}"), us);
     if resp.status >= 400 {
@@ -375,15 +403,58 @@ pub fn route(state: &AppState, req: &Request) -> Response {
     if resp.status == 504 {
         state.deadline_hits.fetch_add(1, Ordering::Relaxed);
         hgobs::counter!("serve.deadline_exceeded");
+        hgobs::log::warn(|| {
+            format!(
+                "deadline exceeded: {} {} answered 504 after {us}us (trace {})",
+                req.method,
+                req.path,
+                trace.id_hex()
+            )
+        });
     }
-    resp
+    let mut w = hgobs::json::JsonWriter::new();
+    trace.write_json(&mut w, Some(us));
+    let trace_json = w.finish();
+    if explicit && resp.status == 200 && resp.content_type == "application/json" {
+        if let Some(stripped) = resp.body.strip_suffix("}\n") {
+            let mut body = stripped.to_string();
+            if !body.ends_with('{') {
+                body.push(',');
+            }
+            body.push_str("\"trace\":");
+            body.push_str(&trace_json);
+            body.push_str("}\n");
+            resp.body = body;
+        }
+    }
+    // Only real work lands in the slow-query log: health/metrics
+    // polling and the log endpoint itself would drown it in noise.
+    if !matches!(endpoint, "healthz" | "metrics" | "slowlog") {
+        state.slowlog.record(SlowLogEntry {
+            id: trace.id_hex(),
+            endpoint,
+            status: resp.status,
+            total_us: us,
+            unix_ms: unix_ms_now(),
+            trace_json,
+        });
+    }
+    resp.with_header("X-Trace-Id", trace.id_hex())
 }
 
-fn route_inner(state: &AppState, req: &Request) -> (Response, &'static str) {
+fn route_inner(
+    state: &AppState,
+    req: &Request,
+    trace: &TraceCtx,
+    explicit_trace: bool,
+) -> (Response, &'static str) {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => (healthz(state), "healthz"),
         ("GET", ["metrics"]) => (metrics(state), "metrics"),
+        ("GET", ["debug", "slowlog"]) => {
+            (Response::json(200, state.slowlog.render_json()), "slowlog")
+        }
         ("GET", ["datasets"]) => (Response::json(200, state.registry.list_json()), "datasets"),
         ("POST", ["datasets"]) => (post_dataset(state, req), "post_dataset"),
         ("POST", ["admin", "shutdown"]) => {
@@ -393,14 +464,16 @@ fn route_inner(state: &AppState, req: &Request) -> (Response, &'static str) {
                 "shutdown",
             )
         }
-        ("GET", ["v1", dataset, endpoint]) => query(state, dataset, endpoint, req),
+        ("GET", ["v1", dataset, endpoint]) => {
+            query(state, dataset, endpoint, req, trace, explicit_trace)
+        }
         (_, ["healthz" | "metrics" | "v1", ..]) | (_, ["datasets"]) => (
             Response::error(405, &format!("method {} not allowed here", req.method)),
             "method_not_allowed",
         ),
         _ => (
             Response::error(404, &format!("no route for {}", req.path)),
-            "not_found",
+            "other",
         ),
     }
 }
@@ -485,6 +558,8 @@ fn query(
     dataset: &str,
     endpoint: &str,
     req: &Request,
+    trace: &TraceCtx,
+    explicit_trace: bool,
 ) -> (Response, &'static str) {
     let Some(ds) = state.registry.get(dataset) else {
         return (
@@ -498,21 +573,30 @@ fn query(
     };
     let label = q.endpoint();
     let key = format!("{}:{}", ds.cache_prefix(), q.canonical());
-    if let Some(body) = state.cache.get(&key) {
-        hgobs::counter!("serve.cache.hit");
-        return (Response::json(200, body.as_str().to_string()), label);
+    // An explicit `?trace=1` request bypasses the cache entirely (both
+    // lookup and insert): its trace block must describe the compute
+    // that produced *this* body, and the freshly traced body must not
+    // displace the cached untraced answer other clients share.
+    if !explicit_trace {
+        if let Some(body) = state.cache.get(&key) {
+            hgobs::counter!("serve.cache.hit");
+            return (Response::json(200, body.as_str().to_string()), label);
+        }
+        hgobs::counter!("serve.cache.miss");
     }
-    hgobs::counter!("serve.cache.miss");
     let opts = ExecOpts {
         deadline: state.request_deadline(req),
         parallel: ds.hypergraph.num_vertices() >= state.par_threshold,
+        trace: trace.clone(),
     };
     // Only successful bodies are cached: a 504 reflects this request's
     // budget, not the dataset, and must never mask a later answer.
     match q.run_opts(&ds.hypergraph, &opts) {
         Ok(body) => {
             let body = Arc::new(body);
-            state.cache.insert(&key, Arc::clone(&body));
+            if !explicit_trace {
+                state.cache.insert(&key, Arc::clone(&body));
+            }
             (Response::json(200, body.as_str().to_string()), label)
         }
         Err(e) => (Response::error(e.status, &e.message), label),
@@ -686,6 +770,70 @@ mod tests {
         // Explicit 0 disables the deadline for this request.
         let req = with_header(get("/v1/toy/diameter"), "x-deadline-ms", "0");
         assert!(state.request_deadline(&req).is_unlimited());
+    }
+
+    #[test]
+    fn every_response_carries_a_trace_id() {
+        let state = toy_state();
+        for path in ["/healthz", "/v1/toy/stats", "/nope"] {
+            let r = route(&state, &get(path));
+            assert!(
+                r.extra_headers
+                    .iter()
+                    .any(|(n, v)| *n == "X-Trace-Id" && v.len() == 16),
+                "{path}: {:?}",
+                r.extra_headers
+            );
+        }
+    }
+
+    #[test]
+    fn traced_query_embeds_trace_and_bypasses_cache() {
+        let state = toy_state();
+        let plain = route(&state, &get("/v1/toy/diameter"));
+        assert_eq!(plain.status, 200);
+        assert!(!plain.body.contains("\"trace\""), "{}", plain.body);
+        let traced = route(&state, &get("/v1/toy/diameter?trace=1"));
+        assert_eq!(traced.status, 200);
+        assert!(
+            traced.body.contains("\"trace\":{\"id\":\""),
+            "{}",
+            traced.body
+        );
+        assert!(traced.body.contains("\"total_us\":"), "{}", traced.body);
+        assert!(traced.body.contains("msbfs.batch"), "{}", traced.body);
+        // The plain request warmed the cache; the traced one bypassed
+        // both lookup and insert, so no hit was recorded.
+        let cs = state.cache.stats();
+        assert_eq!(cs.hits, 0, "{cs:?}");
+        assert_eq!(cs.misses, 1, "{cs:?}");
+        assert_eq!(cs.insertions, 1, "{cs:?}");
+    }
+
+    #[test]
+    fn x_trace_header_also_opts_in() {
+        let state = toy_state();
+        let req = with_header(get("/v1/toy/stats"), "x-trace", "1");
+        let r = route(&state, &req);
+        assert!(r.body.contains("\"trace\":{\"id\":\""), "{}", r.body);
+    }
+
+    #[test]
+    fn slowlog_retains_query_traces_but_not_probes() {
+        let state = toy_state();
+        let _ = route(&state, &get("/v1/toy/diameter"));
+        let _ = route(&state, &get("/healthz"));
+        let _ = route(&state, &get("/metrics"));
+        let r = route(&state, &get("/debug/slowlog"));
+        assert_eq!(r.status, 200);
+        assert!(
+            r.body.starts_with("{\"schema\":\"hg-slowlog/1\""),
+            "{}",
+            r.body
+        );
+        assert!(r.body.contains("\"endpoint\":\"diameter\""), "{}", r.body);
+        assert!(!r.body.contains("\"endpoint\":\"healthz\""), "{}", r.body);
+        assert!(!r.body.contains("\"endpoint\":\"metrics\""), "{}", r.body);
     }
 
     #[test]

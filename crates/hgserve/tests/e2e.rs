@@ -120,6 +120,52 @@ fn end_to_end_serve_loadgen_cache_and_drain() {
     assert!(body.contains("line 3"), "error should cite line 3: {body}");
     assert!(registry.get("bad").is_none(), "malformed dataset not kept");
 
+    // Acceptance: a traced diameter on the paper's Cellzome-scale
+    // dataset (sequential path: 1361 vertices sits under the parallel
+    // threshold) embeds per-phase events whose summed durations account
+    // for at least 90% of the request's recorded latency — `total_us`
+    // in the block is byte-for-byte the `serve.latency_us` observation.
+    let cellzome = proteome::cellzome::cellzome_like(proteome::cellzome::CELLZOME_SEED);
+    registry
+        .insert_text(
+            "cellzome",
+            Format::Hgr,
+            &write_hgr(&cellzome.hypergraph),
+            "e2e",
+        )
+        .expect("preload cellzome");
+    let (status, traced) = client
+        .get("/v1/cellzome/diameter?trace=1")
+        .expect("traced diameter");
+    assert_eq!(status, 200, "{traced}");
+    let header_id = client
+        .last_trace_id()
+        .expect("every response carries X-Trace-Id")
+        .to_string();
+    let block = &traced[traced.find("\"trace\":").expect("trace block embedded")..];
+    let trace = hgobs::trace::parse_trace(block).expect("trace block parses");
+    assert_eq!(trace.id, header_id, "body id matches the response header");
+    let total = trace.total_us.expect("trace carries total_us") as f64;
+    let phase_sum: u64 = trace.events.iter().map(|e| e.end_us - e.start_us).sum();
+    assert!(
+        !trace.events.is_empty()
+            && trace.events.iter().any(|e| e.phase == "msbfs.batch")
+            && phase_sum as f64 >= 0.9 * total,
+        "kernel phases must account for >=90% of the {total}us request: \
+         sum {phase_sum}us over {} events: {traced}",
+        trace.events.len()
+    );
+
+    // The traced request is retained by the slow-query log under the
+    // same id, and the endpoint answers well-formed JSON.
+    let (status, slowlog) = client.get("/debug/slowlog").expect("slowlog");
+    assert_eq!(status, 200, "{slowlog}");
+    assert!(slowlog.contains("\"schema\":\"hg-slowlog/1\""), "{slowlog}");
+    assert!(
+        slowlog.contains(&header_id),
+        "slowlog should retain trace {header_id}: {slowlog}"
+    );
+
     // Graceful shutdown with a request in flight: the uncached diameter
     // on `gen2` is dispatched, then shutdown starts; the worker must
     // finish and deliver the complete response before draining.

@@ -1,12 +1,17 @@
-//! Property test: routing a query stream through the sharded result
-//! cache must never change an answer. The cached engine replays the
-//! exact lookup/insert discipline `server::route` uses, with a budget
-//! small enough that eviction and recomputation both happen.
+//! Property tests for the serving layer:
+//!
+//! * routing a query stream through the sharded result cache must
+//!   never change an answer — the cached engine replays the exact
+//!   lookup/insert discipline `server::route` uses, with a budget
+//!   small enough that eviction and recomputation both happen;
+//! * the bucketed latency histograms behind `/metrics` must bracket
+//!   the exact order statistic of the observations within one bucket.
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
+use hgobs::HistSummary;
 use hgserve::{Query, ShardedLru};
 use hypergraph::{Hypergraph, HypergraphBuilder};
 
@@ -82,5 +87,35 @@ proptest! {
         }
         let st = cache.stats();
         prop_assert!(st.bytes <= st.capacity_bytes, "{:?}", st);
+    }
+
+    /// The bucketed histogram's p99 (and other quantiles) bracket the
+    /// exact sorted-vector order statistic within one bucket: the exact
+    /// value lies in `[lo, hi]` from `quantile_bounds`, and the bucket's
+    /// relative width is at most 50% of its lower bound — the error bar
+    /// `/metrics` consumers inherit.
+    #[test]
+    fn bucketed_quantiles_bracket_exact_order_statistic(
+        values in proptest::collection::vec(0u64..2_000_000, 1..400),
+    ) {
+        let h = HistSummary::from_values(&values);
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for &q in &[0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let (lo, hi) = h.quantile_bounds(q);
+            prop_assert!(
+                lo <= exact && exact <= hi,
+                "q={q}: exact {exact} outside bucket [{lo}, {hi}]"
+            );
+            // One-bucket bracket: relative width <= 50% of the lower
+            // bound for values past the exact-bucket range.
+            if lo >= 2 {
+                prop_assert!((hi - lo) * 2 <= lo, "q={q}: bucket [{lo}, {hi}] too wide");
+            }
+            // The point estimate never exceeds the observed max.
+            prop_assert!(h.quantile(q) <= h.max);
+        }
     }
 }

@@ -52,6 +52,7 @@ impl CsrOverlap {
     /// pairs actually generated.
     pub fn build_with(h: &Hypergraph, deadline: &Deadline) -> Result<Self, DeadlineExceeded> {
         let _span = hgobs::Span::enter("overlap.csr.build");
+        let mut tp = deadline.trace().phase("overlap.build");
         let mut pairs: Vec<(u32, u32)> = Vec::new();
         let mut generated: u64 = 0;
         let mut ticks = 0u32;
@@ -70,6 +71,7 @@ impl CsrOverlap {
             }
         }
         hgobs::counter!("overlap.csr.pairs", generated);
+        tp.add_work(generated);
         pairs.sort_unstable();
         // Run-length encode (f, g) repetitions into overlap counts.
         let mut triples: Vec<(u32, u32, u32)> = Vec::new();

@@ -261,24 +261,35 @@ pub fn decompose_from_overlap(
     deadline: &Deadline,
 ) -> Result<Decomposition, DeadlineExceeded> {
     let _span = hgobs::Span::enter("kcore.decompose");
+    let trace = deadline.trace();
     let mut p = CsrPeeler::new(h, ov);
     let mut profile: Vec<(u32, usize, usize)> = Vec::new();
     let mut core_numbers = vec![0u32; h.num_vertices()];
     let mut snapshot: Option<(Vec<bool>, Vec<bool>)> = None;
     let swept = (|| {
-        p.reduce_sweep(deadline, "kcore.decompose")?;
+        {
+            let mut tp = trace.phase("kcore.reduce");
+            p.reduce_sweep(deadline, "kcore.decompose")?;
+            tp.add_work(p.edges_deleted);
+        }
         // Survivor list, compacted at each level so seeding k+1 costs
         // O(|k-core|) rather than O(|V|).
         let mut alive_list: Vec<u32> = (0..h.num_vertices() as u32).collect();
         let mut k = 1u32;
         loop {
             hgobs::counter!("kcore.rounds");
+            // One trace event per peel level, work = vertices peeled at
+            // this level (recorded on drop even when the deadline fires
+            // mid-level, so partial traces show where the time went).
+            let mut tp = trace.phase("kcore.peel");
+            let peeled_before = p.vertices_peeled;
             p.k = k;
             alive_list.retain(|&v| p.alive_v[v as usize]);
             for &v in &alive_list {
                 p.enqueue_if_below(v as usize);
             }
             p.run(deadline, "kcore.decompose")?;
+            tp.add_work(p.vertices_peeled - peeled_before);
             alive_list.retain(|&v| p.alive_v[v as usize]);
             if alive_list.is_empty() {
                 return Ok(());
@@ -333,16 +344,24 @@ pub fn csr_kcore_with(
     let _span = hgobs::Span::enter("kcore.csr");
     hgobs::counter!("kcore.rounds");
     let ov = CsrOverlap::build_with(h, deadline)?;
+    let trace = deadline.trace();
     let mut p = CsrPeeler::new(h, ov);
     p.k = k;
     let peeled = (|| {
-        p.reduce_sweep(deadline, "kcore.csr.reduce")?;
+        {
+            let mut tp = trace.phase("kcore.reduce");
+            p.reduce_sweep(deadline, "kcore.csr.reduce")?;
+            tp.add_work(p.edges_deleted);
+        }
+        let mut tp = trace.phase("kcore.peel");
         for v in 0..h.num_vertices() {
             if p.alive_v[v] {
                 p.enqueue_if_below(v);
             }
         }
-        p.run(deadline, "kcore.csr.peel")
+        let out = p.run(deadline, "kcore.csr.peel");
+        tp.add_work(p.vertices_peeled);
+        out
     })();
     p.flush_metrics();
     peeled?;
@@ -431,6 +450,26 @@ mod tests {
         let mc = d.max_core.unwrap();
         assert_eq!(mc.k, 2);
         assert_eq!(mc.vertices, vec![VertexId(0), VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn traced_decompose_records_reduce_and_peel_phases() {
+        let h = triangle_like();
+        let trace = hgobs::TraceCtx::new(11);
+        let dl = hgobs::Deadline::none().with_trace(trace.clone());
+        let d = decompose_with(&h, &dl).unwrap();
+        let events = trace.events();
+        assert_eq!(
+            events.iter().filter(|e| e.phase == "kcore.reduce").count(),
+            1,
+            "{events:?}"
+        );
+        // One peel event per level: every profile level plus the final
+        // sweep that empties the structure.
+        let peels: Vec<_> = events.iter().filter(|e| e.phase == "kcore.peel").collect();
+        assert_eq!(peels.len(), d.profile.len() + 1, "{events:?}");
+        // Every vertex is peeled exactly once across the levels.
+        assert_eq!(peels.iter().map(|e| e.work).sum::<u64>(), 6);
     }
 
     #[test]

@@ -67,6 +67,14 @@ impl MsBfsScratch {
         }
     }
 
+    /// Bytes held by the mask buffers (three `u64`s per vertex, two per
+    /// hyperedge); what one parallel worker costs to equip.
+    pub fn bytes(&self) -> usize {
+        (self.seen.len() + self.frontier.len() + self.next.len())
+            .saturating_add(self.edge_seen.len() + self.edge_frontier.len())
+            * std::mem::size_of::<u64>()
+    }
+
     fn reset(&mut self) {
         self.seen.fill(0);
         self.frontier.fill(0);
@@ -244,8 +252,12 @@ pub fn msbfs_distance_stats_from_with(
     let mut acc = BatchStats::default();
     let mut batches = 0u64;
     let mut completed_sources = 0u64;
+    let trace = deadline.trace();
     let expired = 'sweep: {
         for batch in sources.chunks(BATCH) {
+            // The phase guard opens before the boundary check so a trace
+            // of an expired request still shows the batch that noticed.
+            let mut tp = trace.phase("msbfs.batch");
             // Batch-boundary check: inputs smaller than CHECK_INTERVAL
             // vertices might never reach the amortized tick.
             if deadline.expired() {
@@ -255,6 +267,7 @@ pub fn msbfs_distance_stats_from_with(
                 Some(b) => acc.merge(&b),
                 None => break 'sweep true,
             }
+            tp.add_work(batch.len() as u64);
             batches += 1;
             completed_sources += batch.len() as u64;
         }
@@ -290,6 +303,7 @@ pub fn msbfs_eccentricities_with(
     let mut ecc = vec![0u32; sources.len()];
     let mut batches = 0u64;
     for (b, batch) in sources.chunks(BATCH).enumerate() {
+        let mut tp = deadline.trace().phase("msbfs.batch");
         let out = &mut ecc[b * BATCH..b * BATCH + batch.len()];
         if deadline.expired()
             || msbfs_batch(h, batch, &mut scratch, deadline, &mut ticks, Some(out)).is_none()
@@ -297,6 +311,7 @@ pub fn msbfs_eccentricities_with(
             hgobs::counter!("msbfs.batches", batches);
             return Err(deadline.exceeded("msbfs", batches));
         }
+        tp.add_work(batch.len() as u64);
         batches += 1;
     }
     hgobs::counter!("msbfs.batches", batches);
@@ -429,6 +444,26 @@ mod tests {
         assert_eq!(err.work_done, 0, "{err:?}");
         let err = msbfs_eccentricities_with(&h, &[VertexId(0)], &dl).unwrap_err();
         assert_eq!(err.phase, "msbfs");
+    }
+
+    #[test]
+    fn expired_sweep_still_records_partial_trace_events() {
+        // A request that times out mid-kernel must still surface the
+        // batches it attempted: the phase guard opens before the
+        // boundary expiry check and records on drop, so the trace shows
+        // where the budget went even on the 504 path.
+        let h = big_ring(300);
+        let trace = hgobs::TraceCtx::new(42);
+        let dl = Deadline::after(Duration::ZERO).with_trace(trace.clone());
+        assert!(msbfs_distance_stats_with(&h, &dl).is_err());
+        let events = trace.events();
+        assert!(!events.is_empty(), "partial trace must not be empty");
+        assert!(
+            events.iter().all(|e| e.phase == "msbfs.batch"),
+            "{events:?}"
+        );
+        // The aborted batch completed no sources.
+        assert_eq!(events.iter().map(|e| e.work).sum::<u64>(), 0);
     }
 
     #[test]

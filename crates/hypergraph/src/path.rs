@@ -39,6 +39,7 @@ pub fn hyper_distances_with(
     source: VertexId,
     deadline: &Deadline,
 ) -> Result<Vec<u32>, DeadlineExceeded> {
+    let mut tp = deadline.trace().phase("bfs");
     // Upfront check: the amortized tick only fires every CHECK_INTERVAL
     // settled vertices, which a small graph may never reach.
     if deadline.expired() {
@@ -70,6 +71,7 @@ pub fn hyper_distances_with(
             }
         }
     }
+    tp.add_work(settled);
     hgobs::counter!("bfs.sources");
     if hgobs::enabled() {
         record_bfs_shape(&dist);

@@ -47,6 +47,9 @@ pub fn par_csr_overlap_with(
     let shard_triples: Vec<Vec<(u32, u32, u32)>> = (0..n.div_ceil(chunk))
         .into_par_iter()
         .map(|s| {
+            // One trace event per shard: the per-vertex-range unit the
+            // parallel build distributes over workers.
+            let mut tp = deadline.trace().phase("overlap.shard");
             let mut local: Vec<(u32, u32)> = Vec::new();
             for v in (s * chunk)..((s + 1) * chunk).min(n) {
                 if tripped.load(Ordering::Relaxed) || deadline.expired() {
@@ -61,6 +64,7 @@ pub fn par_csr_overlap_with(
                 }
             }
             pairs_generated.fetch_add(local.len() as u64, Ordering::Relaxed);
+            tp.add_work(local.len() as u64);
             local.sort_unstable();
             let mut triples: Vec<(u32, u32, u32)> = Vec::new();
             for (f, g) in local {

@@ -58,6 +58,10 @@ pub fn par_msbfs_distance_stats_from_with(
 ) -> Result<HyperDistanceStats, DeadlineExceeded> {
     let _span = hgobs::Span::enter("msbfs.par.sweep");
     let completed = AtomicU64::new(0);
+    // Per-batch timing feeds the `msbfs.par.batch_us` histogram — the
+    // profiling ROADMAP item 3 needs — but only pay the clock reads when
+    // someone is collecting (registry on or a request trace attached).
+    let observing = hgobs::enabled() || deadline.trace().is_enabled();
     let batches: Vec<&[VertexId]> = sources.chunks(BATCH).collect();
     let reduced = batches
         .par_iter()
@@ -68,6 +72,8 @@ pub fn par_msbfs_distance_stats_from_with(
                 let Ok(mut stats) = acc else {
                     return (scratch, Err(()));
                 };
+                let mut tp = deadline.trace().phase("msbfs.par.batch");
+                let t0 = observing.then(std::time::Instant::now);
                 // Batch-boundary check: one clock read per 64 sources
                 // keeps expiry deterministic on inputs too small for
                 // the amortized in-kernel tick to ever fire, and the
@@ -75,10 +81,19 @@ pub fn par_msbfs_distance_stats_from_with(
                 if deadline.expired() {
                     return (scratch, Err(()));
                 }
-                let (sc, ticks) = scratch.get_or_insert_with(|| (MsBfsScratch::new(h), 0u32));
+                let (sc, ticks) = scratch.get_or_insert_with(|| {
+                    let sc = MsBfsScratch::new(h);
+                    hgobs::counter!("msbfs.par.scratch_allocs");
+                    hgobs::counter!("msbfs.par.scratch_bytes", sc.bytes() as u64);
+                    (sc, 0u32)
+                });
                 match msbfs_batch(h, batch, sc, deadline, ticks, None) {
                     Some(b) => {
                         stats.merge(&b);
+                        tp.add_work(batch.len() as u64);
+                        if let Some(t0) = t0 {
+                            hgobs::hist!("msbfs.par.batch_us", t0.elapsed().as_micros() as u64);
+                        }
                         completed.fetch_add(1, Ordering::Relaxed);
                         (scratch, Ok(stats))
                     }
@@ -196,6 +211,37 @@ mod tests {
             // Ok path; the cancelled test covers expiry.
             Ok(stats) => assert_eq!(stats, par_msbfs_distance_stats(&h)),
         }
+    }
+
+    #[test]
+    fn concurrent_requests_keep_traces_isolated() {
+        // Two "requests" run the parallel sweep at the same time, each
+        // with its own TraceCtx riding its own deadline. The rayon pool
+        // is shared, so events from both interleave on the same worker
+        // threads — but each event list must see exactly its own run.
+        let h = hypergen::uniform_random_hypergraph(500, 400, 4, 5);
+        let expected_batches = 500usize.div_ceil(BATCH);
+        let results: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (1..=2u64)
+                .map(|id| {
+                    let h = &h;
+                    s.spawn(move || {
+                        let trace = hgobs::TraceCtx::new(id);
+                        let dl = Deadline::none().with_trace(trace.clone());
+                        let stats = par_msbfs_distance_stats_with(h, &dl).unwrap();
+                        (trace, stats)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (trace, _) in &results {
+            let events = trace.events();
+            assert_eq!(events.len(), expected_batches, "{events:?}");
+            assert!(events.iter().all(|e| e.phase == "msbfs.par.batch"));
+            assert_eq!(events.iter().map(|e| e.work).sum::<u64>(), 500);
+        }
+        assert_eq!(results[0].1, results[1].1);
     }
 
     #[test]
