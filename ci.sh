@@ -2,24 +2,49 @@
 # Repo CI gate: formatting, lints (warnings are errors), docs, build,
 # tests, and an end-to-end smoke test against the release binary.
 #
-#   ./ci.sh            full gate
-#   ./ci.sh --bench    release loadgen benchmark + p99 regression gate
+#   ./ci.sh                     full gate
+#   ./ci.sh --bench             release loadgen + kernel regression gates
+#   ./ci.sh --update-baselines  regenerate bench/kernels-baseline.json
+#                               and bench/serve-baseline.json
+#
+# Baseline rules (written by --update-baselines, read by --bench):
+#   * bench/kernels-baseline.json is a verbatim `hg bench --kernels`
+#     report at --reps 5: per engine the best and median of 5 timed
+#     runs are recorded, and the gates compare best-of (the minimum is
+#     the low-noise estimator for a deterministic kernel). The --bench
+#     gate allows +50% over the recorded gate_msbfs_us/gate_kcore_us:
+#     the baseline is a quiet-window noise floor, and wall-time jitter
+#     of +-35-50% between windows is routine on shared-VM runners
+#     (measured across 13 windows in EXPERIMENTS.md A8), so a tighter
+#     band flakes on noise while 50% still catches any real kernel
+#     regression of the 2x class the gates exist for. A run that trips
+#     a gate is retried once: noise spikes clear on the second attempt,
+#     real regressions fail both.
+#   * bench/serve-baseline.json stores the loadgen p99 ceiling: the
+#     steady-state p99 (400 requests, concurrency 4, warmed cache) is
+#     measured three times and the WORST pass is stored x3 for runner
+#     noise; the gate allows +25% on top. Microsecond-scale p99s swing
+#     up to 8x between windows, so a single quiet measurement would
+#     produce a ceiling that trips on the next noisy one.
+#   Regenerate on a quiet machine only, and commit the refreshed JSON
+#   together with the change that moved the numbers.
 #
 # The smoke/bench servers bind an ephemeral port (--addr 127.0.0.1:0)
 # and the scripts parse the machine-readable `ADDR=` line from the
 # server log, so parallel CI jobs never fight over a fixed port.
 set -eu
 
-cd "$(dirname "$0")"
+cd "$(dirname "$0")" || exit 1
 
-# Start `hg serve` in the background on an ephemeral port. Sets the
-# globals $ADDR (the bound address, parsed from the machine-readable
+# Start `hg serve` in the background on an ephemeral port; extra
+# arguments (e.g. --par-threshold 1 --relabel) are passed through. Sets
+# the globals $ADDR (the bound address, parsed from the machine-readable
 # `ADDR=` log line) and $SERVE_PID; the log lands in smoke.log. Must
 # not be called from a command substitution — the globals would die
 # with the subshell.
 start_server() {
     ./target/release/hg serve --addr 127.0.0.1:0 --threads 2 --cache-mb 8 \
-        --preload data/cellzome-2004.hgr >smoke.log 2>&1 &
+        "$@" --preload data/cellzome-2004.hgr >smoke.log 2>&1 &
     SERVE_PID=$!
     trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
     i=0
@@ -81,26 +106,77 @@ run_bench() {
     fi
 
     echo "==> hg bench --kernels (MS-BFS + kcore wall-time gates)"
-    ./target/release/hg bench --kernels --json BENCH_kernels.json
-    for GATE in gate_msbfs_us gate_kcore_us; do
-        KUS=$(sed -n "s/.*\"$GATE\":\([0-9]*\).*/\1/p" BENCH_kernels.json)
-        KBASE=$(sed -n "s/.*\"$GATE\":\([0-9]*\).*/\1/p" bench/kernels-baseline.json)
-        if [ -z "$KUS" ] || [ -z "$KBASE" ]; then
-            echo "cannot extract $GATE (got run='$KUS' baseline='$KBASE')" >&2
+    # One retry on gate failure: a noise spike on a shared runner clears
+    # on the second attempt, a real kernel regression fails both.
+    ATTEMPT=1
+    while :; do
+        ./target/release/hg bench --kernels --json BENCH_kernels.json
+        OVER=""
+        for GATE in gate_msbfs_us gate_kcore_us; do
+            KUS=$(sed -n "s/.*\"$GATE\":\([0-9]*\).*/\1/p" BENCH_kernels.json)
+            KBASE=$(sed -n "s/.*\"$GATE\":\([0-9]*\).*/\1/p" bench/kernels-baseline.json)
+            if [ -z "$KUS" ] || [ -z "$KBASE" ]; then
+                echo "cannot extract $GATE (got run='$KUS' baseline='$KBASE')" >&2
+                exit 1
+            fi
+            KLIMIT=$((KBASE * 150 / 100))
+            echo "bench: $GATE ${KUS}us (baseline ${KBASE}us, limit ${KLIMIT}us)"
+            if [ "$KUS" -gt "$KLIMIT" ]; then
+                OVER="$OVER $GATE=${KUS}us(>${KLIMIT}us)"
+            fi
+        done
+        if [ -z "$OVER" ]; then
+            break
+        fi
+        if [ "$ATTEMPT" -ge 2 ]; then
+            echo "BENCH FAIL: over limit on both attempts:$OVER (baseline +50%)" >&2
             exit 1
         fi
-        KLIMIT=$((KBASE * 125 / 100))
-        echo "bench: $GATE ${KUS}us (baseline ${KBASE}us, limit ${KLIMIT}us)"
-        if [ "$KUS" -gt "$KLIMIT" ]; then
-            echo "BENCH FAIL: $GATE ${KUS}us regressed >25% over baseline ${KBASE}us" >&2
-            exit 1
-        fi
+        echo "bench: over limit:$OVER — retrying once for runner noise"
+        ATTEMPT=2
     done
     echo "BENCH OK"
 }
 
+# Regenerate both checked-in baselines; see the header for the rules.
+run_update_baselines() {
+    echo "==> cargo build --release (baselines)"
+    cargo build --workspace --release -q
+
+    echo "==> regenerating bench/kernels-baseline.json (best/median of 5 reps)"
+    ./target/release/hg bench --kernels --reps 5 --json bench/kernels-baseline.json
+
+    echo "==> regenerating bench/serve-baseline.json (worst of 3 steady-state p99s, x3)"
+    start_server
+    ./target/release/hg loadgen --addr "$ADDR" --dataset cellzome-2004 \
+        --concurrency 4 --requests 100 >/dev/null
+    P99=0
+    for PASS in 1 2 3; do
+        ./target/release/hg loadgen --addr "$ADDR" --dataset cellzome-2004 \
+            --concurrency 4 --requests 400 --json BENCH_serve.json
+        PASS_P99=$(sed -n 's/.*"p99_us":\([0-9]*\).*/\1/p' BENCH_serve.json)
+        if [ -z "$PASS_P99" ]; then
+            echo "cannot extract p99_us from BENCH_serve.json (pass $PASS)" >&2
+            exit 1
+        fi
+        [ "$PASS_P99" -gt "$P99" ] && P99=$PASS_P99
+    done
+    stop_server
+    rm -f smoke.log
+    CEIL=$((P99 * 3))
+    printf '{"schema":"hg-loadgen-baseline/1","note":"p99 latency ceiling for ci.sh --bench; worst of 3 measured steady-state p99s (%sus) stored x3 for runner noise (regenerated by ci.sh --update-baselines)","dataset":"cellzome-2004","concurrency":4,"requests":400,"p99_us":%s}\n' \
+        "$P99" "$CEIL" >bench/serve-baseline.json
+    GATE_MSBFS=$(sed -n 's/.*"gate_msbfs_us":\([0-9]*\).*/\1/p' bench/kernels-baseline.json)
+    GATE_KCORE=$(sed -n 's/.*"gate_kcore_us":\([0-9]*\).*/\1/p' bench/kernels-baseline.json)
+    echo "baselines updated: gate_msbfs_us=${GATE_MSBFS} gate_kcore_us=${GATE_KCORE} p99_us=${CEIL}"
+}
+
 if [ "${1:-}" = "--bench" ]; then
     run_bench
+    exit 0
+fi
+if [ "${1:-}" = "--update-baselines" ]; then
+    run_update_baselines
     exit 0
 fi
 
@@ -167,5 +243,34 @@ curl -sf "http://$ADDR/debug/slowlog" | grep -q '"schema":"hg-slowlog/1"' || {
 stop_server
 rm -f smoke.log
 echo "smoke OK (cache hits: $HITS, deadline probe: $CODE, bucket series: $BUCKETS)"
+
+echo "==> hgserve smoke (kernel counters under --par-threshold 1 --relabel)"
+# Force parallel routing on the small dataset and store it relabeled:
+# two uncached diameter sweeps (the second bypasses the cache via
+# ?trace=1) must surface the MS-BFS sparsity-sweep counters and the
+# parcore scratch-arena reuse counters in /metrics.
+start_server --par-threshold 1 --relabel
+curl -sf "http://$ADDR/datasets" | grep -q '"relabeled":true' || {
+    echo "expected /datasets to report the preload as relabeled"
+    exit 1
+}
+curl -sf "http://$ADDR/v1/cellzome-2004/diameter" >/dev/null
+curl -sf "http://$ADDR/v1/cellzome-2004/diameter?trace=1" >/dev/null
+METRICS=$(curl -sf "http://$ADDR/metrics")
+SWEEPS=$(printf '%s\n' "$METRICS" | grep -c '^hg_msbfs_sweep_' || true)
+[ "${SWEEPS:-0}" -ge 1 ] || {
+    echo "expected hg_msbfs_sweep_* counters in /metrics, got $SWEEPS"
+    printf '%s\n' "$METRICS" | grep '^hg_' || true
+    exit 1
+}
+SCRATCH=$(printf '%s\n' "$METRICS" | awk '$1 == "hg_msbfs_par_scratch_reused_total" { print $2 }')
+[ "${SCRATCH:-0}" -ge 1 ] || {
+    echo "expected hg_msbfs_par_scratch_reused_total >= 1, got ${SCRATCH:-none}"
+    printf '%s\n' "$METRICS" | grep '^hg_msbfs' || true
+    exit 1
+}
+stop_server
+rm -f smoke.log
+echo "kernel-counter smoke OK (sweep series: $SWEEPS, scratch reuses: $SCRATCH)"
 
 echo "CI OK"

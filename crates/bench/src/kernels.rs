@@ -27,6 +27,11 @@ pub struct KernelBenchConfig {
     /// Path to a Cellzome `.hgr` file; when unreadable the benchmark
     /// falls back to the deterministic `proteome::cellzome_like` twin.
     pub cellzome_path: Option<String>,
+    /// Renumber each dataset's vertices in BFS discovery order before
+    /// timing (default), matching what `hg serve --relabel` does at
+    /// load. Distance statistics and core depths are label-invariant,
+    /// so baselines stay comparable; `--no-relabel` opts out.
+    pub relabel: bool,
 }
 
 impl Default for KernelBenchConfig {
@@ -35,6 +40,7 @@ impl Default for KernelBenchConfig {
             reps: 3,
             scale: 6_000,
             cellzome_path: Some("data/cellzome-2004.hgr".to_string()),
+            relabel: true,
         }
     }
 }
@@ -97,6 +103,8 @@ impl DatasetResult {
 /// Full report of one benchmark run.
 pub struct KernelBenchReport {
     pub reps: usize,
+    /// Whether datasets were BFS-relabeled before timing.
+    pub relabel: bool,
     pub datasets: Vec<DatasetResult>,
     /// Best MS-BFS time on the scaled instance, in microseconds: the
     /// single number `ci.sh --bench` gates at +25% over baseline.
@@ -113,6 +121,8 @@ impl KernelBenchReport {
         w.begin_object();
         w.key("schema").string("hg-kernels/1");
         w.key("reps").uint(self.reps as u64);
+        w.key("relabel")
+            .raw(if self.relabel { "true" } else { "false" });
         w.key("gate_msbfs_us").uint(self.gate_msbfs_us);
         w.key("gate_kcore_us").uint(self.gate_kcore_us);
         w.key("datasets").begin_array();
@@ -281,13 +291,19 @@ pub const SCALED_SEED: u64 = 41;
 
 /// Run the kernel benchmark: Cellzome plus a hypergen-scaled instance.
 pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport, String> {
-    let cellzome = cfg
+    let mut cellzome = cfg
         .cellzome_path
         .as_deref()
         .and_then(|p| std::fs::read_to_string(p).ok())
         .and_then(|text| hypergraph::io::read_hgr(&text).ok())
         .unwrap_or_else(|| proteome::cellzome_like(proteome::CELLZOME_SEED).hypergraph);
-    let scaled = hypergen::uniform_random_hypergraph(cfg.scale, cfg.scale * 3 / 4, 5, SCALED_SEED);
+    let mut scaled =
+        hypergen::uniform_random_hypergraph(cfg.scale, cfg.scale * 3 / 4, 5, SCALED_SEED);
+    if cfg.relabel {
+        for h in [&mut cellzome, &mut scaled] {
+            *h = hypergraph::Relabeling::bfs_order(h).apply(h);
+        }
+    }
 
     let datasets = vec![
         bench_dataset("cellzome-2004", &cellzome, cfg.reps)?,
@@ -300,6 +316,7 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport, String> {
         .ok_or("scaled dataset missing kcore_decompose timing")?;
     Ok(KernelBenchReport {
         reps: cfg.reps,
+        relabel: cfg.relabel,
         datasets,
         gate_msbfs_us,
         gate_kcore_us,
@@ -315,6 +332,7 @@ mod tests {
             reps: 1,
             scale: 300,
             cellzome_path: None,
+            relabel: true,
         }
     }
 

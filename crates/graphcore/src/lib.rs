@@ -32,6 +32,7 @@
 //! ```
 
 pub mod bfs;
+pub mod bitset;
 pub mod builder;
 pub mod centrality;
 pub mod clustering;

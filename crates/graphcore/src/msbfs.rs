@@ -1,42 +1,84 @@
-//! Batched multi-source BFS (MS-BFS) on plain graphs — the same u64
-//! bitmask batching as `hypergraph::msbfs`, mirrored here so the DIP
+//! Batched multi-source BFS (MS-BFS) on plain graphs — the same
+//! wide-mask batching as `hypergraph::msbfs`, mirrored here so the DIP
 //! PPI baselines and the bipartite-view sweeps benefit too.
 //!
-//! Each node carries a `u64` "seen" mask and a frontier mask; one pass
-//! over the CSR adjacency advances up to [`BATCH`] BFS traversals at
-//! once, and distance statistics are accumulated per level without ever
-//! materializing per-source distance vectors. Results are bit-identical
-//! to [`crate::bfs::distance_stats_sampled`], the scalar oracle.
+//! Each node carries a [`bitset::Lane`] — interleaved `seen` and
+//! current-frontier [`bitset::Mask`]s, one 64-byte cache line — plus a
+//! next-frontier mask in a separate array (a plain graph has no
+//! vertex/hyperedge alternation to absorb the next level into, so the
+//! current and next frontiers must stay distinct within a level). One
+//! pass over the CSR adjacency advances up to [`BATCH`] BFS traversals
+//! at once; word-level summary bitmaps drive both the expansion and the
+//! settle pass, so sparse levels skip all-zero stretches without
+//! touching them (tallied into the `graph.msbfs.sweep.*` counters).
+//! Distance statistics are accumulated per level without ever
+//! materializing per-source distance vectors; the integer accumulators
+//! make them bit-identical to [`crate::bfs::distance_stats_sampled`],
+//! the scalar oracle, independent of batch width or visit order.
 
 use hgobs::{Deadline, DeadlineExceeded};
 
 use crate::bfs::DistanceStats;
+use crate::bitset;
 use crate::graph::{Graph, NodeId};
 
-/// Sources advanced per traversal: the width of the `u64` masks.
-pub const BATCH: usize = 64;
+/// Sources advanced per traversal: the bit width of a [`bitset::Mask`].
+pub const BATCH: usize = bitset::LANE_BITS;
 
-/// Reusable per-traversal mask buffers (one allocation per worker).
+/// Reusable per-traversal mask buffers (one allocation per worker). A
+/// batch that ran to completion leaves every frontier mask and summary
+/// zero, so the next batch only re-zeroes the lanes.
 pub struct GraphMsBfsScratch {
-    seen: Vec<u64>,
-    frontier: Vec<u64>,
-    next: Vec<u64>,
+    /// Per-node interleaved (seen, current-frontier) masks.
+    lanes: Vec<bitset::Lane>,
+    /// Next-level frontier masks, settled into the lanes between levels.
+    next: Vec<bitset::Mask>,
+    /// Summary of the current frontier: bit `v` ⟺ `lanes[v].front != 0`.
+    fsum: Vec<u64>,
+    /// Summary of the next frontier: bit `v` ⟺ `next[v] != 0`.
+    nsum: Vec<u64>,
+    /// `true` while frontier masks and summaries are provably all-zero.
+    clean: bool,
+    counters: bitset::DrainStats,
 }
 
 impl GraphMsBfsScratch {
     /// Allocate scratch sized for `g`.
     pub fn new(g: &Graph) -> Self {
         GraphMsBfsScratch {
-            seen: vec![0; g.num_nodes()],
-            frontier: vec![0; g.num_nodes()],
-            next: vec![0; g.num_nodes()],
+            lanes: vec![bitset::Lane::ZERO; g.num_nodes()],
+            next: vec![bitset::MASK_ZERO; g.num_nodes()],
+            fsum: vec![0; bitset::words_for(g.num_nodes())],
+            nsum: vec![0; bitset::words_for(g.num_nodes())],
+            clean: true,
+            counters: bitset::DrainStats::default(),
         }
     }
 
-    fn reset(&mut self) {
-        self.seen.fill(0);
-        self.frontier.fill(0);
-        self.next.fill(0);
+    /// Flush the accumulated sparsity telemetry into the global
+    /// `graph.msbfs.sweep.*` counters.
+    pub fn flush_counters(&mut self) {
+        let c = std::mem::take(&mut self.counters);
+        if c.sparse_passes != 0 {
+            hgobs::counter!("graph.msbfs.sweep.sparse_passes", c.sparse_passes);
+        }
+        if c.dense_passes != 0 {
+            hgobs::counter!("graph.msbfs.sweep.dense_passes", c.dense_passes);
+        }
+        if c.words_skipped != 0 {
+            hgobs::counter!("graph.msbfs.sweep.words_skipped", c.words_skipped);
+        }
+    }
+
+    /// Ready the masks for a fresh batch; cheap after a clean run.
+    fn prepare(&mut self) {
+        self.lanes.fill(bitset::Lane::ZERO);
+        if !self.clean {
+            self.next.fill(bitset::MASK_ZERO);
+            self.fsum.fill(0);
+            self.nsum.fill(0);
+        }
+        self.clean = false;
     }
 }
 
@@ -50,51 +92,131 @@ fn msbfs_graph_batch(
     deadline: &Deadline,
     ticks: &mut u32,
 ) -> Option<(u32, u128, u64)> {
-    assert!(batch.len() <= BATCH, "batch wider than the u64 masks");
-    scratch.reset();
-    for (i, &s) in batch.iter().enumerate() {
-        let bit = 1u64 << i;
-        scratch.seen[s.index()] |= bit;
-        scratch.frontier[s.index()] |= bit;
+    assert!(batch.len() <= BATCH, "batch wider than the masks");
+    if batch.is_empty() {
+        return Some((0, 0, 0));
     }
-    let n = g.num_nodes();
+    scratch.prepare();
+    let GraphMsBfsScratch {
+        lanes,
+        next,
+        fsum,
+        nsum,
+        clean,
+        counters,
+    } = scratch;
+    for (i, &s) in batch.iter().enumerate() {
+        let lane = &mut lanes[s.index()];
+        lane.seen[i >> 6] |= 1u64 << (i & 63);
+        lane.front[i >> 6] |= 1u64 << (i & 63);
+        bitset::mark(fsum, s.index());
+    }
     let (mut diameter, mut total, mut pairs) = (0u32, 0u128, 0u64);
     let mut level = 0u32;
-    let mut active = !batch.is_empty();
-    while active {
+    loop {
+        let fscan = bitset::scan_active(fsum);
+        if fscan.2 == 0 {
+            break;
+        }
         level += 1;
-        for v in 0..n {
+        // Expand the current frontier into `next`. This drain is
+        // hand-rolled rather than [`bitset::drain_level`] because the
+        // expansion writes neighbor lanes in the *same* array it is
+        // draining (no vertex/hyperedge alternation here). Delivery is
+        // branchless: ORing a zero `add` and shifting a zero summary
+        // bit are no-ops that avoid the randomly mispredicted
+        // `add != 0` branch and keep the independent cache probes in
+        // flight. `seen` is updated as masks land, so `popcount(add)`
+        // counts each newly reached (source, node) pair exactly once.
+        let mut level_pairs = 0u64;
+        let mut expand = |lanes: &mut [bitset::Lane], next: &mut [bitset::Mask], v: usize| {
             if deadline.tick(ticks) {
-                return None;
+                return false;
             }
-            let fv = scratch.frontier[v];
-            if fv == 0 {
-                continue;
-            }
+            let fv = lanes[v].front;
+            lanes[v].front = bitset::MASK_ZERO;
             for &w in g.neighbors(NodeId(v as u32)) {
-                let add = fv & !scratch.seen[w.index()];
-                if add != 0 {
-                    scratch.seen[w.index()] |= add;
-                    scratch.next[w.index()] |= add;
+                let wi = w.index();
+                let add = lanes[wi].fresh(&fv);
+                for (acc, a) in lanes[wi].seen.iter_mut().zip(&add) {
+                    *acc |= a;
+                }
+                bitset::mask_or_into(&mut next[wi], &add);
+                nsum[wi >> 6] |= ((!bitset::mask_is_zero(&add)) as u64) << (wi & 63);
+                level_pairs += bitset::mask_count(&add);
+            }
+            true
+        };
+        let (lo, hi, active) = fscan;
+        if bitset::is_dense(lo, hi, active) {
+            counters.dense_passes += 1;
+            for v in (lo << 6)..((hi << 6).min(lanes.len())) {
+                if bitset::mask_is_zero(&lanes[v].front) {
+                    continue;
+                }
+                if !expand(lanes, next, v) {
+                    return None;
+                }
+            }
+            fsum[lo..hi].fill(0);
+        } else {
+            counters.sparse_passes += 1;
+            counters.words_skipped += (hi - lo - active) as u64;
+            for (w, word) in fsum.iter_mut().enumerate().take(hi).skip(lo) {
+                let mut sw = *word;
+                if sw == 0 {
+                    continue;
+                }
+                *word = 0;
+                while sw != 0 {
+                    let v = (w << 6) | sw.trailing_zeros() as usize;
+                    sw &= sw - 1;
+                    if !expand(lanes, next, v) {
+                        return None;
+                    }
                 }
             }
         }
-        active = false;
-        for v in 0..n {
-            let nv = scratch.next[v];
-            scratch.frontier[v] = nv;
-            scratch.next[v] = 0;
-            if nv != 0 {
-                active = true;
-                let c = nv.count_ones() as u64;
-                pairs += c;
-                total += c as u128 * level as u128;
+        if level_pairs != 0 {
+            diameter = level;
+            pairs += level_pairs;
+            total += level_pairs as u128 * level as u128;
+        }
+        // Settle: move `next` into the lane frontiers for the coming
+        // level. Sequential, summary-driven, and consuming — `next` and
+        // its summary are all-zero again afterwards.
+        let nscan = bitset::scan_active(nsum);
+        if bitset::is_dense(nscan.0, nscan.1, nscan.2) {
+            counters.dense_passes += 1;
+            for i in (nscan.0 << 6)..((nscan.1 << 6).min(next.len())) {
+                let m = next[i];
+                next[i] = bitset::MASK_ZERO;
+                lanes[i].front = m;
+                fsum[i >> 6] |= ((!bitset::mask_is_zero(&m)) as u64) << (i & 63);
+            }
+            nsum[nscan.0..nscan.1].fill(0);
+        } else {
+            counters.sparse_passes += 1;
+            counters.words_skipped += (nscan.1 - nscan.0 - nscan.2) as u64;
+            for w in nscan.0..nscan.1 {
+                let mut sw = nsum[w];
+                if sw == 0 {
+                    continue;
+                }
+                nsum[w] = 0;
+                fsum[w] = sw;
+                while sw != 0 {
+                    let i = (w << 6) | sw.trailing_zeros() as usize;
+                    sw &= sw - 1;
+                    lanes[i].front = next[i];
+                    next[i] = bitset::MASK_ZERO;
+                }
             }
         }
-        if active {
-            diameter = level;
-        }
     }
+    // The final level found nothing: frontier, next and both summaries
+    // are all-zero, so the next batch can skip re-zeroing them.
+    *clean = true;
     Some((diameter, total, pairs))
 }
 
@@ -164,6 +286,7 @@ pub fn msbfs_distance_stats_from_with(
         }
         false
     };
+    scratch.flush_counters();
     hgobs::counter!("graph.msbfs.batches", batches);
     hgobs::counter!("graph.bfs.sources", completed_sources);
     if expired {
@@ -198,7 +321,8 @@ mod tests {
 
     #[test]
     fn matches_scalar_on_ring_across_batches() {
-        let g = ring(150);
+        // More nodes than one batch (256), so the chunking is exercised.
+        let g = ring(600);
         let all: Vec<NodeId> = g.nodes().collect();
         assert_eq!(msbfs_distance_stats(&g), distance_stats_sampled(&g, &all));
     }
@@ -230,6 +354,56 @@ mod tests {
         assert_eq!(
             msbfs_distance_stats_from(&g, &some),
             distance_stats_sampled(&g, &some)
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_across_batches_is_clean() {
+        // Back-to-back batches on one scratch must not leak frontier
+        // state: identical to fresh-scratch-per-batch sweeps.
+        let g = ring(600);
+        let sources: Vec<NodeId> = g.nodes().collect();
+        let mut shared = GraphMsBfsScratch::new(&g);
+        let mut ticks = 0u32;
+        for batch in sources.chunks(BATCH) {
+            let with_shared =
+                msbfs_graph_batch(&g, batch, &mut shared, &Deadline::none(), &mut ticks).unwrap();
+            let mut fresh = GraphMsBfsScratch::new(&g);
+            let with_fresh =
+                msbfs_graph_batch(&g, batch, &mut fresh, &Deadline::none(), &mut ticks).unwrap();
+            assert_eq!(with_shared, with_fresh);
+        }
+    }
+
+    #[test]
+    fn dirty_scratch_after_abort_still_matches_scalar() {
+        // Zero-budget aborts poison the scratch; the clean flag must
+        // force a full re-zero on the next batch.
+        let g = ring(600);
+        let sources: Vec<NodeId> = g.nodes().collect();
+        let mut scratch = GraphMsBfsScratch::new(&g);
+        let mut ticks = 0u32;
+        let gone = Deadline::after(Duration::ZERO);
+        let mut aborted = false;
+        for batch in sources.chunks(BATCH) {
+            aborted |= msbfs_graph_batch(&g, batch, &mut scratch, &gone, &mut ticks).is_none();
+        }
+        assert!(aborted, "zero budget must abort at least one batch");
+        let (mut diameter, mut total, mut pairs) = (0u32, 0u128, 0u64);
+        for batch in sources.chunks(BATCH) {
+            let (d, t, p) =
+                msbfs_graph_batch(&g, batch, &mut scratch, &Deadline::none(), &mut ticks).unwrap();
+            diameter = diameter.max(d);
+            total += t;
+            pairs += p;
+        }
+        let all: Vec<NodeId> = g.nodes().collect();
+        let expect = distance_stats_sampled(&g, &all);
+        assert_eq!(diameter, expect.diameter);
+        assert_eq!(pairs, expect.reachable_pairs);
+        assert_eq!(
+            (total as f64 / pairs as f64).to_bits(),
+            expect.average_path_length.to_bits()
         );
     }
 

@@ -38,7 +38,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par] [--profile]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE]\n  hg export-pajek <file.hgr> -o <base>\n  hg serve [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--deadline-ms MS]\n           [--queue N] [--preload FILE...]\n  hg loadgen [--addr HOST:PORT] [--dataset NAME] [--concurrency N]\n             [--requests N] [--mix stats=3,kcore=1,...] [--deadline-ms MS]\n             [--json FILE]\n  hg trace <trace.json>   pretty-print a saved request trace\n  hg bench --kernels [--json FILE] [--reps N] [--scale N] [--cellzome FILE]\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
+    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par] [--profile]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE]\n  hg export-pajek <file.hgr> -o <base>\n  hg serve [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--deadline-ms MS]\n           [--queue N] [--par-threshold N] [--relabel] [--preload FILE...]\n  hg loadgen [--addr HOST:PORT] [--dataset NAME] [--concurrency N]\n             [--requests N] [--mix stats=3,kcore=1,...] [--deadline-ms MS]\n             [--json FILE]\n  hg trace <trace.json>   pretty-print a saved request trace\n  hg bench --kernels [--json FILE] [--reps N] [--scale N] [--cellzome FILE]\n           [--no-relabel]\n  hg bench --delta <baseline.json> <current.json>   markdown delta table\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
 }
 
 fn run(args: &[String]) -> Result<String, String> {
@@ -576,6 +576,8 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
     let (cache_mb, rest) = take_opt(&rest, "--cache-mb")?;
     let (deadline_ms, rest) = take_opt(&rest, "--deadline-ms")?;
     let (queue, rest) = take_opt(&rest, "--queue")?;
+    let (par_threshold, rest) = take_opt(&rest, "--par-threshold")?;
+    let (relabel, rest) = take_switch(&rest, "--relabel");
     // `--preload` is an optional marker; every remaining positional
     // argument is a dataset file to load at startup.
     let (_, preload) = take_switch(&rest, "--preload");
@@ -603,8 +605,11 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
             return Err("--queue must be >= 1".to_string());
         }
     }
+    if let Some(p) = par_threshold {
+        config.par_threshold = p.parse().map_err(|e| format!("bad --par-threshold: {e}"))?;
+    }
 
-    let registry = std::sync::Arc::new(hgserve::Registry::new());
+    let registry = std::sync::Arc::new(hgserve::Registry::with_relabeling(relabel));
     for path in &preload {
         let ds = registry.load_file(path)?;
         eprintln!(
@@ -744,14 +749,25 @@ fn render_trace(t: &hgobs::trace::ParsedTrace) -> String {
 }
 
 fn cmd_bench(args: &[String]) -> Result<String, String> {
-    let (kernels, rest) = take_switch(args, "--kernels");
+    let (delta, rest) = take_switch(args, "--delta");
+    if delta {
+        // `hg bench --delta BASE CURRENT`: markdown delta table for CI.
+        let [base, cur] = rest.as_slice() else {
+            return Err("--delta takes exactly two files: baseline.json current.json".to_string());
+        };
+        let read =
+            |p: &String| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+        return bench::render_delta(&read(base)?, &read(cur)?);
+    }
+    let (kernels, rest) = take_switch(&rest, "--kernels");
     if !kernels {
-        return Err("bench requires --kernels (the only mode so far)".to_string());
+        return Err("bench requires --kernels or --delta".to_string());
     }
     let (json_out, rest) = take_opt(&rest, "--json")?;
     let (reps, rest) = take_opt(&rest, "--reps")?;
     let (scale, rest) = take_opt(&rest, "--scale")?;
     let (cellzome, rest) = take_opt(&rest, "--cellzome")?;
+    let (no_relabel, rest) = take_switch(&rest, "--no-relabel");
     if let Some(extra) = rest.first() {
         return Err(format!("unexpected argument `{extra}`"));
     }
@@ -769,6 +785,7 @@ fn cmd_bench(args: &[String]) -> Result<String, String> {
     if let Some(p) = cellzome {
         cfg.cellzome_path = Some(p);
     }
+    cfg.relabel = !no_relabel;
 
     let report = bench::kernels::run(&cfg)?;
     if let Some(path) = json_out {

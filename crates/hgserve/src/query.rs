@@ -5,9 +5,11 @@
 //! `&Hypergraph` and returns the JSON body. The equivalence proptest
 //! (cache-on vs cache-off) and the CLI reuse it directly.
 
+use std::sync::Arc;
+
 use hgobs::json::JsonWriter;
 use hgobs::{Deadline, DeadlineExceeded, TraceCtx};
-use hypergraph::{Hypergraph, VertexId};
+use hypergraph::{Hypergraph, Relabeling, VertexId};
 
 /// A parsed, validated analytics query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -75,6 +77,12 @@ pub struct ExecOpts {
     /// this request's event list without per-kernel plumbing. The
     /// default is disabled: a branch per phase, no allocation.
     pub trace: TraceCtx,
+    /// Set when the dataset was stored under a BFS-order vertex
+    /// relabeling (`hg serve --relabel`): incoming 1-based ids are
+    /// mapped into the internal order and id-bearing responses
+    /// (`kcore`, `cover`) are mapped back, so clients always speak the
+    /// original numbering.
+    pub relabel: Option<Arc<Relabeling>>,
 }
 
 /// Endpoint names servable under `/v1/{dataset}/…`, in docs order.
@@ -171,6 +179,7 @@ impl Query {
             deadline: opts.deadline.clone().with_trace(opts.trace.clone()),
             parallel: opts.parallel,
             trace: opts.trace.clone(),
+            relabel: opts.relabel.clone(),
         };
         let opts = &opts;
         let mut w = JsonWriter::new();
@@ -184,7 +193,7 @@ impl Query {
             Query::Distance { from, to } => run_distance(h, *from, *to, opts, &mut w)?,
             Query::Diameter => run_diameter(h, opts, &mut w)?,
             Query::PowerLaw => run_powerlaw(h, &mut w),
-            Query::Cover => run_cover(h, &mut w)?,
+            Query::Cover => run_cover(h, opts, &mut w)?,
         }
         w.end_object();
         let mut body = w.finish();
@@ -193,15 +202,23 @@ impl Query {
     }
 }
 
-/// Resolve a 1-based external vertex id against `h`.
-fn vertex(h: &Hypergraph, id: u32, name: &str) -> Result<VertexId, QueryError> {
+/// Resolve a 1-based external vertex id against `h`, translating into
+/// the internal numbering when the dataset is stored relabeled.
+fn vertex(h: &Hypergraph, id: u32, name: &str, opts: &ExecOpts) -> Result<VertexId, QueryError> {
     if id == 0 || id as usize > h.num_vertices() {
         return Err(QueryError::bad(format!(
             "`{name}`={id} out of range 1..={}",
             h.num_vertices()
         )));
     }
-    Ok(VertexId(id - 1))
+    let v = VertexId(id - 1);
+    Ok(opts.relabel.as_ref().map_or(v, |r| r.new_vertex(v)))
+}
+
+/// The 1-based external id of internal vertex `v`.
+fn external_id(v: VertexId, opts: &ExecOpts) -> u64 {
+    let v = opts.relabel.as_ref().map_or(v, |r| r.original_vertex(v));
+    v.0 as u64 + 1
 }
 
 fn run_stats(h: &Hypergraph, w: &mut JsonWriter) {
@@ -244,9 +261,17 @@ fn run_degrees(h: &Hypergraph, w: &mut JsonWriter) {
 fn run_components(h: &Hypergraph, w: &mut JsonWriter) {
     let cc = hypergraph::hypergraph_components(h);
     w.key("count").uint(cc.count() as u64);
-    // Largest-first, deterministic tiebreak on the original index.
+    // Largest-first; the hyperedge-count tiebreak keeps the order
+    // label-invariant (components equal in both counts are
+    // indistinguishable here), so relabeled datasets serve the same
+    // body as unrelabeled ones.
     let mut order: Vec<usize> = (0..cc.summary.len()).collect();
-    order.sort_by_key(|&i| (std::cmp::Reverse(cc.summary[i].num_vertices), i));
+    order.sort_by_key(|&i| {
+        (
+            std::cmp::Reverse(cc.summary[i].num_vertices),
+            std::cmp::Reverse(cc.summary[i].num_edges),
+        )
+    });
     w.key("components").begin_array();
     for i in order {
         w.begin_object();
@@ -279,9 +304,14 @@ fn run_kcore(
             w.key("vertices").uint(c.vertices.len() as u64);
             w.key("hyperedges").uint(c.edges.len() as u64);
             w.key("pins").uint(c.sub.num_pins() as u64);
+            // External ids, ascending: unmapping a relabeled dataset
+            // scrambles the internal order, so sort after translation
+            // (a no-op for unrelabeled datasets, already ascending).
+            let mut ids: Vec<u64> = c.vertices.iter().map(|&v| external_id(v, opts)).collect();
+            ids.sort_unstable();
             w.key("vertex_ids").begin_array();
-            for v in &c.vertices {
-                w.uint(v.0 as u64 + 1);
+            for id in ids {
+                w.uint(id);
             }
             w.end_array();
         }
@@ -303,8 +333,8 @@ fn run_distance(
     opts: &ExecOpts,
     w: &mut JsonWriter,
 ) -> Result<(), QueryError> {
-    let s = vertex(h, from, "from")?;
-    let t = vertex(h, to, "to")?;
+    let s = vertex(h, from, "from", opts)?;
+    let t = vertex(h, to, "to", opts)?;
     let dist = hypergraph::hyper_distances_with(h, s, &opts.deadline)?;
     w.key("from").uint(from as u64);
     w.key("to").uint(to as u64);
@@ -350,15 +380,19 @@ fn run_powerlaw(h: &Hypergraph, w: &mut JsonWriter) {
     }
 }
 
-fn run_cover(h: &Hypergraph, w: &mut JsonWriter) -> Result<(), QueryError> {
+fn run_cover(h: &Hypergraph, opts: &ExecOpts, w: &mut JsonWriter) -> Result<(), QueryError> {
+    // Greedy tie-breaks on internal vertex id, so a relabeled dataset
+    // may pick a different (equally sized, equally valid) cover than
+    // the same data unrelabeled; ids are emitted in selection order,
+    // translated back to the client's numbering.
     let cover = hypergraph::greedy_vertex_cover(h, |_| 1.0)
         .map_err(|e| QueryError::bad(format!("cover failed: {e}")))?;
     w.key("size").uint(cover.vertices.len() as u64);
     w.key("total_weight").float(cover.total_weight);
     w.key("average_degree").float(cover.average_degree(h));
     w.key("vertex_ids").begin_array();
-    for v in &cover.vertices {
-        w.uint(v.0 as u64 + 1);
+    for &v in &cover.vertices {
+        w.uint(external_id(v, opts));
     }
     w.end_array();
     Ok(())
@@ -528,6 +562,60 @@ mod tests {
         for q in [Query::Diameter, Query::KCore { k: Some(1) }] {
             assert_eq!(q.run(&h).unwrap(), q.run_opts(&h, &par).unwrap(), "{q:?}");
         }
+    }
+
+    #[test]
+    fn relabeled_dataset_answers_match_the_plain_dataset() {
+        // A registry with relabeling on stores a permuted hypergraph;
+        // the ExecOpts mapping must make that invisible to clients:
+        // every endpoint except cover (greedy tie-breaks on internal
+        // ids) returns byte-identical bodies.
+        use crate::registry::{Format, Registry};
+        // Four components plus an isolated vertex. The 4-5-6 component
+        // ties the 1-2-3 chain on vertex count but holds the highest-
+        // degree vertex, so BFS relabeling seeds it first and flips the
+        // component discovery order — the shape that exposes any
+        // label-dependent ordering in the response. The 7-8 / 9-10
+        // pairs are fully tied and thus indistinguishable.
+        const HGR: &str = "8 11\n1 2\n2 3\n4 5\n4 6\n5 6\n4 5\n7 8\n9 10\n";
+        let plain = Registry::new()
+            .insert_text("t", Format::Hgr, HGR, "upload")
+            .unwrap();
+        let relabeled = Registry::with_relabeling(true)
+            .insert_text("t", Format::Hgr, HGR, "upload")
+            .unwrap();
+        let r = relabeled.relabeling.clone().expect("mapping stored");
+        assert!(plain.relabeling.is_none());
+        // The permutation is real: some vertex moved.
+        assert!(
+            (0..5).any(|i| r.new_vertex(VertexId(i)) != VertexId(i)),
+            "relabeling collapsed to identity"
+        );
+
+        let opts = ExecOpts {
+            relabel: Some(r),
+            ..ExecOpts::default()
+        };
+        for q in [
+            Query::Stats,
+            Query::Degrees,
+            Query::Components,
+            Query::KCore { k: Some(1) },
+            Query::KCore { k: None },
+            Query::Distance { from: 1, to: 3 },
+            Query::Diameter,
+            Query::PowerLaw,
+        ] {
+            assert_eq!(
+                q.run(&plain.hypergraph).unwrap(),
+                q.run_opts(&relabeled.hypergraph, &opts).unwrap(),
+                "{q:?}"
+            );
+        }
+        // Cover stays a valid cover of the same size even if the tie
+        // broken set differs.
+        let body = Query::Cover.run_opts(&relabeled.hypergraph, &opts).unwrap();
+        assert!(body.contains("\"size\":"), "{body}");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
-use hypergraph::Hypergraph;
+use hypergraph::{Hypergraph, Relabeling};
 
 /// Input formats the registry can parse.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,6 +51,11 @@ pub struct Dataset {
     pub hypergraph: Hypergraph,
     /// Provenance: `file:<path>` or `upload`.
     pub source: String,
+    /// When the registry runs with relabeling (`hg serve --relabel`),
+    /// `hypergraph` stores vertices in BFS discovery order for
+    /// cache-local kernel sweeps and this mapping translates ids at the
+    /// response boundary. `None` means ids are stored as submitted.
+    pub relabeling: Option<Arc<Relabeling>>,
 }
 
 impl Dataset {
@@ -64,6 +69,8 @@ impl Dataset {
 #[derive(Default)]
 pub struct Registry {
     inner: RwLock<HashMap<String, Arc<Dataset>>>,
+    /// Apply a BFS-order vertex relabeling to every dataset at load.
+    relabel: bool,
 }
 
 /// Parse `text` in `format` into a hypergraph. Error strings are
@@ -93,6 +100,18 @@ impl Registry {
         Registry::default()
     }
 
+    /// A registry that relabels every dataset at load: vertices are
+    /// renumbered in BFS discovery order (seeded from the highest-degree
+    /// vertex) so CSR neighbor runs are cache-local for MS-BFS and the
+    /// k-core peel. External 1-based ids are translated back at the
+    /// query boundary via [`Dataset::relabeling`].
+    pub fn with_relabeling(relabel: bool) -> Self {
+        Registry {
+            relabel,
+            ..Registry::default()
+        }
+    }
+
     /// Register `text` under `name`, replacing (and epoch-bumping) any
     /// existing dataset of that name.
     pub fn insert_text(
@@ -111,7 +130,14 @@ impl Registry {
                 "invalid dataset name `{name}` (use [A-Za-z0-9._-]+)"
             ));
         }
-        let hypergraph = parse_text(format, text)?;
+        let parsed = parse_text(format, text)?;
+        let (hypergraph, relabeling) = if self.relabel && parsed.num_vertices() > 0 {
+            let r = Relabeling::bfs_order(&parsed);
+            let relabeled = r.apply(&parsed);
+            (relabeled, Some(Arc::new(r)))
+        } else {
+            (parsed, None)
+        };
         let mut inner = self.inner.write().unwrap();
         let epoch = inner.get(name).map_or(0, |d| d.epoch + 1);
         let ds = Arc::new(Dataset {
@@ -119,6 +145,7 @@ impl Registry {
             epoch,
             hypergraph,
             source: source.to_string(),
+            relabeling,
         });
         inner.insert(name.to_string(), Arc::clone(&ds));
         Ok(ds)
@@ -171,6 +198,11 @@ impl Registry {
                 w.key("pins").uint(d.hypergraph.num_pins() as u64);
                 w.key("storage_bytes")
                     .uint(d.hypergraph.storage_bytes() as u64);
+                w.key("relabeled").raw(if d.relabeling.is_some() {
+                    "true"
+                } else {
+                    "false"
+                });
                 w.key("source").string(&d.source);
                 w.end_object();
             }

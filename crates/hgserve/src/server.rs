@@ -588,6 +588,7 @@ fn query(
         deadline: state.request_deadline(req),
         parallel: ds.hypergraph.num_vertices() >= state.par_threshold,
         trace: trace.clone(),
+        relabel: ds.relabeling.clone(),
     };
     // Only successful bodies are cached: a 504 reflects this request's
     // budget, not the dataset, and must never mask a later answer.

@@ -166,16 +166,22 @@ impl<'h> CsrPeeler<'h> {
         self.scratch = alive_edges;
     }
 
-    /// Initial sweep: make the hypergraph reduced before peeling. Per-edge
-    /// work is bounded, so a plain [`Deadline::expired`] check per edge
-    /// keeps overshoot to one edge's worth of work.
+    /// Initial sweep: make the hypergraph reduced before peeling. One
+    /// clock read at entry catches pre-expired deadlines with zero work;
+    /// inside the loop the amortized [`Deadline::tick`] reads the clock
+    /// only every [`hgobs::CHECK_INTERVAL`] edges, so the per-edge cost
+    /// is a counter increment instead of a syscall-backed clock read.
     fn reduce_sweep(
         &mut self,
         deadline: &Deadline,
+        ticks: &mut u32,
         phase: &'static str,
     ) -> Result<(), DeadlineExceeded> {
+        if deadline.expired() {
+            return Err(deadline.exceeded(phase, self.edges_deleted));
+        }
         for f in 0..self.h.num_edges() {
-            if deadline.expired() {
+            if deadline.tick(ticks) {
                 return Err(deadline.exceeded(phase, self.edges_deleted));
             }
             if self.alive_e[f] && self.is_non_maximal(f) {
@@ -195,10 +201,22 @@ impl<'h> CsrPeeler<'h> {
 
     /// Run peeling to fixpoint. On expiry the error's `work_done` is the
     /// total number of vertices peeled so far (across levels, for the
-    /// incremental sweep).
-    fn run(&mut self, deadline: &Deadline, phase: &'static str) -> Result<(), DeadlineExceeded> {
+    /// incremental sweep). Same check structure as
+    /// [`CsrPeeler::reduce_sweep`]: one clock read at entry, amortized
+    /// ticks per peeled vertex — the caller-owned counter carries across
+    /// levels, so a cascade of tiny levels still reads the clock only
+    /// every [`hgobs::CHECK_INTERVAL`] vertices overall.
+    fn run(
+        &mut self,
+        deadline: &Deadline,
+        ticks: &mut u32,
+        phase: &'static str,
+    ) -> Result<(), DeadlineExceeded> {
+        if deadline.expired() {
+            return Err(deadline.exceeded(phase, self.vertices_peeled));
+        }
         while let Some(v) = self.queue.pop() {
-            if deadline.expired() {
+            if deadline.tick(ticks) {
                 return Err(deadline.exceeded(phase, self.vertices_peeled));
             }
             let v = v as usize;
@@ -263,13 +281,14 @@ pub fn decompose_from_overlap(
     let _span = hgobs::Span::enter("kcore.decompose");
     let trace = deadline.trace();
     let mut p = CsrPeeler::new(h, ov);
+    let mut ticks = 0u32;
     let mut profile: Vec<(u32, usize, usize)> = Vec::new();
     let mut core_numbers = vec![0u32; h.num_vertices()];
     let mut snapshot: Option<(Vec<bool>, Vec<bool>)> = None;
     let swept = (|| {
         {
             let mut tp = trace.phase("kcore.reduce");
-            p.reduce_sweep(deadline, "kcore.decompose")?;
+            p.reduce_sweep(deadline, &mut ticks, "kcore.decompose")?;
             tp.add_work(p.edges_deleted);
         }
         // Survivor list, compacted at each level so seeding k+1 costs
@@ -288,7 +307,7 @@ pub fn decompose_from_overlap(
             for &v in &alive_list {
                 p.enqueue_if_below(v as usize);
             }
-            p.run(deadline, "kcore.decompose")?;
+            p.run(deadline, &mut ticks, "kcore.decompose")?;
             tp.add_work(p.vertices_peeled - peeled_before);
             alive_list.retain(|&v| p.alive_v[v as usize]);
             if alive_list.is_empty() {
@@ -346,11 +365,12 @@ pub fn csr_kcore_with(
     let ov = CsrOverlap::build_with(h, deadline)?;
     let trace = deadline.trace();
     let mut p = CsrPeeler::new(h, ov);
+    let mut ticks = 0u32;
     p.k = k;
     let peeled = (|| {
         {
             let mut tp = trace.phase("kcore.reduce");
-            p.reduce_sweep(deadline, "kcore.csr.reduce")?;
+            p.reduce_sweep(deadline, &mut ticks, "kcore.csr.reduce")?;
             tp.add_work(p.edges_deleted);
         }
         let mut tp = trace.phase("kcore.peel");
@@ -359,7 +379,7 @@ pub fn csr_kcore_with(
                 p.enqueue_if_below(v);
             }
         }
-        let out = p.run(deadline, "kcore.csr.peel");
+        let out = p.run(deadline, &mut ticks, "kcore.csr.peel");
         tp.add_work(p.vertices_peeled);
         out
     })();

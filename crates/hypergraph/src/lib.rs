@@ -71,6 +71,7 @@ pub mod path;
 pub mod powerlaw;
 pub mod projections;
 pub mod reduce;
+pub mod relabel;
 pub mod smallworld;
 pub mod validate;
 
@@ -108,6 +109,7 @@ pub use path::{
 pub use powerlaw::{fit_power_law, PowerLawFit};
 pub use projections::{clique_expansion, intersection_graph, star_expansion, SpaceReport};
 pub use reduce::{non_maximal_edges, reduce};
+pub use relabel::Relabeling;
 pub use smallworld::{
     report_from_distances, small_world_report, small_world_report_sampled,
     small_world_report_sampled_with, small_world_report_with, SmallWorldReport,

@@ -11,6 +11,27 @@
 //! instead of once per *source*, cutting memory traffic by up to 64× on
 //! exactly the kernels hgserve exposes under deadlines.
 //!
+//! # Memory layout of one level
+//!
+//! Each level is two *consuming* passes, with no settle pass in between:
+//!
+//! 1. **vertex → hyperedge**: every frontier vertex hands its mask to
+//!    the incident hyperedges it has not traversed yet, zeroing its own
+//!    frontier word as it is expanded;
+//! 2. **hyperedge → vertex**: every entered hyperedge hands its mask to
+//!    its unseen pins, writing the *next* frontier directly into the
+//!    (now empty) vertex frontier and absorbing the newly reached
+//!    (source, vertex) pairs into the accumulators on the spot.
+//!
+//! Both passes are driven by word-level summary bitmaps
+//! ([`graphcore::bitset`]): bit `v` of the summary is set exactly when
+//! frontier word `v` is nonzero, so a level only ever touches its active
+//! words. A flat watermark scan ([`graphcore::bitset::scan_active`])
+//! picks the strategy per level — sparse levels walk summary bits and
+//! skip all-zero stretches outright, dense levels scan the watermark
+//! range flat — and the skipped-word / pass-mode tallies surface as
+//! `msbfs.sweep.*` counters (see [`MsBfsScratch::flush_counters`]).
+//!
 //! Distances are never materialized as an n×n matrix: when a vertex is
 //! newly reached at level `d` by `c` sources, the running
 //! [`HyperDistanceStats`] accumulators absorb `c` pairs of distance `d`
@@ -21,69 +42,126 @@
 //! Results are bit-identical to the scalar oracle
 //! ([`crate::path::scalar_hyper_distance_stats_from_with`]): both count
 //! BFS levels of the bipartite expansion, and the accumulators are
-//! integers, so even the `f64` average is reproduced exactly.
+//! integers (`u64` pair counts, `u128` distance total), so the sum is
+//! independent of accumulation order and even the `f64` average is
+//! reproduced exactly.
 //!
 //! Every sweep has a `*_with` variant taking an [`hgobs::Deadline`] with
 //! the same amortized-tick contract as the scalar sweeps; expiry surfaces
 //! phase `"msbfs"` and the number of *batches* fully completed.
 
+use graphcore::bitset;
 use hgobs::{Deadline, DeadlineExceeded};
 
 use crate::hypergraph::{EdgeId, Hypergraph, VertexId};
 use crate::path::HyperDistanceStats;
 
-/// Sources advanced per traversal: the width of the `u64` masks. One
-/// machine word per vertex/hyperedge keeps the scratch at 24 bytes per
-/// vertex and 16 per hyperedge — small enough to stay cache-resident for
-/// the Cellzome-scale inputs while amortizing the CSR scan 64 ways.
-pub const BATCH: usize = 64;
+/// Sources advanced per traversal: the bit width of a
+/// [`bitset::Mask`]. One 64-byte lane per vertex/hyperedge means a
+/// random expansion probe still costs a single cache line while
+/// amortizing the CSR scan — and every probe's memory latency — across
+/// 256 sources at once.
+pub const BATCH: usize = bitset::LANE_BITS;
 
-/// Reusable per-traversal mask buffers. One allocation per worker, reset
-/// in O(|V| + |F|) per batch — the same cost the scalar sweep pays per
-/// *source*.
+/// Reusable per-traversal mask buffers. One allocation per worker; a
+/// batch that ran to completion leaves every frontier mask and summary
+/// zero (both passes consume what they read), so the next batch only
+/// re-zeroes the `seen` halves of the lanes instead of the whole
+/// scratch.
 pub struct MsBfsScratch {
-    /// Per-vertex: bit `i` set once source `i` has reached the vertex.
-    seen: Vec<u64>,
-    /// Per-vertex: sources whose frontier contains the vertex this level.
-    frontier: Vec<u64>,
-    /// Per-vertex: sources that newly reach the vertex at the next level.
-    next: Vec<u64>,
-    /// Per-hyperedge: sources that have already traversed the hyperedge.
-    edge_seen: Vec<u64>,
-    /// Per-hyperedge: sources whose frontier entered the hyperedge this
-    /// level. Cleared as the hyperedge is expanded.
-    edge_frontier: Vec<u64>,
+    /// Per-vertex interleaved (seen, frontier) masks: one random cache
+    /// line per expansion probe instead of two.
+    vlanes: Vec<bitset::Lane>,
+    /// Per-hyperedge interleaved (traversed, entered-this-level) masks.
+    elanes: Vec<bitset::Lane>,
+    /// Summary of the vertex frontier: bit `v` set ⟺ `vlanes[v].front != 0`.
+    vsum: Vec<u64>,
+    /// Summary of the hyperedge frontier, same invariant.
+    esum: Vec<u64>,
+    /// Bit `v` set while `vlanes[v].seen` is still missing some source
+    /// of the current batch — the pull direction's worklist.
+    vunsat: Vec<u64>,
+    /// Same for hyperedges.
+    eunsat: Vec<u64>,
+    /// `true` while the mask invariants above hold (every batch so far
+    /// ran to completion); a deadline abort mid-pass clears it, forcing
+    /// the next batch to re-zero everything.
+    clean: bool,
+    counters: bitset::DrainStats,
 }
 
 impl MsBfsScratch {
     /// Allocate scratch sized for `h`.
     pub fn new(h: &Hypergraph) -> Self {
         MsBfsScratch {
-            seen: vec![0; h.num_vertices()],
-            frontier: vec![0; h.num_vertices()],
-            next: vec![0; h.num_vertices()],
-            edge_seen: vec![0; h.num_edges()],
-            edge_frontier: vec![0; h.num_edges()],
+            vlanes: vec![bitset::Lane::ZERO; h.num_vertices()],
+            elanes: vec![bitset::Lane::ZERO; h.num_edges()],
+            vsum: vec![0; bitset::words_for(h.num_vertices())],
+            esum: vec![0; bitset::words_for(h.num_edges())],
+            vunsat: vec![0; bitset::words_for(h.num_vertices())],
+            eunsat: vec![0; bitset::words_for(h.num_edges())],
+            clean: true,
+            counters: bitset::DrainStats::default(),
         }
     }
 
-    /// Bytes held by the mask buffers (three `u64`s per vertex, two per
-    /// hyperedge); what one parallel worker costs to equip.
+    /// Bytes held by the mask buffers (one 64-byte lane per vertex and
+    /// per hyperedge, plus the 1/64-size summaries); what one parallel
+    /// worker costs to equip.
     pub fn bytes(&self) -> usize {
-        (self.seen.len() + self.frontier.len() + self.next.len())
-            .saturating_add(self.edge_seen.len() + self.edge_frontier.len())
-            * std::mem::size_of::<u64>()
+        (self.vlanes.len() + self.elanes.len()) * std::mem::size_of::<bitset::Lane>()
+            + (self.vsum.len() + self.esum.len() + self.vunsat.len() + self.eunsat.len())
+                * std::mem::size_of::<u64>()
     }
 
-    fn reset(&mut self) {
-        self.seen.fill(0);
-        self.frontier.fill(0);
-        // `next` and `edge_frontier` are restored to all-zero by the
-        // traversal itself (promote pass / expansion pass), but a fresh
-        // scratch must not rely on a previous batch having completed.
-        self.next.fill(0);
-        self.edge_seen.fill(0);
-        self.edge_frontier.fill(0);
+    /// `true` when this scratch was sized for a hypergraph of `h`'s
+    /// dimensions and can run batches over it.
+    pub fn fits(&self, h: &Hypergraph) -> bool {
+        self.vlanes.len() == h.num_vertices() && self.elanes.len() == h.num_edges()
+    }
+
+    /// Flush the accumulated sparsity telemetry into the global
+    /// counters: `msbfs.sweep.sparse_passes`, `msbfs.sweep.dense_passes`
+    /// and `msbfs.sweep.words_skipped` (all-zero summary words skipped
+    /// without touching their 64 mask words). The sweep entry points
+    /// call this once per sweep; callers driving [`msbfs_batch`]
+    /// directly may call it whenever a scrape boundary makes sense.
+    pub fn flush_counters(&mut self) {
+        let c = std::mem::take(&mut self.counters);
+        if c.sparse_passes != 0 {
+            hgobs::counter!("msbfs.sweep.sparse_passes", c.sparse_passes);
+        }
+        if c.dense_passes != 0 {
+            hgobs::counter!("msbfs.sweep.dense_passes", c.dense_passes);
+        }
+        if c.words_skipped != 0 {
+            hgobs::counter!("msbfs.sweep.words_skipped", c.words_skipped);
+        }
+        if c.pull_passes != 0 {
+            hgobs::counter!("msbfs.sweep.pull_passes", c.pull_passes);
+        }
+    }
+
+    /// The sparsity telemetry accumulated since the last
+    /// [`flush_counters`](Self::flush_counters) — lets tests and callers
+    /// driving [`msbfs_batch`] directly verify which sweep strategies
+    /// (sparse bit walk, dense flat scan, pull direction) engaged
+    /// without going through the global metrics registry.
+    pub fn sweep_counters(&self) -> &bitset::DrainStats {
+        &self.counters
+    }
+
+    /// Ready the masks for a fresh batch. A clean scratch — freshly
+    /// allocated, or left by a completed batch — has all-zero frontier
+    /// masks and summaries already; only the `seen` halves carry state.
+    fn prepare(&mut self) {
+        self.vlanes.fill(bitset::Lane::ZERO);
+        self.elanes.fill(bitset::Lane::ZERO);
+        if !self.clean {
+            self.vsum.fill(0);
+            self.esum.fill(0);
+        }
+        self.clean = false;
     }
 }
 
@@ -112,7 +190,24 @@ impl BatchStats {
 /// eccentricities into `ecc[i]` for batch slot `i`). Returns `None` when
 /// the deadline fires mid-traversal; `ticks` is the caller's amortized
 /// tick counter, shared across batches so the clock is read every
-/// [`hgobs::CHECK_INTERVAL`] scanned vertices regardless of batch size.
+/// [`hgobs::CHECK_INTERVAL`] expanded vertices/hyperedges regardless of
+/// batch size.
+///
+/// Each level runs its two expansions in whichever direction is
+/// cheaper, decided from flat popcount sweeps of the summaries:
+///
+/// * **push** — drain the frontier, writing masks into the neighbors'
+///   lanes (best while the frontier is small);
+/// * **pull** — walk the *unsaturated* entries (those still missing a
+///   source, tracked in a summary of their own) and gather their
+///   neighbors' frontier masks with pure loads, skipping saturated
+///   entries outright (best on the late dense levels, where push would
+///   probe mostly-saturated lanes for nothing).
+///
+/// Both directions produce the same per-level set of newly reached
+/// (source, vertex) pairs, and the integer accumulators make the
+/// statistics independent of discovery order, so the result is
+/// bit-identical either way.
 ///
 /// # Panics
 /// If `batch.len() > BATCH` or `ecc` is shorter than `batch`.
@@ -125,83 +220,192 @@ pub fn msbfs_batch(
     mut ecc: Option<&mut [u32]>,
 ) -> Option<BatchStats> {
     assert!(batch.len() <= BATCH, "batch wider than the u64 masks");
-    scratch.reset();
-    for (i, &s) in batch.iter().enumerate() {
-        let bit = 1u64 << i;
-        scratch.seen[s.index()] |= bit;
-        scratch.frontier[s.index()] |= bit;
-    }
     if let Some(e) = ecc.as_deref_mut() {
         e[..batch.len()].fill(0);
     }
-
+    if batch.is_empty() {
+        return Some(BatchStats::default());
+    }
+    scratch.prepare();
     let n = h.num_vertices();
+    let m = h.num_edges();
+    let MsBfsScratch {
+        vlanes,
+        elanes,
+        vsum,
+        esum,
+        vunsat,
+        eunsat,
+        clean,
+        counters,
+    } = scratch;
+    // All sources present ⟺ lane saturated; nothing left to deliver.
+    let full = bitset::mask_full(batch.len());
+    bitset::fill_all(vunsat, n);
+    bitset::fill_all(eunsat, m);
+    for (i, &s) in batch.iter().enumerate() {
+        let lane = &mut vlanes[s.index()];
+        lane.seen[i >> 6] |= 1u64 << (i & 63);
+        lane.front[i >> 6] |= 1u64 << (i & 63);
+        bitset::mark(vsum, s.index());
+    }
+
     let mut stats = BatchStats::default();
     let mut level = 0u32;
-    let mut active = !batch.is_empty();
-    while active {
+    loop {
+        let vscan = bitset::scan_active(vsum);
+        if vscan.2 == 0 {
+            break;
+        }
         level += 1;
-        // Vertex → hyperedge expansion: every frontier source enters each
-        // incident hyperedge it has not traversed yet.
-        for v in 0..n {
-            if deadline.tick(ticks) {
+
+        // ---- Pass 1: vertex frontier → hyperedge frontier ----
+        // Push cost ≈ frontier vertices × avg degree; pull cost ≈
+        // unsaturated hyperedges × avg size. Equalized denominators:
+        // compare frontier_bits/n against unsat_bits/m.
+        let vactive_bits = bitset::count_bits(vsum);
+        let eunsat_bits = bitset::count_bits(eunsat);
+        if eunsat_bits * n as u64 >= vactive_bits * m as u64 {
+            // Push. The loop body is branchless on purpose: `add` is
+            // often zero mid-sweep and an `if add != 0` there
+            // mispredicts randomly, flushing the pipeline and
+            // serializing the independent cache probes this loop lives
+            // or dies by. ORing a zero `add`, shifting a zero summary
+            // bit and clearing an already-clear unsat bit are no-ops
+            // that cost nothing but keep the loads in flight.
+            let ok = bitset::drain_level(vsum, vlanes, vscan, counters, |v, fv| {
+                if deadline.tick(ticks) {
+                    return false;
+                }
+                for &f in h.edges_of(VertexId(v as u32)) {
+                    let fi = f.index();
+                    let lane = &mut elanes[fi];
+                    let add = lane.fresh(&fv);
+                    lane.absorb(&add);
+                    esum[fi >> 6] |= ((!bitset::mask_is_zero(&add)) as u64) << (fi & 63);
+                    eunsat[fi >> 6] &= !((lane.saturated(&full) as u64) << (fi & 63));
+                }
+                true
+            });
+            if !ok {
                 return None;
             }
-            let fv = scratch.frontier[v];
-            if fv == 0 {
-                continue;
-            }
-            for &f in h.edges_of(VertexId(v as u32)) {
-                let add = fv & !scratch.edge_seen[f.index()];
-                if add != 0 {
-                    scratch.edge_seen[f.index()] |= add;
-                    scratch.edge_frontier[f.index()] |= add;
-                }
-            }
-        }
-        // Hyperedge → vertex expansion: entered hyperedges hand their
-        // source masks to unseen pins; the edge frontier is consumed.
-        for f in 0..h.num_edges() {
-            let ff = scratch.edge_frontier[f];
-            if ff == 0 {
-                continue;
-            }
-            scratch.edge_frontier[f] = 0;
-            for &w in h.pins(EdgeId(f as u32)) {
-                let add = ff & !scratch.seen[w.index()];
-                if add != 0 {
-                    scratch.seen[w.index()] |= add;
-                    scratch.next[w.index()] |= add;
-                }
-            }
-        }
-        // Settle the level: absorb newly reached (source, vertex) pairs
-        // into the accumulators and promote `next` to the new frontier.
-        active = false;
-        let mut level_bits = 0u64;
-        for v in 0..n {
-            let nv = scratch.next[v];
-            scratch.frontier[v] = nv;
-            scratch.next[v] = 0;
-            if nv != 0 {
-                active = true;
-                level_bits |= nv;
-                let c = nv.count_ones() as u64;
-                stats.pairs += c;
-                stats.total += c as u128 * level as u128;
-            }
-        }
-        if active {
-            stats.diameter = level;
-            if let Some(e) = ecc.as_deref_mut() {
-                let mut bits = level_bits;
+        } else {
+            // Pull: gather the pins' frontier masks of every hyperedge
+            // that can still accept a source; saturated hyperedges are
+            // skipped without a probe. Reads leave the frontier intact,
+            // so it is drained (cheaply, no expansion) afterwards.
+            counters.pull_passes += 1;
+            for w in 0..eunsat.len() {
+                let mut bits = eunsat[w];
+                let mut still = bits;
                 while bits != 0 {
-                    e[bits.trailing_zeros() as usize] = level;
+                    let fi = (w << 6) | bits.trailing_zeros() as usize;
                     bits &= bits - 1;
+                    if deadline.tick(ticks) {
+                        return None;
+                    }
+                    let mut gather = bitset::MASK_ZERO;
+                    for &p in h.pins(EdgeId(fi as u32)) {
+                        bitset::mask_or_into(&mut gather, &vlanes[p.index()].front);
+                    }
+                    let lane = &mut elanes[fi];
+                    let add = lane.fresh(&gather);
+                    lane.absorb(&add);
+                    esum[w] |= ((!bitset::mask_is_zero(&add)) as u64) << (fi & 63);
+                    still &= !((lane.saturated(&full) as u64) << (fi & 63));
+                }
+                eunsat[w] = still;
+            }
+            // Consume the vertex frontier the pull left behind.
+            if !bitset::drain_level(vsum, vlanes, vscan, counters, |_, _| true) {
+                unreachable!("clearing drain never aborts");
+            }
+        }
+
+        // ---- Pass 2: hyperedge frontier → next vertex frontier ----
+        let escan = bitset::scan_active(esum);
+        let mut level_pairs = 0u64;
+        let mut level_bits = bitset::MASK_ZERO;
+        if escan.2 != 0 {
+            let eactive_bits = bitset::count_bits(esum);
+            let vunsat_bits = bitset::count_bits(vunsat);
+            if vunsat_bits * m as u64 >= eactive_bits * n as u64 {
+                // Push, branchless as above. `seen` is updated as masks
+                // land, so summing `popcount(add)` counts each newly
+                // reached (source, vertex) pair exactly once no matter
+                // how many hyperedges deliver it.
+                let ok = bitset::drain_level(esum, elanes, escan, counters, |f, ff| {
+                    if deadline.tick(ticks) {
+                        return false;
+                    }
+                    for &w in h.pins(EdgeId(f as u32)) {
+                        let wi = w.index();
+                        let lane = &mut vlanes[wi];
+                        let add = lane.fresh(&ff);
+                        lane.absorb(&add);
+                        vsum[wi >> 6] |= ((!bitset::mask_is_zero(&add)) as u64) << (wi & 63);
+                        vunsat[wi >> 6] &= !((lane.saturated(&full) as u64) << (wi & 63));
+                        bitset::mask_or_into(&mut level_bits, &add);
+                        level_pairs += bitset::mask_count(&add);
+                    }
+                    true
+                });
+                if !ok {
+                    return None;
+                }
+            } else {
+                // Pull over unsaturated vertices; the union of incident
+                // hyperedge frontiers is the same mask push would have
+                // delivered piecewise.
+                counters.pull_passes += 1;
+                for w in 0..vunsat.len() {
+                    let mut bits = vunsat[w];
+                    let mut still = bits;
+                    while bits != 0 {
+                        let wi = (w << 6) | bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        if deadline.tick(ticks) {
+                            return None;
+                        }
+                        let mut gather = bitset::MASK_ZERO;
+                        for &f in h.edges_of(VertexId(wi as u32)) {
+                            bitset::mask_or_into(&mut gather, &elanes[f.index()].front);
+                        }
+                        let lane = &mut vlanes[wi];
+                        let add = lane.fresh(&gather);
+                        lane.absorb(&add);
+                        vsum[w] |= ((!bitset::mask_is_zero(&add)) as u64) << (wi & 63);
+                        still &= !((lane.saturated(&full) as u64) << (wi & 63));
+                        bitset::mask_or_into(&mut level_bits, &add);
+                        level_pairs += bitset::mask_count(&add);
+                    }
+                    vunsat[w] = still;
+                }
+                // Consume the hyperedge frontier the pull read from.
+                if !bitset::drain_level(esum, elanes, escan, counters, |_, _| true) {
+                    unreachable!("clearing drain never aborts");
+                }
+            }
+        }
+        if level_pairs != 0 {
+            stats.diameter = level;
+            stats.pairs += level_pairs;
+            stats.total += level_pairs as u128 * level as u128;
+            if let Some(e) = ecc.as_deref_mut() {
+                for (w, &word) in level_bits.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        e[(w << 6) | bits.trailing_zeros() as usize] = level;
+                        bits &= bits - 1;
+                    }
                 }
             }
         }
     }
+    // Both passes consumed everything they read, so the frontier masks
+    // and summaries are all-zero again: the next batch may skip them.
+    *clean = true;
     Some(stats)
 }
 
@@ -237,7 +441,7 @@ pub fn msbfs_distance_stats_from(h: &Hypergraph, sources: &[VertexId]) -> HyperD
 
 /// [`msbfs_distance_stats_from`] under a cooperative [`Deadline`],
 /// checked both at batch boundaries (deterministic on small inputs) and
-/// every [`hgobs::CHECK_INTERVAL`] scanned vertices inside a batch. On
+/// every [`hgobs::CHECK_INTERVAL`] expanded vertices inside a batch. On
 /// expiry the error carries phase `"msbfs"` and the number of batches
 /// completed; the `msbfs.batches` and `bfs.sources` counters reflect
 /// that same partial progress on both the success and expiry paths.
@@ -273,6 +477,7 @@ pub fn msbfs_distance_stats_from_with(
         }
         false
     };
+    scratch.flush_counters();
     hgobs::counter!("msbfs.batches", batches);
     hgobs::counter!("bfs.sources", completed_sources);
     if expired {
@@ -308,12 +513,14 @@ pub fn msbfs_eccentricities_with(
         if deadline.expired()
             || msbfs_batch(h, batch, &mut scratch, deadline, &mut ticks, Some(out)).is_none()
         {
+            scratch.flush_counters();
             hgobs::counter!("msbfs.batches", batches);
             return Err(deadline.exceeded("msbfs", batches));
         }
         tp.add_work(batch.len() as u64);
         batches += 1;
     }
+    scratch.flush_counters();
     hgobs::counter!("msbfs.batches", batches);
     Ok(ecc)
 }
@@ -366,8 +573,8 @@ mod tests {
 
     #[test]
     fn matches_scalar_across_batch_boundary() {
-        // 200 sources = 4 batches (64+64+64+8).
-        let h = big_ring(200);
+        // 600 sources = 3 batches (256+256+88).
+        let h = big_ring(600);
         assert_eq!(msbfs_distance_stats(&h), scalar_hyper_distance_stats(&h));
     }
 
@@ -410,6 +617,52 @@ mod tests {
             msbfs_distance_stats(&single),
             scalar_hyper_distance_stats(&single)
         );
+    }
+
+    #[test]
+    fn dirty_scratch_after_abort_still_matches_scalar() {
+        // A deadline abort mid-pass leaves the masks half-consumed; the
+        // clean flag must force the next batch to re-zero everything.
+        let h = big_ring(600);
+        let mut scratch = MsBfsScratch::new(&h);
+        let mut ticks = 0u32;
+        let sources: Vec<VertexId> = h.vertices().collect();
+        let gone = Deadline::after(Duration::ZERO);
+        let mut aborted = false;
+        for batch in sources.chunks(BATCH) {
+            aborted |= msbfs_batch(&h, batch, &mut scratch, &gone, &mut ticks, None).is_none();
+        }
+        assert!(aborted, "zero budget must abort at least one batch");
+        // Reuse the same (possibly poisoned) scratch for a full sweep.
+        let mut acc = BatchStats::default();
+        for batch in sources.chunks(BATCH) {
+            let b = msbfs_batch(&h, batch, &mut scratch, &Deadline::none(), &mut ticks, None)
+                .expect("unlimited deadline");
+            acc.merge(&b);
+        }
+        assert_eq!(stats_from_acc(acc), scalar_hyper_distance_stats(&h));
+    }
+
+    #[test]
+    fn scratch_reuse_across_batches_is_clean() {
+        // Back-to-back batches on one scratch must not leak frontier
+        // state: identical to a fresh-scratch-per-batch run.
+        let h = big_ring(600);
+        let sources: Vec<VertexId> = h.vertices().collect();
+        let mut shared = MsBfsScratch::new(&h);
+        let mut ticks = 0u32;
+        let mut with_shared = BatchStats::default();
+        let mut with_fresh = BatchStats::default();
+        for batch in sources.chunks(BATCH) {
+            let b =
+                msbfs_batch(&h, batch, &mut shared, &Deadline::none(), &mut ticks, None).unwrap();
+            with_shared.merge(&b);
+            let mut fresh = MsBfsScratch::new(&h);
+            let b =
+                msbfs_batch(&h, batch, &mut fresh, &Deadline::none(), &mut ticks, None).unwrap();
+            with_fresh.merge(&b);
+        }
+        assert_eq!(with_shared, with_fresh);
     }
 
     #[test]
@@ -477,15 +730,16 @@ mod tests {
 
     #[test]
     fn deadline_can_fire_mid_sweep_with_partial_batch_count() {
-        // 6000 vertices = 94 batches; walk the budget up until a stop
-        // lands mid-sweep (or the box finishes inside the budget, which
-        // the pre-expired test covers).
+        // Enough vertices for many batches; walk the budget up until a
+        // stop lands mid-sweep (or the box finishes inside the budget,
+        // which the pre-expired test covers).
         let h = big_ring(6000);
+        let nb = 6000u64.div_ceil(BATCH as u64);
         for ms in [1u64, 2, 4, 8, 16, 32, 64] {
             match msbfs_distance_stats_with(&h, &Deadline::after_ms(ms)) {
                 Err(err) => {
                     assert_eq!(err.phase, "msbfs");
-                    assert!(err.work_done < 94, "{err:?}");
+                    assert!(err.work_done < nb, "{err:?}");
                     if err.work_done > 0 {
                         return;
                     }

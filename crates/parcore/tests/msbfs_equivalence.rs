@@ -141,7 +141,7 @@ fn mid_sweep_expiry_reports_partial_batch_count() {
             b.add_edge([i, i + 1]);
         }
         let h = b.build();
-        let total_batches = (n as u64).div_ceil(64);
+        let total_batches = (n as u64).div_ceil(hypergraph::BATCH as u64);
         let err = match parcore::par_msbfs_distance_stats_with(&h, &Deadline::after_ms(3)) {
             Err(e) => e,
             Ok(_) => continue,
