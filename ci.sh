@@ -3,9 +3,10 @@
 # tests, and an end-to-end smoke test against the release binary.
 #
 #   ./ci.sh                     full gate
-#   ./ci.sh --bench             release loadgen + kernel regression gates
-#   ./ci.sh --update-baselines  regenerate bench/kernels-baseline.json
-#                               and bench/serve-baseline.json
+#   ./ci.sh --bench             release loadgen + kernel + cold-load gates
+#   ./ci.sh --update-baselines  regenerate bench/kernels-baseline.json,
+#                               bench/serve-baseline.json and
+#                               bench/load-baseline.json
 #
 # Baseline rules (written by --update-baselines, read by --bench):
 #   * bench/kernels-baseline.json is a verbatim `hg bench --kernels`
@@ -26,6 +27,14 @@
 #     noise; the gate allows +25% on top. Microsecond-scale p99s swing
 #     up to 8x between windows, so a single quiet measurement would
 #     produce a ceiling that trips on the next noisy one.
+#   * bench/load-baseline.json is a verbatim `hg bench --coldload`
+#     report at --reps 5: the mmap cold-open of the cached
+#     hypergen-u1000000 `.hgb` plus its first stats answer, best-of.
+#     The --bench gate allows +50% over gate_load_us (same noise band
+#     as the kernel gates, same single retry) and additionally requires
+#     the cold load to stay >= 10x faster than parsing the equivalent
+#     `.hgr` text. The dataset pair is generated once per runner into
+#     target/hgb-cache and reused by later runs.
 #   Regenerate on a quiet machine only, and commit the refreshed JSON
 #   together with the change that moved the numbers.
 #
@@ -135,6 +144,40 @@ run_bench() {
         echo "bench: over limit:$OVER — retrying once for runner noise"
         ATTEMPT=2
     done
+
+    echo "==> hg bench --coldload (.hgb mmap cold-load gate)"
+    # First run on a fresh runner generates the hypergen-u1000000 pair
+    # into target/hgb-cache; every later run reuses the cached files and
+    # only the timed loads execute. Same retry rule as the kernel gates.
+    ATTEMPT=1
+    while :; do
+        ./target/release/hg bench --coldload --json BENCH_coldload.json
+        LUS=$(sed -n 's/.*"gate_load_us":\([0-9]*\).*/\1/p' BENCH_coldload.json)
+        PUS=$(sed -n 's/.*"parse_us":\([0-9]*\).*/\1/p' BENCH_coldload.json)
+        LBASE=$(sed -n 's/.*"gate_load_us":\([0-9]*\).*/\1/p' bench/load-baseline.json)
+        if [ -z "$LUS" ] || [ -z "$PUS" ] || [ -z "$LBASE" ]; then
+            echo "cannot extract cold-load gate (run='$LUS' parse='$PUS' baseline='$LBASE')" >&2
+            exit 1
+        fi
+        LLIMIT=$((LBASE * 150 / 100))
+        echo "bench: gate_load_us ${LUS}us (baseline ${LBASE}us, limit ${LLIMIT}us; text parse ${PUS}us)"
+        OVER=""
+        if [ "$LUS" -gt "$LLIMIT" ]; then
+            OVER=" gate_load_us=${LUS}us(>${LLIMIT}us)"
+        fi
+        if [ "$PUS" -lt $((LUS * 10)) ]; then
+            OVER="$OVER speedup<10x(parse=${PUS}us,load=${LUS}us)"
+        fi
+        if [ -z "$OVER" ]; then
+            break
+        fi
+        if [ "$ATTEMPT" -ge 2 ]; then
+            echo "BENCH FAIL: cold-load gate failed on both attempts:$OVER" >&2
+            exit 1
+        fi
+        echo "bench: cold-load over limit:$OVER — retrying once for runner noise"
+        ATTEMPT=2
+    done
     echo "BENCH OK"
 }
 
@@ -166,9 +209,13 @@ run_update_baselines() {
     CEIL=$((P99 * 3))
     printf '{"schema":"hg-loadgen-baseline/1","note":"p99 latency ceiling for ci.sh --bench; worst of 3 measured steady-state p99s (%sus) stored x3 for runner noise (regenerated by ci.sh --update-baselines)","dataset":"cellzome-2004","concurrency":4,"requests":400,"p99_us":%s}\n' \
         "$P99" "$CEIL" >bench/serve-baseline.json
+    echo "==> regenerating bench/load-baseline.json (best of 5 cold loads)"
+    ./target/release/hg bench --coldload --reps 5 --json bench/load-baseline.json
+
     GATE_MSBFS=$(sed -n 's/.*"gate_msbfs_us":\([0-9]*\).*/\1/p' bench/kernels-baseline.json)
     GATE_KCORE=$(sed -n 's/.*"gate_kcore_us":\([0-9]*\).*/\1/p' bench/kernels-baseline.json)
-    echo "baselines updated: gate_msbfs_us=${GATE_MSBFS} gate_kcore_us=${GATE_KCORE} p99_us=${CEIL}"
+    GATE_LOAD=$(sed -n 's/.*"gate_load_us":\([0-9]*\).*/\1/p' bench/load-baseline.json)
+    echo "baselines updated: gate_msbfs_us=${GATE_MSBFS} gate_kcore_us=${GATE_KCORE} gate_load_us=${GATE_LOAD} p99_us=${CEIL}"
 }
 
 if [ "${1:-}" = "--bench" ]; then
@@ -272,5 +319,48 @@ SCRATCH=$(printf '%s\n' "$METRICS" | awk '$1 == "hg_msbfs_par_scratch_reused_tot
 stop_server
 rm -f smoke.log
 echo "kernel-counter smoke OK (sweep series: $SWEEPS, scratch reuses: $SCRATCH)"
+
+echo "==> hgserve smoke (.hgb preload served from mmap)"
+# Convert the Cellzome text dataset to `.hgb` (the convert path
+# re-opens the written file with full structural verification) and
+# preload it next to the text twin; the binary one must come up mapped,
+# report its storage in /datasets, and export resident bytes.
+mkdir -p target/hgb-cache
+./target/release/hg convert data/cellzome-2004.hgr \
+    -o target/hgb-cache/cellzome-bin.hgb >/dev/null
+start_server target/hgb-cache/cellzome-bin.hgb
+grep -q '^LOAD=cellzome-bin storage=mmap' smoke.log || {
+    echo "expected a 'LOAD=cellzome-bin storage=mmap' startup line, got:"
+    grep '^LOAD=' smoke.log || true
+    exit 1
+}
+DATASETS=$(curl -sf "http://$ADDR/datasets")
+printf '%s' "$DATASETS" | grep -q '"name":"cellzome-bin"' || {
+    echo "expected /datasets to list the .hgb preload: $DATASETS"
+    exit 1
+}
+printf '%s' "$DATASETS" | grep -q '"storage":"mmap"' || {
+    echo "expected /datasets to report storage \"mmap\": $DATASETS"
+    exit 1
+}
+# The binary and text twins must answer identically.
+D_BIN=$(curl -sf "http://$ADDR/v1/cellzome-bin/stats")
+D_TXT=$(curl -sf "http://$ADDR/v1/cellzome-2004/stats")
+[ "$D_BIN" = "$D_TXT" ] || {
+    echo ".hgb and .hgr answers diverge:"
+    echo "  bin: $D_BIN"
+    echo "  txt: $D_TXT"
+    exit 1
+}
+RESIDENT=$(curl -sf "http://$ADDR/metrics" |
+    sed -n 's/^hgserve_dataset_resident_bytes{dataset="cellzome-bin",storage="mmap"} \([0-9]*\)$/\1/p')
+[ "${RESIDENT:-0}" -ge 1 ] || {
+    echo "expected hgserve_dataset_resident_bytes for cellzome-bin, got '${RESIDENT:-none}'"
+    curl -sf "http://$ADDR/metrics" | grep '^hgserve_dataset' || true
+    exit 1
+}
+stop_server
+rm -f smoke.log
+echo "mmap smoke OK (resident bytes: $RESIDENT)"
 
 echo "CI OK"

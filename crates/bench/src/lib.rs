@@ -3,8 +3,10 @@
 //! plain-library kernel benchmark behind `hg bench --kernels` and the
 //! `ci.sh --bench` wall-time gate.
 
+pub mod coldload;
 pub mod delta;
 pub mod kernels;
 
+pub use coldload::{ColdloadConfig, ColdloadReport};
 pub use delta::render_delta;
 pub use kernels::{DatasetResult, EngineResult, KernelBenchConfig, KernelBenchReport, SCALED_SEED};

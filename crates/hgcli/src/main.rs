@@ -6,7 +6,8 @@
 //! hg fit <file.hgr>                           power-law fit of degrees
 //! hg cover <file.hgr> [--weights unit|deg2] [--multicover R]
 //! hg profile <file.hgr>... [--algo A]         per-algorithm metrics JSON
-//! hg gen <what> [--seed S] [-o out.hgr]       generate datasets
+//! hg gen <what> [--seed S] [-o out.hgr|.hgb]  generate datasets
+//! hg convert <file> -o <out.hgb> [--relabel]  freeze to binary CSR
 //! hg export-pajek <file.hgr> -o <base>        write base.net / base.clu
 //! hg repro [e1..e10|a1..a4|all] [-o dir]      regenerate paper artifacts
 //! ```
@@ -38,7 +39,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par] [--profile]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE]\n  hg export-pajek <file.hgr> -o <base>\n  hg serve [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--deadline-ms MS]\n           [--queue N] [--par-threshold N] [--relabel] [--preload FILE...]\n  hg loadgen [--addr HOST:PORT] [--dataset NAME] [--concurrency N]\n             [--requests N] [--mix stats=3,kcore=1,...] [--deadline-ms MS]\n             [--json FILE]\n  hg trace <trace.json>   pretty-print a saved request trace\n  hg bench --kernels [--json FILE] [--reps N] [--scale N] [--cellzome FILE]\n           [--no-relabel]\n  hg bench --delta <baseline.json> <current.json>   markdown delta table\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
+    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par] [--profile]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE[.hgb]]\n  hg convert <file.hgr|.net|.mtx> -o <out.hgb> [--relabel]\n  hg export-pajek <file.hgr> -o <base>\n  hg serve [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--deadline-ms MS]\n           [--queue N] [--par-threshold N] [--relabel] [--preload FILE...]\n  hg loadgen [--addr HOST:PORT] [--dataset NAME] [--concurrency N]\n             [--requests N] [--mix stats=3,kcore=1,...] [--deadline-ms MS]\n             [--json FILE]\n  hg trace <trace.json>   pretty-print a saved request trace\n  hg bench --kernels [--json FILE] [--reps N] [--scale N] [--cellzome FILE]\n           [--no-relabel]\n  hg bench --coldload [--json FILE] [--scale N] [--dir DIR] [--reps N]\n  hg bench --delta <baseline.json> <current.json>   markdown delta table\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
 }
 
 fn run(args: &[String]) -> Result<String, String> {
@@ -74,6 +75,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "dual" => cmd_dual(&args[1..]),
         "tap-sim" => cmd_tap_sim(&args[1..]),
         "gen" => cmd_gen(&args[1..]),
+        "convert" => cmd_convert(&args[1..]),
         "export-pajek" => cmd_export_pajek(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "loadgen" => cmd_loadgen(&args[1..]),
@@ -86,6 +88,16 @@ fn dispatch(args: &[String]) -> Result<String, String> {
 }
 
 fn load(path: &str) -> Result<hypergraph::Hypergraph, String> {
+    if path.ends_with(".hgb") {
+        // Binary CSR: mmap open, O(header). Kernels read straight from
+        // the mapped file.
+        let ds = hypergraph::open_hgb(
+            std::path::Path::new(path),
+            hypergraph::HgbOpenOptions::default(),
+        )
+        .map_err(|e| format!("{path}: {e}"))?;
+        return Ok(ds.hypergraph);
+    }
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if path.ends_with(".mtx") {
         let m = matrixmarket::parse_mtx(&text).map_err(|e| e.to_string())?;
@@ -501,6 +513,26 @@ fn cmd_gen(args: &[String]) -> Result<String, String> {
         .unwrap_or(proteome::CELLZOME_SEED);
 
     let what = rest.first().ok_or_else(usage)?;
+    // Streaming fast path: `gen uniform N M K -o out.hgb` feeds the
+    // generator's edge stream straight into the binary writer — no
+    // in-memory Hypergraph, no text form. This is how the
+    // million-vertex bench dataset is produced.
+    if what == "uniform" {
+        if let Some(out) = out.as_deref().filter(|o| o.ends_with(".hgb")) {
+            let parse = |i: usize, name: &str| -> Result<usize, String> {
+                rest.get(i)
+                    .ok_or(format!("uniform needs N M K ({name} missing)"))?
+                    .parse()
+                    .map_err(|e| format!("bad {name}: {e}"))
+            };
+            let (n, m, k) = (parse(1, "N")?, parse(2, "M")?, parse(3, "K")?);
+            hypergen::uniform_to_hgb(n, m, k, seed, std::path::Path::new(out))
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            return Ok(format!(
+                "wrote {out} ({n} vertices, {m} hyperedges) [streamed .hgb]\n"
+            ));
+        }
+    }
     let h = match what.as_str() {
         "cellzome" => proteome::cellzome_like(seed).hypergraph,
         "uniform" => {
@@ -531,9 +563,20 @@ fn cmd_gen(args: &[String]) -> Result<String, String> {
         }
     };
 
-    let text = hypergraph::io::write_hgr(&h);
     match out {
+        Some(path) if path.ends_with(".hgb") => {
+            hypergraph::write_hgb_file(&h, None, std::path::Path::new(&path))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!(
+                "wrote {} ({} vertices, {} hyperedges, {} pins) [.hgb]\n",
+                path,
+                h.num_vertices(),
+                h.num_edges(),
+                h.num_pins()
+            ))
+        }
         Some(path) => {
+            let text = hypergraph::io::write_hgr(&h);
             std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
             Ok(format!(
                 "wrote {} ({} vertices, {} hyperedges, {} pins)\n",
@@ -543,8 +586,50 @@ fn cmd_gen(args: &[String]) -> Result<String, String> {
                 h.num_pins()
             ))
         }
-        None => Ok(text),
+        None => Ok(hypergraph::io::write_hgr(&h)),
     }
+}
+
+/// `hg convert <file.hgr|.net|.mtx|.hgb> -o <out.hgb> [--relabel]` —
+/// freeze a dataset into the binary on-disk CSR format. With
+/// `--relabel` the stored CSR is BFS-reordered and the id translation
+/// is baked into the file, so `hg serve` gets the cache-local layout
+/// zero-copy.
+fn cmd_convert(args: &[String]) -> Result<String, String> {
+    let (out, rest) = take_opt(args, "-o")?;
+    let (relabel, rest) = take_switch(&rest, "--relabel");
+    let path = rest.first().ok_or_else(usage)?;
+    let out = out.ok_or("convert requires -o <out.hgb>")?;
+    if !out.ends_with(".hgb") {
+        return Err(format!("convert output must end in .hgb, got `{out}`"));
+    }
+    let h = load(path)?;
+    let (h, rel) = if relabel {
+        let r = hypergraph::Relabeling::bfs_order(&h);
+        (r.apply(&h), Some(r))
+    } else {
+        (h, None)
+    };
+    hypergraph::write_hgb_file(&h, rel.as_ref(), std::path::Path::new(&out))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    // Conversion is rare and offline: pay for the full structural
+    // verification now so serving can trust the header forever after.
+    hypergraph::open_hgb(
+        std::path::Path::new(&out),
+        hypergraph::HgbOpenOptions {
+            mode: hypergraph::HgbOpenMode::Mmap,
+            verify: true,
+        },
+    )
+    .map_err(|e| format!("verification of {out} failed: {e}"))?;
+    Ok(format!(
+        "wrote {} ({} vertices, {} hyperedges, {} pins{}) — verified\n",
+        out,
+        h.num_vertices(),
+        h.num_edges(),
+        h.num_pins(),
+        if rel.is_some() { ", relabeled" } else { "" }
+    ))
 }
 
 fn cmd_export_pajek(args: &[String]) -> Result<String, String> {
@@ -610,6 +695,7 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
     }
 
     let registry = std::sync::Arc::new(hgserve::Registry::with_relabeling(relabel));
+    let mut load_lines = Vec::new();
     for path in &preload {
         let ds = registry.load_file(path)?;
         eprintln!(
@@ -618,13 +704,25 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
             ds.hypergraph.num_vertices(),
             ds.hypergraph.num_edges()
         );
+        load_lines.push(format!(
+            "LOAD={} storage={} us={} resident_bytes={}",
+            ds.name,
+            ds.storage.as_str(),
+            ds.load_us,
+            ds.resident_bytes()
+        ));
     }
 
     let sigint = hgserve::install_sigint_flag();
     let handle = hgserve::start(&config, registry).map_err(|e| format!("cannot bind: {e}"))?;
     println!("hg serve: listening on http://{}", handle.addr());
-    // Machine-parseable bound-address line so scripts can use
-    // `--addr 127.0.0.1:0` (ephemeral port) and still find the server.
+    // Machine-parseable startup lines: one LOAD= per preloaded dataset
+    // (load time + resident bytes), then the bound address so scripts
+    // can use `--addr 127.0.0.1:0` (ephemeral port) and still find the
+    // server.
+    for line in &load_lines {
+        println!("{line}");
+    }
     println!("ADDR={}", handle.addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -671,6 +769,18 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
             })
             .transpose()?,
     };
+    // Machine-parseable startup line mirroring `hg serve`'s: the target
+    // dataset's load time, storage backing, and resident bytes as the
+    // server reports them in /datasets.
+    if let Some((storage, load_us, resident)) = hgserve::fetch_dataset_load(&cfg.addr, &cfg.dataset)
+    {
+        println!(
+            "LOAD={} storage={storage} us={load_us} resident_bytes={resident}",
+            cfg.dataset
+        );
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    }
     let report = hgserve::loadgen::run(&cfg)?;
     if let Some(path) = json_out {
         std::fs::write(&path, report.render_json())
@@ -759,9 +869,40 @@ fn cmd_bench(args: &[String]) -> Result<String, String> {
             |p: &String| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
         return bench::render_delta(&read(base)?, &read(cur)?);
     }
+    let (coldload, rest) = take_switch(&rest, "--coldload");
+    if coldload {
+        // Text parse vs `.hgb` mmap open on a cached hypergen dataset.
+        let (json_out, rest) = take_opt(&rest, "--json")?;
+        let (scale, rest) = take_opt(&rest, "--scale")?;
+        let (dir, rest) = take_opt(&rest, "--dir")?;
+        let (reps, rest) = take_opt(&rest, "--reps")?;
+        if let Some(extra) = rest.first() {
+            return Err(format!("unexpected argument `{extra}`"));
+        }
+        let mut cfg = bench::ColdloadConfig::default();
+        if let Some(s) = scale {
+            let n: usize = s.parse().map_err(|e| format!("bad --scale: {e}"))?;
+            cfg = cfg.with_scale(n);
+        }
+        if let Some(d) = dir {
+            cfg.cache_dir = PathBuf::from(d);
+        }
+        if let Some(r) = reps {
+            cfg.reps = r.parse().map_err(|e| format!("bad --reps: {e}"))?;
+            if cfg.reps == 0 {
+                return Err("--reps must be >= 1".to_string());
+            }
+        }
+        let report = bench::coldload::run(&cfg)?;
+        if let Some(path) = json_out {
+            std::fs::write(&path, report.render_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        return Ok(report.render_text());
+    }
     let (kernels, rest) = take_switch(&rest, "--kernels");
     if !kernels {
-        return Err("bench requires --kernels or --delta".to_string());
+        return Err("bench requires --kernels, --coldload, or --delta".to_string());
     }
     let (json_out, rest) = take_opt(&rest, "--json")?;
     let (reps, rest) = take_opt(&rest, "--reps")?;

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
-use hypergraph::{Hypergraph, Relabeling};
+use hypergraph::{Hypergraph, Relabeling, StorageKind};
 
 /// Input formats the registry can parse.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -21,15 +21,20 @@ pub enum Format {
     /// MatrixMarket coordinate `.mtx`; rows become hyperedges over
     /// column vertices (the row-net model).
     MatrixMarket,
+    /// Binary on-disk CSR `.hgb` — file-path loads only (mmap-served);
+    /// not accepted as a `POST /datasets` text body.
+    Hgb,
 }
 
 impl Format {
-    /// Parse a format name (`hgr` | `pajek`/`net` | `mtx`/`matrixmarket`).
+    /// Parse a format name (`hgr` | `pajek`/`net` | `mtx`/`matrixmarket`
+    /// | `hgb`).
     pub fn from_name(name: &str) -> Option<Format> {
         match name.to_ascii_lowercase().as_str() {
             "hgr" => Some(Format::Hgr),
             "pajek" | "net" => Some(Format::Pajek),
             "mtx" | "matrixmarket" => Some(Format::MatrixMarket),
+            "hgb" => Some(Format::Hgb),
             _ => None,
         }
     }
@@ -56,12 +61,25 @@ pub struct Dataset {
     /// cache-local kernel sweeps and this mapping translates ids at the
     /// response boundary. `None` means ids are stored as submitted.
     pub relabeling: Option<Arc<Relabeling>>,
+    /// How the CSR arrays are backed: owned heap `Vec`s or an mmap'd
+    /// read-only `.hgb` file (reported as `"owned"` / `"mmap"`).
+    pub storage: StorageKind,
+    /// Wall-clock microseconds spent loading this dataset (parse +
+    /// relabel for text formats; O(header) open for mapped `.hgb`).
+    pub load_us: u64,
 }
 
 impl Dataset {
     /// The prefix every result-cache key for this dataset uses.
     pub fn cache_prefix(&self) -> String {
         format!("{}@{}", self.name, self.epoch)
+    }
+
+    /// Bytes of CSR data this dataset holds in memory. For mapped
+    /// datasets this is the mapped file length — an *upper bound* on
+    /// resident pages, since the OS pages lazily.
+    pub fn resident_bytes(&self) -> usize {
+        self.hypergraph.resident_bytes()
     }
 }
 
@@ -92,7 +110,23 @@ pub fn parse_text(format: Format, text: &str) -> Result<Hypergraph, String> {
             let m = matrixmarket::parse_mtx(text).map_err(|e| e.to_string())?;
             Ok(matrixmarket::row_net(&m))
         }
+        Format::Hgb => {
+            Err("binary .hgb datasets are loaded from a file path, not a text body".to_string())
+        }
     }
+}
+
+fn validate_name(name: &str) -> Result<(), String> {
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c))
+    {
+        return Err(format!(
+            "invalid dataset name `{name}` (use [A-Za-z0-9._-]+)"
+        ));
+    }
+    Ok(())
 }
 
 impl Registry {
@@ -121,15 +155,8 @@ impl Registry {
         text: &str,
         source: &str,
     ) -> Result<Arc<Dataset>, String> {
-        if name.is_empty()
-            || !name
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c))
-        {
-            return Err(format!(
-                "invalid dataset name `{name}` (use [A-Za-z0-9._-]+)"
-            ));
-        }
+        validate_name(name)?;
+        let started = std::time::Instant::now();
         let parsed = parse_text(format, text)?;
         let (hypergraph, relabeling) = if self.relabel && parsed.num_vertices() > 0 {
             let r = Relabeling::bfs_order(&parsed);
@@ -138,6 +165,61 @@ impl Registry {
         } else {
             (parsed, None)
         };
+        let load_us = started.elapsed().as_micros() as u64;
+        self.register(name, hypergraph, relabeling, source, load_us)
+    }
+
+    /// Load a file from disk; the dataset name is the file stem.
+    /// `.hgb` files are opened via mmap (O(header)); text formats are
+    /// read and parsed.
+    pub fn load_file(&self, path: &str) -> Result<Arc<Dataset>, String> {
+        let format = Format::from_path(path)
+            .ok_or_else(|| format!("cannot infer format of `{path}` (.hgr/.net/.mtx/.hgb)"))?;
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("cannot derive a dataset name from `{path}`"))?
+            .to_string();
+        let source = format!("file:{path}");
+        if format == Format::Hgb {
+            let started = std::time::Instant::now();
+            let ds = hypergraph::open_hgb(
+                std::path::Path::new(path),
+                hypergraph::HgbOpenOptions::default(),
+            )
+            .map_err(|e| format!("{path}: {e}"))?;
+            // A baked-in relabeling travels with the file and wins; a
+            // bare file under `--relabel` is relabeled here, which
+            // rebuilds the CSR into owned storage (the zero-copy path
+            // is to bake the relabeling at `hg convert --relabel`).
+            let (hypergraph, relabeling) = match ds.relabeling {
+                Some(r) => (ds.hypergraph, Some(Arc::new(r))),
+                None if self.relabel && ds.hypergraph.num_vertices() > 0 => {
+                    let r = Relabeling::bfs_order(&ds.hypergraph);
+                    let relabeled = r.apply(&ds.hypergraph);
+                    (relabeled, Some(Arc::new(r)))
+                }
+                None => (ds.hypergraph, None),
+            };
+            let load_us = started.elapsed().as_micros() as u64;
+            return self.register(&stem, hypergraph, relabeling, &source, load_us);
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        self.insert_text(&stem, format, &text, &source)
+    }
+
+    /// Validate the name, bump the epoch, and publish the dataset.
+    fn register(
+        &self,
+        name: &str,
+        hypergraph: Hypergraph,
+        relabeling: Option<Arc<Relabeling>>,
+        source: &str,
+        load_us: u64,
+    ) -> Result<Arc<Dataset>, String> {
+        validate_name(name)?;
+        hgobs::hist!("serve.dataset_load_us", load_us);
+        let storage = hypergraph.storage_kind();
         let mut inner = self.inner.write().unwrap();
         let epoch = inner.get(name).map_or(0, |d| d.epoch + 1);
         let ds = Arc::new(Dataset {
@@ -146,21 +228,11 @@ impl Registry {
             hypergraph,
             source: source.to_string(),
             relabeling,
+            storage,
+            load_us,
         });
         inner.insert(name.to_string(), Arc::clone(&ds));
         Ok(ds)
-    }
-
-    /// Load a file from disk; the dataset name is the file stem.
-    pub fn load_file(&self, path: &str) -> Result<Arc<Dataset>, String> {
-        let format = Format::from_path(path)
-            .ok_or_else(|| format!("cannot infer format of `{path}` (.hgr/.net/.mtx)"))?;
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let stem = std::path::Path::new(path)
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .ok_or_else(|| format!("cannot derive a dataset name from `{path}`"))?;
-        self.insert_text(stem, format, &text, &format!("file:{path}"))
     }
 
     pub fn get(&self, name: &str) -> Option<Arc<Dataset>> {
@@ -198,6 +270,9 @@ impl Registry {
                 w.key("pins").uint(d.hypergraph.num_pins() as u64);
                 w.key("storage_bytes")
                     .uint(d.hypergraph.storage_bytes() as u64);
+                w.key("storage").string(d.storage.as_str());
+                w.key("resident_bytes").uint(d.resident_bytes() as u64);
+                w.key("load_us").uint(d.load_us);
                 w.key("relabeled").raw(if d.relabeling.is_some() {
                     "true"
                 } else {
@@ -293,5 +368,55 @@ mod tests {
         let j = r.list_json();
         assert!(j.find("\"aa\"").unwrap() < j.find("\"zz\"").unwrap());
         assert!(j.contains("\"vertices\":3"));
+        assert!(j.contains("\"storage\":\"owned\""), "{j}");
+        assert!(j.contains("\"resident_bytes\":"), "{j}");
+        assert!(j.contains("\"load_us\":"), "{j}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn hgb_file_loads_as_mmap() {
+        let h = parse_text(Format::Hgr, TOY_HGR).unwrap();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("hgserve-reg-{}.hgb", std::process::id()));
+        hypergraph::write_hgb_file(&h, None, &path).unwrap();
+
+        let r = Registry::new();
+        let ds = r.load_file(path.to_str().unwrap()).unwrap();
+        assert_eq!(ds.storage, StorageKind::Mapped);
+        assert_eq!(ds.hypergraph.num_vertices(), 3);
+        assert_eq!(
+            ds.resident_bytes(),
+            std::fs::metadata(&path).unwrap().len() as usize
+        );
+        assert!(r.list_json().contains("\"storage\":\"mmap\""));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn hgb_baked_relabeling_wins_over_flag() {
+        let h = parse_text(Format::Hgr, TOY_HGR).unwrap();
+        let rel = Relabeling::bfs_order(&h);
+        let g = rel.apply(&h);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("hgserve-rel-{}.hgb", std::process::id()));
+        hypergraph::write_hgb_file(&g, Some(&rel), &path).unwrap();
+
+        let r = Registry::with_relabeling(true);
+        let ds = r.load_file(path.to_str().unwrap()).unwrap();
+        // The file's relabeling is used directly — storage stays mapped.
+        assert_eq!(ds.storage, StorageKind::Mapped);
+        assert!(ds.relabeling.is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hgb_rejected_as_text_body() {
+        let r = Registry::new();
+        let err = r
+            .insert_text("x", Format::Hgb, "junk", "upload")
+            .unwrap_err();
+        assert!(err.contains("file path"), "{err}");
     }
 }

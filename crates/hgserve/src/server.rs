@@ -517,6 +517,28 @@ fn metrics(state: &AppState) -> Response {
         state.queued.load(Ordering::Relaxed),
         state.queue_capacity,
     ));
+    // Per-dataset CSR memory (labelled gauge) plus the fleet total. For
+    // mmap-backed datasets the value is the mapped length — an upper
+    // bound on actual resident pages.
+    let mut total_resident = 0u64;
+    for name in state.registry.names() {
+        if let Some(d) = state.registry.get(&name) {
+            let bytes = d.resident_bytes() as u64;
+            total_resident += bytes;
+            body.push_str(&format!(
+                "hgserve_dataset_resident_bytes{{dataset=\"{}\",storage=\"{}\"}} {bytes}\n",
+                d.name,
+                d.storage.as_str(),
+            ));
+            body.push_str(&format!(
+                "hgserve_dataset_load_us{{dataset=\"{}\"}} {}\n",
+                d.name, d.load_us,
+            ));
+        }
+    }
+    body.push_str(&format!(
+        "hgserve_datasets_resident_bytes_total {total_resident}\n"
+    ));
     Response::text(200, body)
 }
 
@@ -747,6 +769,22 @@ mod tests {
         );
         assert!(r.body.contains("hgserve_queue_depth 0"), "{}", r.body);
         assert!(r.body.contains("hgserve_queue_capacity 64"), "{}", r.body);
+        assert!(
+            r.body
+                .contains("hgserve_dataset_resident_bytes{dataset=\"toy\",storage=\"owned\"}"),
+            "{}",
+            r.body
+        );
+        assert!(
+            r.body.contains("hgserve_dataset_load_us{dataset=\"toy\"}"),
+            "{}",
+            r.body
+        );
+        assert!(
+            r.body.contains("hgserve_datasets_resident_bytes_total "),
+            "{}",
+            r.body
+        );
     }
 
     fn with_header(mut req: Request, name: &str, value: &str) -> Request {

@@ -19,10 +19,12 @@ pub mod chung_lu;
 pub mod config_model;
 pub mod planted;
 pub mod seq;
+pub mod stream;
 pub mod uniform;
 
 pub use chung_lu::{chung_lu_graph, chung_lu_hypergraph};
 pub use config_model::configuration_hypergraph;
 pub use planted::{planted_core_graph, planted_core_hypergraph};
 pub use seq::{power_law_degrees, power_law_histogram_counts};
-pub use uniform::uniform_random_hypergraph;
+pub use stream::uniform_to_hgb;
+pub use uniform::{uniform_edges, uniform_random_hypergraph};

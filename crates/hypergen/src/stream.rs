@@ -1,0 +1,59 @@
+//! Streaming `.hgb` emitters: generate a dataset straight into the
+//! binary on-disk format without ever materializing the text form.
+//!
+//! The `.hgr` path for a generated dataset is generate → `Hypergraph`
+//! → text → (later) parse → `Hypergraph` again; at a million vertices
+//! that is two full CSR builds plus tens of megabytes of text. These
+//! emitters feed [`hypergraph::HgbStreamWriter`] directly from the
+//! generator's edge stream, so the only allocation is the CSR itself
+//! and the output is already in the O(header) mmap-servable format.
+
+use hypergraph::HgbStreamWriter;
+use std::path::Path;
+
+use crate::uniform::uniform_edges;
+
+/// Generate the k-uniform random hypergraph
+/// ([`crate::uniform_random_hypergraph`], identical RNG sequence) and
+/// stream it to `path` as `.hgb`.
+///
+/// # Panics
+/// If `k > n`.
+pub fn uniform_to_hgb(n: usize, m: usize, k: usize, seed: u64, path: &Path) -> std::io::Result<()> {
+    let mut w = HgbStreamWriter::new(n);
+    w.reserve_pins(m * k);
+    uniform_edges(n, m, k, seed, |pins| {
+        w.add_edge(pins.iter().copied());
+    });
+    w.finish_file(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform_random_hypergraph;
+    use hypergraph::{open_hgb, HgbOpenMode, HgbOpenOptions};
+
+    #[test]
+    fn streamed_hgb_matches_in_memory_generator() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("hypergen-stream-{}.hgb", std::process::id()));
+        uniform_to_hgb(40, 25, 4, 99, &path).unwrap();
+        let ds = open_hgb(
+            &path,
+            HgbOpenOptions {
+                mode: HgbOpenMode::Owned,
+                verify: true,
+            },
+        )
+        .unwrap();
+        let h = uniform_random_hypergraph(40, 25, 4, 99);
+        assert_eq!(ds.hypergraph.num_vertices(), h.num_vertices());
+        assert_eq!(ds.hypergraph.num_edges(), h.num_edges());
+        assert_eq!(ds.hypergraph.num_pins(), h.num_pins());
+        for f in h.edges() {
+            assert_eq!(ds.hypergraph.pins(f), h.pins(f));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

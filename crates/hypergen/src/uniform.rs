@@ -12,15 +12,33 @@ use rand::SeedableRng;
 /// # Panics
 /// If `k > n`.
 pub fn uniform_random_hypergraph(n: usize, m: usize, k: usize, seed: u64) -> Hypergraph {
-    assert!(k <= n, "edge size {k} exceeds vertex count {n}");
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut b = HypergraphBuilder::new(n);
     b.reserve_pins(m * k);
-    for _ in 0..m {
-        let pins = sample(&mut rng, n, k);
-        b.add_edge(pins.iter().map(|v| v as u32));
-    }
+    uniform_edges(n, m, k, seed, |pins| {
+        b.add_edge(pins.iter().copied());
+    });
     b.build()
+}
+
+/// The edge stream behind [`uniform_random_hypergraph`]: invokes `emit`
+/// once per hyperedge with its pins, drawing from the identical RNG
+/// sequence — a sink that builds a [`Hypergraph`] reproduces
+/// [`uniform_random_hypergraph`] bit for bit, and a sink that streams
+/// into an `.hgb` writer never materializes the hypergraph (or its text
+/// form) at all.
+///
+/// # Panics
+/// If `k > n`.
+pub fn uniform_edges(n: usize, m: usize, k: usize, seed: u64, mut emit: impl FnMut(&[u32])) {
+    assert!(k <= n, "edge size {k} exceeds vertex count {n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pins = vec![0u32; k];
+    for _ in 0..m {
+        for (slot, v) in pins.iter_mut().zip(sample(&mut rng, n, k)) {
+            *slot = v as u32;
+        }
+        emit(&pins);
+    }
 }
 
 #[cfg(test)]

@@ -92,38 +92,52 @@ impl HypergraphBuilder {
 
     /// Freeze into a [`Hypergraph`], constructing the vertex-side CSR.
     pub fn build(self) -> Hypergraph {
-        let n = self.num_vertices;
-        let m = self.offsets.len() - 1;
-
-        // Count vertex degrees.
-        let mut vdeg = vec![0u32; n];
-        for &v in &self.pins {
-            vdeg[v as usize] += 1;
-        }
-        let mut vertex_offsets = Vec::with_capacity(n + 1);
-        vertex_offsets.push(0u32);
-        let mut acc = 0u32;
-        for &d in &vdeg {
-            acc += d;
-            vertex_offsets.push(acc);
-        }
-
-        // Scatter edge ids into vertex adjacency lists. Edges are scanned
-        // in increasing id order, so each vertex's list comes out sorted.
-        let mut cursor: Vec<u32> = vertex_offsets[..n].to_vec();
-        let mut adj_list = vec![EdgeId(0); self.pins.len()];
-        for e in 0..m {
-            let lo = self.offsets[e] as usize;
-            let hi = self.offsets[e + 1] as usize;
-            for &v in &self.pins[lo..hi] {
-                adj_list[cursor[v as usize] as usize] = EdgeId(e as u32);
-                cursor[v as usize] += 1;
-            }
-        }
-
-        let pin_list: Vec<VertexId> = self.pins.into_iter().map(VertexId).collect();
-        Hypergraph::from_parts(self.offsets, pin_list, vertex_offsets, adj_list)
+        build_from_edge_csr(self.num_vertices, self.offsets, self.pins)
     }
+}
+
+/// Freeze an already-assembled edge-side CSR (per-edge `offsets` into a
+/// flat sorted-and-deduplicated `pins` array) into a [`Hypergraph`],
+/// constructing the vertex-side CSR by counting sort. Shared by
+/// [`HypergraphBuilder::build`], the streamed two-pass text reader, and
+/// the `.hgb` stream writer — none of which want a second copy of the
+/// pin data.
+pub(crate) fn build_from_edge_csr(
+    num_vertices: usize,
+    offsets: Vec<u32>,
+    pins: Vec<u32>,
+) -> Hypergraph {
+    let n = num_vertices;
+    let m = offsets.len() - 1;
+
+    // Count vertex degrees.
+    let mut vdeg = vec![0u32; n];
+    for &v in &pins {
+        vdeg[v as usize] += 1;
+    }
+    let mut vertex_offsets = Vec::with_capacity(n + 1);
+    vertex_offsets.push(0u32);
+    let mut acc = 0u32;
+    for &d in &vdeg {
+        acc += d;
+        vertex_offsets.push(acc);
+    }
+
+    // Scatter edge ids into vertex adjacency lists. Edges are scanned
+    // in increasing id order, so each vertex's list comes out sorted.
+    let mut cursor: Vec<u32> = vertex_offsets[..n].to_vec();
+    let mut adj_list = vec![EdgeId(0); pins.len()];
+    for e in 0..m {
+        let lo = offsets[e] as usize;
+        let hi = offsets[e + 1] as usize;
+        for &v in &pins[lo..hi] {
+            adj_list[cursor[v as usize] as usize] = EdgeId(e as u32);
+            cursor[v as usize] += 1;
+        }
+    }
+
+    let pin_list: Vec<VertexId> = pins.into_iter().map(VertexId).collect();
+    Hypergraph::from_parts(offsets, pin_list, vertex_offsets, adj_list)
 }
 
 /// Convenience: build a hypergraph directly from slices of vertex ids.

@@ -2,14 +2,21 @@
 
 use std::fmt;
 
+use crate::storage::{Storage, StorageKind};
+
 /// Identifier of a vertex (a protein in the paper's application), a dense
 /// index in `0..num_vertices`.
+///
+/// `repr(transparent)` over `u32`: id slices can be served directly out
+/// of a memory-mapped `.hgb` section without copying.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct VertexId(pub u32);
 
 /// Identifier of a hyperedge (a protein complex), a dense index in
-/// `0..num_edges`.
+/// `0..num_edges`. `repr(transparent)` over `u32` like [`VertexId`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct EdgeId(pub u32);
 
 impl VertexId {
@@ -67,16 +74,14 @@ impl fmt::Display for EdgeId {
 /// Within a hyperedge each vertex appears at most once (the builder
 /// deduplicates); identical hyperedges are allowed (the *reduced*
 /// hypergraph computation in [`crate::reduce()`] removes them).
+/// The CSR arrays live behind a `Storage`: owned `Vec`s for anything
+/// built in-process, or slices into a read-only memory-mapped `.hgb`
+/// file ([`crate::hgb::open_hgb`]) — every kernel sees the same slice
+/// API either way. [`Hypergraph::storage_kind`] reports which backing
+/// is active.
 #[derive(Clone, Debug)]
 pub struct Hypergraph {
-    /// CSR offsets into `pin_list`, length `num_edges + 1`.
-    edge_offsets: Vec<u32>,
-    /// Concatenated sorted pin (member vertex) lists of all hyperedges.
-    pin_list: Vec<VertexId>,
-    /// CSR offsets into `adj_list`, length `num_vertices + 1`.
-    vertex_offsets: Vec<u32>,
-    /// Concatenated sorted incident-hyperedge lists of all vertices.
-    adj_list: Vec<EdgeId>,
+    storage: Storage,
 }
 
 impl Hypergraph {
@@ -90,30 +95,61 @@ impl Hypergraph {
     ) -> Self {
         debug_assert_eq!(pin_list.len(), adj_list.len());
         Hypergraph {
-            edge_offsets,
-            pin_list,
-            vertex_offsets,
-            adj_list,
+            storage: Storage::Owned {
+                edge_offsets,
+                pin_list,
+                vertex_offsets,
+                adj_list,
+            },
         }
+    }
+
+    /// Wrap an already-validated storage backing (crate-internal; used
+    /// by the `.hgb` reader for the mmap path).
+    pub(crate) fn from_storage(storage: Storage) -> Self {
+        Hypergraph { storage }
+    }
+
+    /// The four CSR arrays, for serializers (crate-internal).
+    pub(crate) fn csr_slices(&self) -> (&[u32], &[VertexId], &[u32], &[EdgeId]) {
+        (
+            self.storage.edge_offsets(),
+            self.storage.pin_list(),
+            self.storage.vertex_offsets(),
+            self.storage.adj_list(),
+        )
+    }
+
+    /// Which backing the CSR lives in: [`StorageKind::Owned`] heap
+    /// `Vec`s or a [`StorageKind::Mapped`] read-only `.hgb` mmap.
+    pub fn storage_kind(&self) -> StorageKind {
+        self.storage.kind()
+    }
+
+    /// Process-resident bytes attributable to this hypergraph: heap
+    /// bytes when owned; the mapped file length when mmap'd (an upper
+    /// bound — pages fault in lazily and can be evicted by the OS).
+    pub fn resident_bytes(&self) -> usize {
+        self.storage.resident_bytes()
     }
 
     /// Number of vertices `|V|`.
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.vertex_offsets.len() - 1
+        self.storage.vertex_offsets().len() - 1
     }
 
     /// Number of hyperedges `|F|`.
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.edge_offsets.len() - 1
+        self.storage.edge_offsets().len() - 1
     }
 
     /// Total number of incidences `|E| = Σ_v d(v) = Σ_f d(f)` — the
     /// paper's measure of the space needed to represent `H`.
     #[inline]
     pub fn num_pins(&self) -> usize {
-        self.pin_list.len()
+        self.storage.pin_list().len()
     }
 
     /// `true` if the hypergraph has no vertices and no hyperedges.
@@ -125,17 +161,19 @@ impl Hypergraph {
     /// Sorted member vertices of hyperedge `f`.
     #[inline]
     pub fn pins(&self, f: EdgeId) -> &[VertexId] {
-        let lo = self.edge_offsets[f.index()] as usize;
-        let hi = self.edge_offsets[f.index() + 1] as usize;
-        &self.pin_list[lo..hi]
+        let offsets = self.storage.edge_offsets();
+        let lo = offsets[f.index()] as usize;
+        let hi = offsets[f.index() + 1] as usize;
+        &self.storage.pin_list()[lo..hi]
     }
 
     /// Sorted hyperedges containing vertex `v`.
     #[inline]
     pub fn edges_of(&self, v: VertexId) -> &[EdgeId] {
-        let lo = self.vertex_offsets[v.index()] as usize;
-        let hi = self.vertex_offsets[v.index() + 1] as usize;
-        &self.adj_list[lo..hi]
+        let offsets = self.storage.vertex_offsets();
+        let lo = offsets[v.index()] as usize;
+        let hi = offsets[v.index() + 1] as usize;
+        &self.storage.adj_list()[lo..hi]
     }
 
     /// Degree of vertex `v`: the number of hyperedges it belongs to.
@@ -188,9 +226,10 @@ impl Hypergraph {
     /// "space proportional to the sum of the numbers of proteins" claim,
     /// made concrete. Counting both directions of the dual CSR.
     pub fn storage_bytes(&self) -> usize {
-        (self.edge_offsets.len() + self.vertex_offsets.len()) * std::mem::size_of::<u32>()
-            + self.pin_list.len() * std::mem::size_of::<VertexId>()
-            + self.adj_list.len() * std::mem::size_of::<EdgeId>()
+        (self.storage.edge_offsets().len() + self.storage.vertex_offsets().len())
+            * std::mem::size_of::<u32>()
+            + std::mem::size_of_val(self.storage.pin_list())
+            + std::mem::size_of_val(self.storage.adj_list())
     }
 
     /// Extract the sub-hypergraph induced by keep-flags over vertices and

@@ -5,7 +5,6 @@
 //! an empty (whitespace-only) line is an empty hyperedge. Lines starting
 //! with `%` are comments and ignored anywhere in the file.
 
-use crate::builder::HypergraphBuilder;
 use crate::hypergraph::Hypergraph;
 
 /// Serialize `h` to `.hgr` text.
@@ -68,16 +67,17 @@ impl std::fmt::Display for HgrError {
 
 impl std::error::Error for HgrError {}
 
-/// Parse `.hgr` text into a [`Hypergraph`].
-pub fn read_hgr(text: &str) -> Result<Hypergraph, HgrError> {
-    let mut lines = text
-        .lines()
+/// Non-comment lines of the document, tagged with **1-based physical**
+/// line numbers (comments still count toward the numbering).
+fn content_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
         .enumerate()
         .map(|(i, l)| (i + 1, l))
-        .filter(|(_, l)| !l.trim_start().starts_with('%'));
-    let (header_no, header) = lines
-        .next()
-        .ok_or_else(|| HgrError::whole("empty document"))?;
+        .filter(|(_, l)| !l.trim_start().starts_with('%'))
+}
+
+/// Parse the `<num_hyperedges> <num_vertices>` header line.
+fn parse_header(header_no: usize, header: &str) -> Result<(usize, usize), HgrError> {
     let mut it = header.split_whitespace();
     let m: usize = it
         .next()
@@ -89,8 +89,37 @@ pub fn read_hgr(text: &str) -> Result<Hypergraph, HgrError> {
         .ok_or_else(|| HgrError::at(header_no, "missing vertex count"))?
         .parse()
         .map_err(|e| HgrError::at(header_no, format!("bad vertex count: {e}")))?;
+    Ok((m, n))
+}
 
-    let mut b = HypergraphBuilder::new(n);
+/// Parse `.hgr` text into a [`Hypergraph`].
+///
+/// Two-pass streamed build: pass 1 parses the header and *counts*
+/// whitespace tokens (no ids are parsed, so every data error still
+/// surfaces in pass 2 at its original line, in the original order);
+/// pass 2 fills an exactly-preallocated edge-side CSR in place. Peak
+/// memory is the CSR itself plus the input text — the old
+/// per-line `Vec` + builder-copy path peaked at ~2x the pin data.
+pub fn read_hgr(text: &str) -> Result<Hypergraph, HgrError> {
+    // Pass 1: header + token census for exact preallocation.
+    let mut lines = content_lines(text);
+    let (header_no, header) = lines
+        .next()
+        .ok_or_else(|| HgrError::whole("empty document"))?;
+    let (m, n) = parse_header(header_no, header)?;
+    assert!(n <= u32::MAX as usize, "vertex count exceeds u32");
+    let mut total_pins = 0usize;
+    for (_, line) in lines.take(m) {
+        total_pins += line.split_whitespace().count();
+    }
+
+    // Pass 2: fill the CSR in place, reproducing the single-pass error
+    // paths (message, line number, and firing order are identical).
+    let mut pins: Vec<u32> = Vec::with_capacity(total_pins);
+    let mut offsets: Vec<u32> = Vec::with_capacity(m + 1);
+    offsets.push(0);
+    let mut lines = content_lines(text);
+    lines.next(); // header, already parsed
     let mut parsed = 0usize;
     for (line_no, line) in lines {
         if parsed == m {
@@ -102,7 +131,7 @@ pub fn read_hgr(text: &str) -> Result<Hypergraph, HgrError> {
             }
             continue;
         }
-        let mut pins = Vec::new();
+        let start = pins.len();
         for tok in line.split_whitespace() {
             let v: usize = tok
                 .parse()
@@ -115,7 +144,18 @@ pub fn read_hgr(text: &str) -> Result<Hypergraph, HgrError> {
             }
             pins.push((v - 1) as u32);
         }
-        b.add_edge(pins);
+        // Sort + dedup the new tail in place (builder semantics).
+        pins[start..].sort_unstable();
+        let mut write = start;
+        for read in start..pins.len() {
+            if read == start || pins[read] != pins[write - 1] {
+                pins[write] = pins[read];
+                write += 1;
+            }
+        }
+        pins.truncate(write);
+        assert!(pins.len() <= u32::MAX as usize, "pin count exceeds u32");
+        offsets.push(pins.len() as u32);
         parsed += 1;
     }
     if parsed != m {
@@ -123,12 +163,13 @@ pub fn read_hgr(text: &str) -> Result<Hypergraph, HgrError> {
             "expected {m} hyperedge lines, found {parsed}"
         )));
     }
-    Ok(b.build())
+    Ok(crate::builder::build_from_edge_csr(n, offsets, pins))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::HypergraphBuilder;
     use crate::hypergraph::{EdgeId, VertexId};
 
     fn toy() -> Hypergraph {
@@ -201,5 +242,70 @@ mod tests {
         let err = read_hgr("2 2\n1\n").unwrap_err();
         assert_eq!(err.line, None);
         assert!(err.to_string().starts_with("hgr parse error: expected"));
+    }
+
+    /// The two-pass reader must reproduce the single-pass reader's
+    /// error strings byte for byte — these are the exact messages the
+    /// CLI and `hg serve`'s 400 responses have always shown.
+    #[test]
+    fn error_strings_regression() {
+        let cases: &[(&str, &str)] = &[
+            ("", "hgr parse error: empty document"),
+            ("% only a comment\n", "hgr parse error: empty document"),
+            ("\n", "hgr parse error at line 1: missing hyperedge count"),
+            (
+                "x 3\n",
+                "hgr parse error at line 1: bad hyperedge count: invalid digit found in string",
+            ),
+            ("1\n", "hgr parse error at line 1: missing vertex count"),
+            (
+                "1 y\n",
+                "hgr parse error at line 1: bad vertex count: invalid digit found in string",
+            ),
+            (
+                "1 2\nbogus\n",
+                "hgr parse error at line 2: bad vertex id `bogus`: invalid digit found in string",
+            ),
+            (
+                "1 2\n3\n",
+                "hgr parse error at line 2: vertex id 3 out of range 1..=2",
+            ),
+            (
+                "1 2\n0\n",
+                "hgr parse error at line 2: vertex id 0 out of range 1..=2",
+            ),
+            (
+                "1 2\n1\n2\n",
+                "hgr parse error at line 3: more than 1 hyperedge lines",
+            ),
+            (
+                "2 2\n1\n",
+                "hgr parse error: expected 2 hyperedge lines, found 1",
+            ),
+        ];
+        for (input, want) in cases {
+            let err = read_hgr(input).unwrap_err();
+            assert_eq!(&err.to_string(), want, "input {input:?}");
+        }
+    }
+
+    /// Error *ordering* matches the single-pass reader too: a bad id on
+    /// an early line wins over a later excess-lines error, even though
+    /// pass 1 walks the whole document first.
+    #[test]
+    fn error_order_matches_single_pass() {
+        let err = read_hgr("1 2\nbogus\n2\n").unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.message.contains("bad vertex id `bogus`"), "{err}");
+    }
+
+    /// Exact preallocation: the CSR arrays come out with no spare
+    /// capacity on a clean parse.
+    #[test]
+    fn two_pass_preallocates_exactly() {
+        let h = read_hgr("3 5\n1 2 3\n% comment between edges\n2 3 4\n5\n").unwrap();
+        assert_eq!(h.num_pins(), 7);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.pins(EdgeId(2)), &[VertexId(4)]);
     }
 }

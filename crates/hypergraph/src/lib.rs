@@ -58,6 +58,7 @@ pub mod degree;
 pub mod dual;
 pub mod generalized;
 pub mod hash;
+pub mod hgb;
 pub mod hypergraph;
 pub mod io;
 pub mod kcore;
@@ -73,6 +74,7 @@ pub mod projections;
 pub mod reduce;
 pub mod relabel;
 pub mod smallworld;
+pub mod storage;
 pub mod validate;
 
 pub use bipartite::BipartiteView;
@@ -87,6 +89,10 @@ pub use decompose::{
 pub use degree::{edge_degree_histogram, vertex_degree_histogram};
 pub use dual::dual;
 pub use generalized::{ks_core, max_ks_core, KsCore};
+pub use hgb::{
+    open_hgb, write_hgb, write_hgb_file, HgbDataset, HgbError, HgbOpenMode, HgbOpenOptions,
+    HgbStreamWriter,
+};
 pub use hypergraph::{EdgeId, Hypergraph, VertexId};
 pub use kcore::{
     core_numbers, core_numbers_per_k, core_numbers_with, core_profile, core_profile_per_k,
@@ -110,6 +116,8 @@ pub use powerlaw::{fit_power_law, PowerLawFit};
 pub use projections::{clique_expansion, intersection_graph, star_expansion, SpaceReport};
 pub use reduce::{non_maximal_edges, reduce};
 pub use relabel::Relabeling;
+pub use storage::StorageKind;
+
 pub use smallworld::{
     report_from_distances, small_world_report, small_world_report_sampled,
     small_world_report_sampled_with, small_world_report_with, SmallWorldReport,

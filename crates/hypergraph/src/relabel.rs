@@ -144,6 +144,26 @@ impl Relabeling {
         b.build()
     }
 
+    /// The raw permutation arrays `(vertex_to_new, vertex_to_old,
+    /// edge_to_old)` — for the `.hgb` serializer.
+    pub(crate) fn parts(&self) -> (&[u32], &[u32], &[u32]) {
+        (&self.vertex_to_new, &self.vertex_to_old, &self.edge_to_old)
+    }
+
+    /// Reassemble from raw permutation arrays (the `.hgb` reader
+    /// validates bounds and mutual inverses before calling this).
+    pub(crate) fn from_parts(
+        vertex_to_new: Vec<u32>,
+        vertex_to_old: Vec<u32>,
+        edge_to_old: Vec<u32>,
+    ) -> Self {
+        Relabeling {
+            vertex_to_new,
+            vertex_to_old,
+            edge_to_old,
+        }
+    }
+
     /// The old id of relabeled vertex `v`.
     #[inline]
     pub fn original_vertex(&self, v: VertexId) -> VertexId {
