@@ -86,21 +86,58 @@ stop_server() {
     trap - EXIT
 }
 
+# Decide how many idle keep-alive connections the loadgen passes may
+# hold: 2048 when the fd limit allows (fleet + sockets + headroom in
+# both the server and the loadgen process), else 0 with a note. Raises
+# a low soft limit in place — must run in the script shell, not a
+# subshell, so the new limit reaches the child processes. Sets
+# $IDLE_CONNS.
+set_idle_conns() {
+    FDS=$(ulimit -n 2>/dev/null || echo 0)
+    case "$FDS" in
+        unlimited) FDS=1048576 ;;
+    esac
+    if [ "$FDS" -lt 4500 ]; then
+        ulimit -n 4500 2>/dev/null || true
+        FDS=$(ulimit -n 2>/dev/null || echo 0)
+        case "$FDS" in
+            unlimited) FDS=1048576 ;;
+        esac
+    fi
+    if [ "$FDS" -ge 4500 ]; then
+        IDLE_CONNS=2048
+    else
+        IDLE_CONNS=0
+        echo "fd limit $FDS cannot hold the 2048-connection fleet; skipping it"
+    fi
+}
+
 run_bench() {
     echo "==> cargo build --release (bench)"
     cargo build --workspace --release -q
 
     echo "==> hg loadgen benchmark"
+    set_idle_conns
     start_server
     # Warm the cache so the gate measures steady-state serving, then
-    # run the measured pass.
+    # run the measured pass while an idle keep-alive fleet is parked on
+    # the event loop: the p99 gate below also proves the parked
+    # connections are free.
     ./target/release/hg loadgen --addr "$ADDR" --dataset cellzome-2004 \
         --concurrency 4 --requests 100 >/dev/null
     ./target/release/hg loadgen --addr "$ADDR" --dataset cellzome-2004 \
-        --concurrency 4 --requests 400 --json BENCH_serve.json
+        --concurrency 4 --requests 400 --connections "$IDLE_CONNS" \
+        --json BENCH_serve.json
     stop_server
     rm -f smoke.log
 
+    if [ "$IDLE_CONNS" -gt 0 ]; then
+        grep -q "\"idle_connections\":{\"requested\":$IDLE_CONNS,\"connected\":$IDLE_CONNS,\"connect_errors\":0,\"resets\":0}" BENCH_serve.json || {
+            echo "BENCH FAIL: idle fleet had connect errors or resets:" >&2
+            sed -n 's/.*\("idle_connections":{[^}]*}\).*/\1/p' BENCH_serve.json >&2
+            exit 1
+        }
+    fi
     P99=$(sed -n 's/.*"p99_us":\([0-9]*\).*/\1/p' BENCH_serve.json)
     BASE=$(sed -n 's/.*"p99_us":\([0-9]*\).*/\1/p' bench/serve-baseline.json)
     if [ -z "$P99" ] || [ -z "$BASE" ]; then
@@ -190,13 +227,15 @@ run_update_baselines() {
     ./target/release/hg bench --kernels --reps 5 --json bench/kernels-baseline.json
 
     echo "==> regenerating bench/serve-baseline.json (worst of 3 steady-state p99s, x3)"
+    set_idle_conns
     start_server
     ./target/release/hg loadgen --addr "$ADDR" --dataset cellzome-2004 \
         --concurrency 4 --requests 100 >/dev/null
     P99=0
     for PASS in 1 2 3; do
         ./target/release/hg loadgen --addr "$ADDR" --dataset cellzome-2004 \
-            --concurrency 4 --requests 400 --json BENCH_serve.json
+            --concurrency 4 --requests 400 --connections "$IDLE_CONNS" \
+            --json BENCH_serve.json
         PASS_P99=$(sed -n 's/.*"p99_us":\([0-9]*\).*/\1/p' BENCH_serve.json)
         if [ -z "$PASS_P99" ]; then
             echo "cannot extract p99_us from BENCH_serve.json (pass $PASS)" >&2
@@ -207,8 +246,8 @@ run_update_baselines() {
     stop_server
     rm -f smoke.log
     CEIL=$((P99 * 3))
-    printf '{"schema":"hg-loadgen-baseline/1","note":"p99 latency ceiling for ci.sh --bench; worst of 3 measured steady-state p99s (%sus) stored x3 for runner noise (regenerated by ci.sh --update-baselines)","dataset":"cellzome-2004","concurrency":4,"requests":400,"p99_us":%s}\n' \
-        "$P99" "$CEIL" >bench/serve-baseline.json
+    printf '{"schema":"hg-loadgen-baseline/1","note":"p99 latency ceiling for ci.sh --bench; worst of 3 measured steady-state p99s (%sus) stored x3 for runner noise (regenerated by ci.sh --update-baselines)","dataset":"cellzome-2004","concurrency":4,"requests":400,"idle_connections":%s,"p99_us":%s}\n' \
+        "$P99" "$IDLE_CONNS" "$CEIL" >bench/serve-baseline.json
     echo "==> regenerating bench/load-baseline.json (best of 5 cold loads)"
     ./target/release/hg bench --coldload --reps 5 --json bench/load-baseline.json
 
@@ -287,9 +326,55 @@ curl -sf "http://$ADDR/debug/slowlog" | grep -q '"schema":"hg-slowlog/1"' || {
     echo "/debug/slowlog did not answer well-formed slowlog JSON"
     exit 1
 }
+# Connection-engine surface: the per-state open-connection gauges and
+# the accept counter are exported (curl itself accounts for at least
+# one accepted connection).
+METRICS=$(curl -sf "http://$ADDR/metrics")
+for STATE in idle reading dispatched writing; do
+    printf '%s\n' "$METRICS" | grep -q "^hgserve_open_connections{state=\"$STATE\"} " || {
+        echo "expected hgserve_open_connections{state=\"$STATE\"} in /metrics"
+        printf '%s\n' "$METRICS" | grep '^hgserve_open' || true
+        exit 1
+    }
+done
+ACCEPTS=$(printf '%s\n' "$METRICS" | awk '$1 == "hgserve_accept_total" { print $2 }')
+[ "${ACCEPTS:-0}" -ge 1 ] || {
+    echo "expected hgserve_accept_total >= 1, got '${ACCEPTS:-none}'"
+    exit 1
+}
 stop_server
 rm -f smoke.log
-echo "smoke OK (cache hits: $HITS, deadline probe: $CODE, bucket series: $BUCKETS)"
+echo "smoke OK (cache hits: $HITS, deadline probe: $CODE, bucket series: $BUCKETS, accepts: $ACCEPTS)"
+
+echo "==> hgserve smoke (idle keep-alive fleet + live deadline-bounded queries)"
+# Hold thousands of idle keep-alive connections on the event loop while
+# deadline-bounded queries keep answering: none of the parked sockets
+# may fail to connect or get dropped, and no query may fail transport.
+set_idle_conns
+if [ "$IDLE_CONNS" -gt 0 ]; then
+    start_server
+    ./target/release/hg loadgen --addr "$ADDR" --dataset cellzome-2004 \
+        --concurrency 4 --requests 200 --deadline-ms 2000 \
+        --connections "$IDLE_CONNS" --json SMOKE_conns.json
+    grep -q "\"idle_connections\":{\"requested\":$IDLE_CONNS,\"connected\":$IDLE_CONNS,\"connect_errors\":0,\"resets\":0}" SMOKE_conns.json || {
+        echo "idle fleet had connect errors or resets:"
+        sed -n 's/.*\("idle_connections":{[^}]*}\).*/\1/p' SMOKE_conns.json
+        exit 1
+    }
+    grep -q '"transport_errors":0' SMOKE_conns.json || {
+        echo "live queries failed while the fleet was parked:"
+        cat SMOKE_conns.json
+        exit 1
+    }
+    ACCEPTS=$(curl -sf "http://$ADDR/metrics" | awk '$1 == "hgserve_accept_total" { print $2 }')
+    [ "${ACCEPTS:-0}" -ge "$IDLE_CONNS" ] || {
+        echo "expected hgserve_accept_total >= $IDLE_CONNS after the fleet, got '${ACCEPTS:-none}'"
+        exit 1
+    }
+    stop_server
+    rm -f smoke.log SMOKE_conns.json
+    echo "connection smoke OK ($IDLE_CONNS idle connections held, accepts: $ACCEPTS)"
+fi
 
 echo "==> hgserve smoke (kernel counters under --par-threshold 1 --relabel)"
 # Force parallel routing on the small dataset and store it relabeled:

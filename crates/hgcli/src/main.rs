@@ -39,7 +39,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par] [--profile]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE[.hgb]]\n  hg convert <file.hgr|.net|.mtx> -o <out.hgb> [--relabel]\n  hg export-pajek <file.hgr> -o <base>\n  hg serve [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--deadline-ms MS]\n           [--queue N] [--par-threshold N] [--relabel] [--preload FILE...]\n  hg loadgen [--addr HOST:PORT] [--dataset NAME] [--concurrency N]\n             [--requests N] [--mix stats=3,kcore=1,...] [--deadline-ms MS]\n             [--json FILE]\n  hg trace <trace.json>   pretty-print a saved request trace\n  hg bench --kernels [--json FILE] [--reps N] [--scale N] [--cellzome FILE]\n           [--no-relabel]\n  hg bench --coldload [--json FILE] [--scale N] [--dir DIR] [--reps N]\n  hg bench --delta <baseline.json> <current.json>   markdown delta table\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
+    "usage:\n  hg stats <file.hgr>\n  hg kcore <file.hgr> [--k K] [--par] [--profile]\n  hg ks-core <file.hgr> --k K --s S\n  hg fit <file.hgr>\n  hg cover <file.hgr> [--weights unit|deg2] [--multicover R]\n  hg profile <file.hgr>... [--algo all|kcore|bfs|cover]\n  hg reduce <file.hgr> [-o FILE]\n  hg dual <file.hgr> [-o FILE]\n  hg tap-sim <file.hgr> [--baits N|cover|multicover] [--p P] [--seed S]\n  hg gen <cellzome|uniform N M K|table1 NAME> [--seed S] [-o FILE[.hgb]]\n  hg convert <file.hgr|.net|.mtx> -o <out.hgb> [--relabel]\n  hg export-pajek <file.hgr> -o <base>\n  hg serve [--addr HOST:PORT] [--threads N] [--cache-mb MB] [--deadline-ms MS]\n           [--queue N] [--par-threshold N] [--relabel] [--preload FILE...]\n  hg loadgen [--addr HOST:PORT] [--dataset NAME] [--concurrency N]\n             [--requests N] [--mix stats=3,kcore=1,...] [--deadline-ms MS]\n             [--connections N] [--json FILE]\n  hg trace <trace.json>   pretty-print a saved request trace\n  hg bench --kernels [--json FILE] [--reps N] [--scale N] [--cellzome FILE]\n           [--no-relabel]\n  hg bench --coldload [--json FILE] [--scale N] [--dir DIR] [--reps N]\n  hg bench --delta <baseline.json> <current.json>   markdown delta table\n  hg repro [e1..e10|a1..a4|all] [-o DIR]\nglobal flags:\n  --metrics FILE   write a JSON metrics report (counters, histograms, spans)\n  HG_LOG=info|debug   structured tracing to stderr\n".to_string()
 }
 
 fn run(args: &[String]) -> Result<String, String> {
@@ -713,7 +713,7 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
         ));
     }
 
-    let sigint = hgserve::install_sigint_flag();
+    hgserve::install_sigint_flag();
     let handle = hgserve::start(&config, registry).map_err(|e| format!("cannot bind: {e}"))?;
     println!("hg serve: listening on http://{}", handle.addr());
     // Machine-parseable startup lines: one LOAD= per preloaded dataset
@@ -727,13 +727,15 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
-    // Block until Ctrl-C or POST /admin/shutdown, then drain and join.
-    while !sigint.load(std::sync::atomic::Ordering::Relaxed) && !handle.state().shutting_down() {
-        std::thread::sleep(std::time::Duration::from_millis(100));
-    }
-    let stats = handle.state().state_line();
-    handle.shutdown();
-    Ok(format!("hg serve: drained and stopped ({stats})\n"))
+    // Block until Ctrl-C or POST /admin/shutdown: both wake the event
+    // loop directly (no polling), which drains, exits, and lets `wait`
+    // join the loop and worker threads.
+    let state = std::sync::Arc::clone(handle.state());
+    handle.wait();
+    Ok(format!(
+        "hg serve: drained and stopped ({})\n",
+        state.state_line()
+    ))
 }
 
 fn cmd_loadgen(args: &[String]) -> Result<String, String> {
@@ -743,6 +745,7 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
     let (requests, rest) = take_opt(&rest, "--requests")?;
     let (mix, rest) = take_opt(&rest, "--mix")?;
     let (deadline_ms, rest) = take_opt(&rest, "--deadline-ms")?;
+    let (connections, rest) = take_opt(&rest, "--connections")?;
     let (json_out, rest) = take_opt(&rest, "--json")?;
     if let Some(extra) = rest.first() {
         return Err(format!("unexpected argument `{extra}`"));
@@ -768,6 +771,7 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
                     .map_err(|e| format!("bad --deadline-ms: {e}"))
             })
             .transpose()?,
+        idle_connections: parse_n(connections, "--connections", 0)?,
     };
     // Machine-parseable startup line mirroring `hg serve`'s: the target
     // dataset's load time, storage backing, and resident bytes as the

@@ -50,7 +50,9 @@ mod time;
 pub mod trace;
 
 pub use deadline::{Deadline, DeadlineExceeded, CHECK_INTERVAL};
-pub use metrics::{add_counter, disable, enable, enabled, record_hist, reset};
+pub use metrics::{
+    add_counter, add_gauge, disable, enable, enabled, record_hist, reset, set_gauge,
+};
 pub use report::{
     absorb, sanitize_metric_name, snapshot_report, take_report, HistSummary, Report, SpanSummary,
     SCHEMA_VERSION,
@@ -78,6 +80,17 @@ macro_rules! counter {
 macro_rules! hist {
     ($name:literal, $value:expr) => {
         $crate::record_hist($name, ($value) as u64)
+    };
+}
+
+/// Set a named gauge to an absolute level:
+/// `gauge!("serve.conn.open", open)`. Gauges are point-in-time levels
+/// (signed), not monotone counters; `add_gauge` adjusts by a delta.
+/// No-op while the sink is disabled.
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal, $value:expr) => {
+        $crate::set_gauge($name, ($value) as i64)
     };
 }
 
@@ -133,6 +146,26 @@ mod tests {
         assert_eq!(r.spans["outer"].count, 1);
         assert_eq!(r.spans["outer/inner"].count, 2);
         assert!(r.spans["outer"].total_ns >= r.spans["outer/inner"].total_ns);
+    }
+
+    #[test]
+    fn gauges_set_add_and_render() {
+        let _g = serial();
+        reset();
+        enable();
+        gauge!("t.level", 4);
+        add_gauge("t.level", 3);
+        add_gauge("t.level", -9);
+        gauge!("t.other", 1);
+        disable();
+        // Disabled: further gauge calls record nothing.
+        gauge!("t.level", 99);
+        let r = take_report();
+        assert_eq!(r.gauges["t.level"], -2);
+        assert_eq!(r.gauges["t.other"], 1);
+        let prom = r.render_prometheus();
+        assert!(prom.contains("hg_t_level -2\n"), "{prom}");
+        assert!(prom.contains("# TYPE hg_t_other gauge\n"), "{prom}");
     }
 
     #[test]

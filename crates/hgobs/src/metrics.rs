@@ -70,6 +70,9 @@ pub(crate) struct Registry {
     pub counters: BTreeMap<String, u64>,
     pub hists: BTreeMap<String, Hist>,
     pub spans: BTreeMap<String, SpanStat>,
+    /// Point-in-time levels (open connections, queue depth): signed so
+    /// decrements can transiently cross zero without wrapping.
+    pub gauges: BTreeMap<String, i64>,
 }
 
 impl Registry {
@@ -78,6 +81,7 @@ impl Registry {
             counters: BTreeMap::new(),
             hists: BTreeMap::new(),
             spans: BTreeMap::new(),
+            gauges: BTreeMap::new(),
         }
     }
 }
@@ -115,6 +119,34 @@ pub fn record_hist(name: &str, value: u64) {
     }
 }
 
+/// Set a gauge to an absolute level (prefer the `gauge!` macro).
+#[inline]
+pub fn set_gauge(name: &str, value: i64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock();
+    if let Some(g) = reg.gauges.get_mut(name) {
+        *g = value;
+    } else {
+        reg.gauges.insert(name.to_string(), value);
+    }
+}
+
+/// Adjust a gauge by a signed delta (an absent gauge starts at 0).
+#[inline]
+pub fn add_gauge(name: &str, delta: i64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock();
+    if let Some(g) = reg.gauges.get_mut(name) {
+        *g += delta;
+    } else {
+        reg.gauges.insert(name.to_string(), delta);
+    }
+}
+
 pub(crate) fn record_span(path: String, ns: u64) {
     let mut reg = REGISTRY.lock();
     let stat = reg.spans.entry(path).or_default();
@@ -128,6 +160,7 @@ pub fn reset() {
     reg.counters.clear();
     reg.hists.clear();
     reg.spans.clear();
+    reg.gauges.clear();
 }
 
 pub(crate) fn drain() -> Registry {
@@ -169,5 +202,10 @@ pub(crate) fn absorb_report(report: &crate::Report) {
         let e = reg.spans.entry(k.clone()).or_default();
         e.count += s.count;
         e.total_ns = e.total_ns.saturating_add(s.total_ns);
+    }
+    for (k, &v) in &report.gauges {
+        // Levels add: re-absorbing a drained section restores whatever
+        // contribution it carried.
+        *reg.gauges.entry(k.clone()).or_insert(0) += v;
     }
 }

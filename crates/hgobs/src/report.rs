@@ -112,6 +112,8 @@ pub struct Report {
     pub counters: BTreeMap<String, u64>,
     pub histograms: BTreeMap<String, HistSummary>,
     pub spans: BTreeMap<String, SpanSummary>,
+    /// Point-in-time levels recorded via `set_gauge`/`add_gauge`.
+    pub gauges: BTreeMap<String, i64>,
 }
 
 /// Drain the global registry into a [`Report`]; subsequent recording
@@ -159,6 +161,7 @@ fn registry_to_report(reg: crate::metrics::Registry) -> Report {
                 )
             })
             .collect(),
+        gauges: reg.gauges,
     }
 }
 
@@ -172,7 +175,10 @@ pub fn absorb(report: &Report) {
 
 impl Report {
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty() && self.spans.is_empty()
+        self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+            && self.gauges.is_empty()
     }
 
     /// Fold `other` into `self`: counters and span/histogram statistics
@@ -237,6 +243,11 @@ impl Report {
             e.count += s.count;
             e.total_ns = e.total_ns.saturating_add(s.total_ns);
         }
+        // Gauges are levels; merging fleet reports sums the levels
+        // (total open connections across shards).
+        for (k, &v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
     }
 
     /// Write this report as a JSON object into `w` (no surrounding
@@ -245,6 +256,12 @@ impl Report {
         w.key("counters").begin_object();
         for (k, v) in &self.counters {
             w.key(k).uint(*v);
+        }
+        w.end_object();
+
+        w.key("gauges").begin_object();
+        for (k, v) in &self.gauges {
+            w.key(k).int(*v);
         }
         w.end_object();
 
@@ -308,6 +325,11 @@ impl Report {
             out.push_str(&format!("# TYPE hg_{n}_total counter\n"));
             out.push_str(&format!("hg_{n}_total {v}\n"));
         }
+        for (k, v) in &self.gauges {
+            let n = sanitize_metric_name(k);
+            out.push_str(&format!("# TYPE hg_{n} gauge\n"));
+            out.push_str(&format!("hg_{n} {v}\n"));
+        }
         for (k, h) in &self.histograms {
             let n = sanitize_metric_name(k);
             out.push_str(&format!("# TYPE hg_{n} histogram\n"));
@@ -358,6 +380,12 @@ impl Report {
         if !self.counters.is_empty() {
             out.push_str("counters:\n");
             for (k, v) in &self.counters {
+                out.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
                 out.push_str(&format!("  {k} = {v}\n"));
             }
         }
@@ -414,6 +442,7 @@ mod tests {
     fn sample() -> Report {
         let mut r = Report::default();
         r.counters.insert("kcore.rounds".into(), 3);
+        r.gauges.insert("serve.conn.open".into(), 12);
         r.histograms.insert(
             "bfs.frontier".into(),
             HistSummary::from_values(&[1, 2, 3, 4]),
@@ -442,6 +471,7 @@ mod tests {
             js,
             "{\"schema\":\"hgobs/1\",\
              \"counters\":{\"kcore.rounds\":3},\
+             \"gauges\":{\"serve.conn.open\":12},\
              \"histograms\":{\"bfs.frontier\":{\"count\":4,\"sum\":10,\"min\":1,\"max\":4,\"mean\":2.5,\
              \"p50\":2,\"p95\":4,\"p99\":4,\"buckets\":[[1,1],[2,1],[3,1],[5,1]]}},\
              \"spans\":{\"total\":{\"count\":1,\"total_ns\":2000000,\"seconds\":0.002},\
@@ -456,7 +486,21 @@ mod tests {
         assert!(text.contains("total"));
         assert!(text.contains("total/kcore"));
         assert!(text.contains("kcore.rounds = 3"));
+        assert!(text.contains("serve.conn.open = 12"));
         assert!(text.contains("bfs.frontier: n=4 mean=2.50 min=1 max=4 p50=2 p99=4"));
+    }
+
+    #[test]
+    fn merged_gauges_sum_levels() {
+        let mut a = Report::default();
+        a.gauges.insert("conn".into(), 5);
+        let mut b = Report::default();
+        b.gauges.insert("conn".into(), 7);
+        b.gauges.insert("queue".into(), -1);
+        a.merge(&b);
+        assert_eq!(a.gauges["conn"], 12);
+        assert_eq!(a.gauges["queue"], -1);
+        assert!(!a.is_empty());
     }
 
     #[test]
@@ -464,6 +508,8 @@ mod tests {
         let text = sample().render_prometheus();
         assert!(text.contains("# TYPE hg_bfs_frontier histogram\n"));
         assert!(text.contains("hg_kcore_rounds_total 3\n"));
+        assert!(text.contains("# TYPE hg_serve_conn_open gauge\n"));
+        assert!(text.contains("hg_serve_conn_open 12\n"));
         assert!(text.contains("hg_bfs_frontier_count 4\n"));
         assert!(text.contains("hg_bfs_frontier_sum 10\n"));
         // Cumulative bucket series ending in the +Inf catch-all.
@@ -530,7 +576,7 @@ mod tests {
         assert_eq!(r.render_text(), "");
         assert_eq!(
             r.to_json(),
-            "{\"schema\":\"hgobs/1\",\"counters\":{},\"histograms\":{},\"spans\":{}}"
+            "{\"schema\":\"hgobs/1\",\"counters\":{},\"gauges\":{},\"histograms\":{},\"spans\":{}}"
         );
     }
 }

@@ -131,6 +131,108 @@ pub fn split_target(target: &str) -> (String, Vec<(String, String)>) {
     (percent_decode(path), pairs)
 }
 
+/// Outcome of parsing one request out of a connection's accumulated
+/// read buffer ([`parse_request_bytes`]).
+#[derive(Clone, Debug)]
+pub enum ParseOutcome {
+    /// A complete request, plus the number of buffer bytes it consumed
+    /// (head and body); the caller advances its buffer by that much.
+    Complete(Request, usize),
+    /// Only a prefix has arrived; read more bytes and parse again.
+    Partial,
+    /// Malformed or oversized input; answer `status` and close.
+    Error { status: u16, message: String },
+}
+
+/// Parse one request from the front of `buf` without consuming input —
+/// the nonblocking twin of [`read_request`], sharing its grammar and
+/// status mapping (400 malformed, 431 oversized head, 413 oversized
+/// body, 505 bad version). The buffer may hold a partial request
+/// ([`ParseOutcome::Partial`]) or several pipelined ones: callers loop,
+/// advancing by the consumed count of each [`ParseOutcome::Complete`].
+pub fn parse_request_bytes(buf: &[u8], max_body: usize) -> ParseOutcome {
+    let bad = |status: u16, message: String| ParseOutcome::Error { status, message };
+    let mut pos = 0usize;
+    let mut request_line: Option<(String, String)> = None; // (method, target)
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut head_complete = false;
+    while let Some(nl) = buf[pos..].iter().position(|&b| b == b'\n') {
+        let line_end = pos + nl;
+        let mut line = &buf[pos..line_end];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        pos = line_end + 1;
+        let text = String::from_utf8_lossy(line);
+        if request_line.is_none() {
+            // Validate the request line eagerly, in the same order as
+            // the blocking reader (505 beats any later header error).
+            let mut parts = text.split_whitespace();
+            let Some(method) = parts.next() else {
+                return bad(400, "empty request line".to_string());
+            };
+            let Some(target) = parts.next() else {
+                return bad(400, "missing request target".to_string());
+            };
+            let version = parts.next().unwrap_or("HTTP/1.1");
+            if !version.starts_with("HTTP/1.") {
+                return bad(505, format!("unsupported {version}"));
+            }
+            request_line = Some((method.to_string(), target.to_string()));
+            continue;
+        }
+        if line.is_empty() {
+            head_complete = true;
+            break;
+        }
+        if pos > MAX_HEAD_BYTES {
+            return bad(431, "headers too large".to_string());
+        }
+        let Some((name, value)) = text.split_once(':') else {
+            return bad(400, format!("malformed header `{text}`"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    if !head_complete {
+        // No blank line yet: either keep reading or reject a head that
+        // can no longer fit under the cap.
+        if buf.len() > MAX_HEAD_BYTES {
+            return bad(431, "headers too large".to_string());
+        }
+        return ParseOutcome::Partial;
+    }
+    let (method, target) = request_line.expect("head_complete implies a request line");
+
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => return bad(400, format!("bad content-length `{v}`")),
+        },
+        None => 0,
+    };
+    if content_length > max_body {
+        return bad(
+            413,
+            format!("body of {content_length} bytes exceeds limit {max_body}"),
+        );
+    }
+    if buf.len() < pos + content_length {
+        return ParseOutcome::Partial;
+    }
+    let body = buf[pos..pos + content_length].to_vec();
+    let (path, query) = split_target(&target);
+    ParseOutcome::Complete(
+        Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        },
+        pos + content_length,
+    )
+}
+
 /// Read one request from `reader`.
 ///
 /// Distinguishes a clean close ([`HttpError::Eof`]), an idle timeout
@@ -346,26 +448,48 @@ impl Response {
         Response::json(status, body)
     }
 
-    /// Serialize onto `w`. `close` controls the `Connection` header.
-    pub fn write_to(&self, w: &mut impl Write, close: bool) -> std::io::Result<()> {
-        write!(
-            w,
+    /// Render the status line and header block (through the final blank
+    /// line). One source of truth for both the blocking [`write_to`]
+    /// path and the event loop's [`to_bytes`] chunks.
+    ///
+    /// [`write_to`]: Response::write_to
+    /// [`to_bytes`]: Response::to_bytes
+    fn head_string(&self, close: bool) -> String {
+        use std::fmt::Write as _;
+        let mut head = String::with_capacity(128);
+        let _ = write!(
+            head,
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
             self.body.len(),
             if close { "close" } else { "keep-alive" },
-        )?;
+        );
         if let Some(seconds) = self.retry_after {
-            write!(w, "Retry-After: {seconds}\r\n")?;
+            let _ = write!(head, "Retry-After: {seconds}\r\n");
         }
         for (name, value) in &self.extra_headers {
-            write!(w, "{name}: {value}\r\n")?;
+            let _ = write!(head, "{name}: {value}\r\n");
         }
-        w.write_all(b"\r\n")?;
+        head.push_str("\r\n");
+        head
+    }
+
+    /// Serialize onto `w`. `close` controls the `Connection` header.
+    pub fn write_to(&self, w: &mut impl Write, close: bool) -> std::io::Result<()> {
+        w.write_all(self.head_string(close).as_bytes())?;
         w.write_all(self.body.as_bytes())?;
         w.flush()
+    }
+
+    /// Serialize into `(head, body)` byte chunks for the event loop's
+    /// vectored nonblocking writeout.
+    pub fn to_bytes(&self, close: bool) -> (Vec<u8>, Vec<u8>) {
+        (
+            self.head_string(close).into_bytes(),
+            self.body.clone().into_bytes(),
+        )
     }
 }
 
@@ -495,5 +619,120 @@ mod tests {
     fn new_status_reasons() {
         assert_eq!(status_reason(408), "Request Timeout");
         assert_eq!(status_reason(504), "Gateway Timeout");
+    }
+
+    /// Oracle check: the incremental parser must classify `raw` exactly
+    /// like the blocking whole-stream reader does.
+    fn assert_matches_oracle(raw: &str) {
+        let oracle = parse(raw);
+        match parse_request_bytes(raw.as_bytes(), 1024) {
+            ParseOutcome::Complete(req, consumed) => {
+                let expect = oracle.expect("oracle parsed");
+                assert_eq!(req.method, expect.method, "{raw:?}");
+                assert_eq!(req.path, expect.path, "{raw:?}");
+                assert_eq!(req.query, expect.query, "{raw:?}");
+                assert_eq!(req.headers, expect.headers, "{raw:?}");
+                assert_eq!(req.body, expect.body, "{raw:?}");
+                assert!(consumed <= raw.len(), "{raw:?}");
+            }
+            ParseOutcome::Error { status, .. } => {
+                let err = oracle.expect_err("oracle rejected");
+                match err {
+                    HttpError::Bad { status: s, .. } => assert_eq!(status, s, "{raw:?}"),
+                    other => panic!("oracle gave {other:?} for {raw:?}"),
+                }
+            }
+            ParseOutcome::Partial => panic!("complete input parsed as partial: {raw:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_parser_agrees_with_blocking_reader() {
+        for raw in [
+            "GET /v1/yeast/kcore?k=3&x=a%20b HTTP/1.1\r\nHost: x\r\n\r\n",
+            "POST /datasets?name=t HTTP/1.1\r\nContent-Length: 7\r\n\r\n2 2\n1 2",
+            "GET / HTTP/1.1\r\nConnection: Close\r\n\r\n",
+            "GET /healthz HTTP/1.1\nHost: y\n\n",
+            "GET\r\n\r\n",
+            "GET / HTTP/2\r\n\r\n",
+            "GET / HTTP/2\r\nbogus\r\n\r\n",
+            "GET / HTTP/1.1\r\nbogus\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: frogs\r\n\r\n",
+        ] {
+            assert_matches_oracle(raw);
+        }
+    }
+
+    #[test]
+    fn incremental_parser_every_byte_prefix_is_partial() {
+        // Byte-at-a-time delivery: every strict prefix must come back
+        // Partial (never a premature Complete or spurious Error), and
+        // the full buffer must parse to the same request as the oracle.
+        let raw = "POST /datasets?name=t HTTP/1.1\r\nContent-Length: 7\r\n\r\n2 2\n1 2";
+        for cut in 0..raw.len() {
+            match parse_request_bytes(&raw.as_bytes()[..cut], 1024) {
+                ParseOutcome::Partial => {}
+                other => panic!("prefix of {cut} bytes gave {other:?}"),
+            }
+        }
+        assert_matches_oracle(raw);
+    }
+
+    #[test]
+    fn incremental_parser_consumes_pipelined_requests_in_order() {
+        let raw = "GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let ParseOutcome::Complete(first, used) = parse_request_bytes(raw.as_bytes(), 1024) else {
+            panic!("first request did not parse");
+        };
+        assert_eq!(first.path, "/healthz");
+        let ParseOutcome::Complete(second, used2) =
+            parse_request_bytes(&raw.as_bytes()[used..], 1024)
+        else {
+            panic!("second request did not parse");
+        };
+        assert_eq!(second.path, "/metrics");
+        assert!(second.wants_close());
+        assert_eq!(used + used2, raw.len());
+    }
+
+    #[test]
+    fn incremental_parser_rejects_oversized_head_with_431() {
+        // A header block that can no longer fit under MAX_HEAD_BYTES is
+        // rejected even before the terminating blank line arrives, so a
+        // slow-loris peer cannot grow the buffer without bound.
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        while raw.len() <= MAX_HEAD_BYTES {
+            raw.push_str("X-Pad: yyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyy\r\n");
+        }
+        match parse_request_bytes(raw.as_bytes(), 1024) {
+            ParseOutcome::Error { status: 431, .. } => {}
+            other => panic!("unterminated oversized head gave {other:?}"),
+        }
+        raw.push_str("\r\n");
+        match parse_request_bytes(raw.as_bytes(), 1024) {
+            ParseOutcome::Error { status: 431, .. } => {}
+            other => panic!("terminated oversized head gave {other:?}"),
+        }
+        // The blocking reader agrees on the status.
+        assert!(matches!(
+            parse(&raw).unwrap_err(),
+            HttpError::Bad { status: 431, .. }
+        ));
+    }
+
+    #[test]
+    fn response_to_bytes_matches_write_to() {
+        for close in [true, false] {
+            let resp = Response::json(200, "{\"ok\":true}\n".into())
+                .with_retry_after(1)
+                .with_header("X-Trace-Id", "0011223344556677".into());
+            let mut blocking = Vec::new();
+            resp.write_to(&mut blocking, close).unwrap();
+            let (head, body) = resp.to_bytes(close);
+            let mut chunked = head;
+            chunked.extend_from_slice(&body);
+            assert_eq!(chunked, blocking);
+        }
     }
 }

@@ -9,10 +9,16 @@
 //! from memory thereafter.
 //!
 //! Built entirely on `std::net` — no async runtime, no HTTP library:
-//! an acceptor thread feeds a fixed worker pool over a **bounded** mpsc
-//! channel ([`server`]), requests are parsed by a minimal hand-rolled
-//! HTTP/1.1 reader ([`http`]), query execution lives in [`query`],
-//! datasets in [`registry`], and the cache in [`cache`]. A
+//! a single nonblocking **readiness event loop** ([`server`], on raw
+//! `epoll` via [`poller`], with a portable `poll(2)` fallback) owns
+//! accept, read, and write for every connection as a small state
+//! machine (idle → reading → dispatched → writing), so thousands of
+//! parked keep-alive connections cost zero threads. Complete requests
+//! are handed to a fixed worker pool over a **bounded** mpsc channel;
+//! workers push serialized responses back through a completion queue
+//! and an eventfd wakeup. Requests are parsed by a minimal hand-rolled
+//! incremental HTTP/1.1 parser ([`http`]), query execution lives in
+//! [`query`], datasets in [`registry`], and the cache in [`cache`]. A
 //! deterministic load generator ([`loadgen`]) doubles as benchmark
 //! driver and end-to-end test client.
 //!
@@ -20,9 +26,9 @@
 //!
 //! The server degrades predictably instead of queueing without bound:
 //!
-//! * **Admission control** — when all workers are busy and the accept
-//!   queue (`--queue`) is full, new connections are shed immediately
-//!   with `503` + `Retry-After: 1` and counted in
+//! * **Admission control** — when all workers are busy and the job
+//!   queue (`--queue`) is full, the event loop answers `503` +
+//!   `Retry-After: 1` directly — no worker is touched — counted in
 //!   `hgserve_shed_total`.
 //! * **Deadlines** — each request runs under a cooperative
 //!   [`hgobs::Deadline`] (server default `--deadline-ms`, per-request
@@ -30,7 +36,8 @@
 //!   algorithm mid-loop and answers `504` (`hgserve_deadline_exceeded_total`).
 //! * **Slow-loris protection** — a request head that trickles in
 //!   longer than the header timeout gets `408` and the connection is
-//!   closed.
+//!   closed, enforced by the event loop's timer wheel rather than a
+//!   blocked worker.
 //! * **Parallel offload** — on datasets at or above `par_threshold`
 //!   vertices, diameter and k-core queries run on the `parcore`
 //!   kernels, sharing one deadline token across all worker threads.
@@ -96,6 +103,7 @@
 pub mod cache;
 pub mod http;
 pub mod loadgen;
+pub mod poller;
 pub mod query;
 pub mod registry;
 pub mod server;

@@ -64,6 +64,11 @@ pub struct LoadgenConfig {
     /// When set, every request carries `X-Deadline-Ms: <ms>` and the
     /// report tallies the resulting 504s.
     pub deadline_ms: Option<u64>,
+    /// Extra keep-alive connections opened before the query phase and
+    /// held idle (no bytes sent) for the whole run — they exercise the
+    /// event loop's parked-connection path. The report tallies how many
+    /// connected, failed to connect, or were reset by the server.
+    pub idle_connections: usize,
 }
 
 /// One tail-latency request: its latency and the server-assigned
@@ -99,6 +104,13 @@ pub struct LoadgenReport {
     /// reachable before and after.
     pub cache_hits_delta: Option<u64>,
     pub cache_misses_delta: Option<u64>,
+    /// Idle keep-alive fleet ([`LoadgenConfig::idle_connections`]):
+    /// how many were requested, actually connected, failed to connect,
+    /// and were found closed or reset when probed after the run.
+    pub idle_requested: u64,
+    pub idle_connected: u64,
+    pub idle_connect_errors: u64,
+    pub idle_resets: u64,
 }
 
 /// Cap on [`LoadgenReport::slowest`].
@@ -161,6 +173,15 @@ impl LoadgenReport {
                 pct(self.deadline_exceeded),
             ));
         }
+        if self.idle_requested > 0 {
+            out.push_str(&format!(
+                "idle connections: {} requested, {} connected, {} connect errors, {} resets\n",
+                self.idle_requested,
+                self.idle_connected,
+                self.idle_connect_errors,
+                self.idle_resets,
+            ));
+        }
         if !self.slowest.is_empty() {
             out.push_str("slowest traces:");
             for s in &self.slowest {
@@ -191,7 +212,7 @@ impl LoadgenReport {
         };
         let mut w = hgobs::json::JsonWriter::new();
         w.begin_object();
-        w.key("schema").string("hg-loadgen/1");
+        w.key("schema").string("hg-loadgen/2");
         w.key("sent").uint(self.sent);
         w.key("ok").uint(self.ok);
         w.key("http_errors").uint(self.http_errors);
@@ -206,6 +227,12 @@ impl LoadgenReport {
         w.key("max_us")
             .uint(self.latencies_us.last().copied().unwrap_or(0));
         w.key("cache_hit_rate_pct").float(hit_rate);
+        w.key("idle_connections").begin_object();
+        w.key("requested").uint(self.idle_requested);
+        w.key("connected").uint(self.idle_connected);
+        w.key("connect_errors").uint(self.idle_connect_errors);
+        w.key("resets").uint(self.idle_resets);
+        w.end_object();
         w.key("slowest").begin_array();
         for s in &self.slowest {
             w.begin_object();
@@ -433,6 +460,22 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let hits_before = fetch_metric(&cfg.addr, "hgserve_cache_hits");
     let misses_before = fetch_metric(&cfg.addr, "hgserve_cache_misses");
 
+    // Open the idle keep-alive fleet before the query phase and hold
+    // it for the whole run: the sockets never send a byte, so every
+    // one of them must be parked by the server's event loop at zero
+    // worker cost while the live queries below are answered.
+    let mut idle_connect_errors = 0u64;
+    let idle_fleet: Vec<TcpStream> = (0..cfg.idle_connections)
+        .filter_map(|_| match TcpStream::connect(&cfg.addr) {
+            Ok(s) => Some(s),
+            Err(_) => {
+                idle_connect_errors += 1;
+                None
+            }
+        })
+        .collect();
+    let idle_connected = idle_fleet.len() as u64;
+
     let ok = AtomicU64::new(0);
     let http_errors = AtomicU64::new(0);
     let transport_errors = AtomicU64::new(0);
@@ -495,6 +538,23 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     });
 
     let elapsed = started.elapsed();
+
+    // Probe the fleet: a healthy idle keep-alive socket has nothing to
+    // read (`WouldBlock`); EOF or a connection error means the server
+    // dropped it mid-run.
+    let mut idle_resets = 0u64;
+    for conn in &idle_fleet {
+        let alive = conn.set_nonblocking(true).is_ok()
+            && matches!(
+                (&*conn).read(&mut [0u8; 16]),
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock
+            );
+        if !alive {
+            idle_resets += 1;
+        }
+    }
+    drop(idle_fleet);
+
     let mut samples: Vec<(u64, String)> = samples.into_iter().flatten().collect();
     samples.sort_unstable();
     let latencies_us: Vec<u64> = samples.iter().map(|(us, _)| *us).collect();
@@ -540,6 +600,10 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         cache_misses_delta: misses_before
             .zip(misses_after)
             .map(|(b, a)| a.saturating_sub(b)),
+        idle_requested: cfg.idle_connections as u64,
+        idle_connected,
+        idle_connect_errors,
+        idle_resets,
     })
 }
 
@@ -645,10 +709,58 @@ mod tests {
             "{text}"
         );
         let json = r.render_json();
-        assert!(json.contains("\"schema\":\"hg-loadgen/1\""), "{json}");
+        assert!(json.contains("\"schema\":\"hg-loadgen/2\""), "{json}");
         assert!(json.contains("\"shed\":2"), "{json}");
         assert!(json.contains("\"deadline_exceeded\":1"), "{json}");
         assert!(json.contains("\"p99_us\":300"), "{json}");
         assert!(json.ends_with("}\n"), "{json}");
+    }
+
+    #[test]
+    fn report_idle_connection_stats() {
+        let quiet = LoadgenReport {
+            sent: 1,
+            ok: 1,
+            latencies_us: vec![10],
+            ..LoadgenReport::default()
+        };
+        assert!(
+            !quiet.render_text().contains("idle connections"),
+            "no idle line unless a fleet was requested"
+        );
+        assert!(
+            quiet.render_json().contains(
+                "\"idle_connections\":{\"requested\":0,\"connected\":0,\
+                 \"connect_errors\":0,\"resets\":0}"
+            ),
+            "{}",
+            quiet.render_json()
+        );
+
+        let r = LoadgenReport {
+            sent: 1,
+            ok: 1,
+            latencies_us: vec![10],
+            idle_requested: 2048,
+            idle_connected: 2047,
+            idle_connect_errors: 1,
+            idle_resets: 3,
+            ..LoadgenReport::default()
+        };
+        let text = r.render_text();
+        assert!(
+            text.contains(
+                "idle connections: 2048 requested, 2047 connected, 1 connect errors, 3 resets"
+            ),
+            "{text}"
+        );
+        let json = r.render_json();
+        assert!(
+            json.contains(
+                "\"idle_connections\":{\"requested\":2048,\"connected\":2047,\
+                 \"connect_errors\":1,\"resets\":3}"
+            ),
+            "{json}"
+        );
     }
 }

@@ -1,24 +1,40 @@
-//! The analytics daemon: acceptor thread → fixed worker pool →
+//! The analytics daemon: readiness event loop → fixed worker pool →
 //! registry lookup → result cache → algorithms.
 //!
 //! ```text
-//!            ┌──────────┐   mpsc    ┌─────────┐
-//!  accept ──▶│ acceptor │──────────▶│ worker 0│──┐
-//!            │ (1 thread│   queue   │   …     │  │   ┌──────────┐
-//!            │ nonblock)│──────────▶│ worker N│──┼──▶│ registry │
-//!            └──────────┘           └─────────┘  │   ├──────────┤
-//!                 ▲ shutdown flag (AtomicBool)   └──▶│ LRU cache│
-//!                 └── SIGINT / POST /admin/shutdown  └──────────┘
+//!              ┌────────────────────────────────┐  bounded   ┌─────────┐
+//!   accept ───▶│ event loop (1 thread, epoll)   │── mpsc ───▶│ worker 0│──┐
+//!   read  ◀──▶│ conn slab:                      │  job queue │   …     │  │ ┌──────────┐
+//!   write ◀──▶│  idle → reading → dispatched →  │            │ worker N│──┼▶│ registry │
+//!   close ───▶│  writing → idle  (per conn)     │◀─ completions + wake ─┘  │ ├──────────┤
+//!              └────────────────────────────────┘   (eventfd)             └▶│ LRU cache│
+//!                     ▲ waker wakeups                                       └──────────┘
+//!                     └── SIGINT handler / POST /admin/shutdown / workers
 //! ```
 //!
-//! Graceful shutdown: the flag stops the acceptor, the closed channel
-//! drains the workers, and each worker finishes its in-flight request
-//! (answering `Connection: close`) before exiting. `ServerHandle::
-//! shutdown` joins everything, so when it returns no request is lost.
+//! One nonblocking event loop owns the listener and every connection:
+//! it accepts, drains reads into per-connection buffers, parses
+//! complete requests with the incremental HTTP parser, and writes
+//! serialized responses back with vectored writes — so thousands of
+//! idle keep-alive connections cost zero threads and zero syscalls
+//! until bytes actually move. Compute stays on the worker pool: a
+//! parsed request is enqueued (bounded — the admission-control valve),
+//! a worker runs [`route`] and hands the serialized response back via
+//! a completion queue plus a waker write. The loop itself answers the
+//! protocol-robustness errors (`503` queue-full, `408` slow-loris,
+//! `400`/`413`/`431` parse failures) without touching a worker.
+//!
+//! Graceful shutdown: the flag wakes the loop, which closes the
+//! listener and idle connections, lets dispatched and mid-read
+//! requests finish (answering `Connection: close`) within a drain
+//! grace period, then exits; the dropped job queue drains the workers.
+//! `ServerHandle::shutdown` joins everything, so when it returns no
+//! request is lost.
 
-use std::io::{BufReader, BufWriter};
+use std::collections::VecDeque;
+use std::io::{IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -27,7 +43,8 @@ use hgobs::trace::trace_id;
 use hgobs::{Deadline, TraceCtx};
 
 use crate::cache::ShardedLru;
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::http::{parse_request_bytes, ParseOutcome, Request, Response};
+use crate::poller::{self, Interest, Poller, Waker};
 use crate::query::{ExecOpts, Query};
 use crate::registry::{Format, Registry};
 use crate::slowlog::{unix_ms_now, SlowLog, SlowLogEntry};
@@ -43,8 +60,8 @@ pub struct ServerConfig {
     pub cache_bytes: usize,
     /// Largest accepted `POST /datasets` body.
     pub max_body_bytes: usize,
-    /// Accepted connections waiting for a worker before the acceptor
-    /// starts shedding with `503` + `Retry-After`.
+    /// Parsed requests waiting for a worker before the event loop
+    /// starts shedding new ones with `503` + `Retry-After`.
     pub queue_depth: usize,
     /// Default per-request compute budget in milliseconds; `0` disables
     /// the default (requests without `X-Deadline-Ms` run unbounded).
@@ -76,7 +93,7 @@ impl Default for ServerConfig {
     }
 }
 
-/// State shared by every worker.
+/// State shared by the event loop and every worker.
 pub struct AppState {
     pub registry: Arc<Registry>,
     pub cache: ShardedLru,
@@ -88,13 +105,23 @@ pub struct AppState {
     trace_seq: AtomicU64,
     shutdown: AtomicBool,
     max_body_bytes: usize,
-    /// Connections rejected with 503 because the accept queue was full.
+    /// Requests rejected with 503 because the job queue was full.
     shed: AtomicU64,
     /// Requests answered 504 because their deadline fired mid-compute.
     deadline_hits: AtomicU64,
-    /// Connections currently sitting in the accept queue.
+    /// Parsed requests currently sitting in the job queue.
     queued: AtomicU64,
     queue_capacity: usize,
+    /// Connections accepted over the process lifetime.
+    accepts: AtomicU64,
+    /// Live connections by event-loop state, indexed by [`ConnState`];
+    /// rendered as the labelled `hgserve_open_connections` gauge.
+    conn_states: [AtomicU64; 4],
+    /// The event loop's waker, so shutdown requests (workers handling
+    /// `/admin/shutdown`, `ServerHandle`) interrupt a blocked wait.
+    /// Holding the `Waker` keeps the descriptor alive for the life of
+    /// this state, so a late wake can never hit a recycled fd.
+    loop_waker: Mutex<Option<Waker>>,
     deadline_ms: u64,
     max_deadline_ms: u64,
     header_timeout: Duration,
@@ -115,6 +142,9 @@ impl AppState {
             deadline_hits: AtomicU64::new(0),
             queued: AtomicU64::new(0),
             queue_capacity: config.queue_depth.max(1),
+            accepts: AtomicU64::new(0),
+            conn_states: Default::default(),
+            loop_waker: Mutex::new(None),
             deadline_ms: config.deadline_ms,
             max_deadline_ms: config.max_deadline_ms,
             header_timeout: Duration::from_millis(config.header_timeout_ms.max(1)),
@@ -122,9 +152,24 @@ impl AppState {
         }
     }
 
-    /// Connections shed with 503 so far.
+    /// Requests shed with 503 so far.
     pub fn shed_total(&self) -> u64 {
         self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted so far.
+    pub fn accept_total(&self) -> u64 {
+        self.accepts.load(Ordering::Relaxed)
+    }
+
+    /// Live connections by event-loop state:
+    /// `[idle, reading, dispatched, writing]`.
+    pub fn open_connections(&self) -> [u64; 4] {
+        std::array::from_fn(|i| self.conn_states[i].load(Ordering::Relaxed))
+    }
+
+    fn conn_gauge(&self, state: ConnState) -> &AtomicU64 {
+        &self.conn_states[state as usize]
     }
 
     /// Requests that answered 504 so far.
@@ -156,9 +201,17 @@ impl AppState {
         self.shutdown.load(Ordering::Relaxed)
     }
 
-    /// Request a graceful shutdown (idempotent).
+    /// Request a graceful shutdown (idempotent) and wake the event
+    /// loop so the drain starts immediately.
     pub fn request_shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Ok(guard) = self.loop_waker.lock() {
+            if let Some(waker) = guard.as_ref() {
+                waker.wake();
+            }
+        }
     }
 
     /// One-line lifetime summary for shutdown logs.
@@ -180,7 +233,7 @@ impl AppState {
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<AppState>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    event_loop: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -197,27 +250,569 @@ impl ServerHandle {
     /// Signal shutdown, drain connections, and join every thread.
     pub fn shutdown(mut self) {
         self.state.request_shutdown();
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+        self.join_all();
+    }
+
+    /// Block until something (SIGINT handler, `/admin/shutdown`)
+    /// requests shutdown and the drain completes. No polling: this
+    /// joins the event loop, which only exits once shutdown was
+    /// requested and every in-flight request finished.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(l) = self.event_loop.take() {
+            let _ = l.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
+}
 
-    /// Block until something (SIGINT handler, `/admin/shutdown`) requests
-    /// shutdown, then drain and join.
-    pub fn wait(self) {
-        while !self.state.shutting_down() {
-            std::thread::sleep(Duration::from_millis(50));
-        }
-        self.shutdown();
+/// Token the listener is registered under; connection tokens encode
+/// `(generation << 32) | slab_index` and stay far below this.
+const LISTENER_TOKEN: u64 = poller::RESERVED_TOKEN - 1;
+
+/// How long a graceful shutdown waits for dispatched and mid-read
+/// requests before closing whatever is left.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// SIGINT sets this flag (via [`install_sigint_flag`]'s handler); the
+/// event loop translates it into a graceful shutdown request.
+static SIGINT_FLAG: AtomicBool = AtomicBool::new(false);
+/// The live event loop's waker fd, for the signal handler (which can
+/// only do an atomic load plus one `write(2)`).
+static SIGINT_WAKE_FD: AtomicI32 = AtomicI32::new(-1);
+
+/// One connection's position in its lifecycle; doubles as the index
+/// into the `hgserve_open_connections` gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConnState {
+    /// Parked keep-alive connection: zero cost until bytes arrive.
+    Idle = 0,
+    /// A partial request head (or body) is buffered; the slow-loris
+    /// clock is running.
+    Reading = 1,
+    /// A complete request is on the job queue or under compute.
+    Dispatched = 2,
+    /// Response bytes are queued for (possibly partial) writeout.
+    Writing = 3,
+}
+
+/// One request handed to the worker pool, tagged with the connection
+/// token so the completion finds its way back (or is dropped if the
+/// connection died meanwhile).
+struct Job {
+    token: u64,
+    req: Request,
+}
+
+/// A serialized response traveling back from a worker: byte chunks for
+/// the loop's vectored writeout plus the keep-alive decision.
+struct Completion {
+    token: u64,
+    head: Vec<u8>,
+    body: Vec<u8>,
+    close: bool,
+}
+
+/// Per-connection state machine owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    state: ConnState,
+    /// Accumulated unparsed input; `rpos` is the consumed prefix.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Pending response chunks; `wpos` is the written prefix of the
+    /// front chunk.
+    wqueue: VecDeque<Vec<u8>>,
+    wpos: usize,
+    /// When the current (incomplete) request head started arriving —
+    /// the slow-loris clock behind the 408 timer.
+    head_started: Option<Instant>,
+    peer_closed: bool,
+    close_after_flush: bool,
+    /// Interest currently armed with the poller, to skip no-op MODs.
+    armed: Interest,
+}
+
+fn raw_fd(stream: &TcpStream) -> poller::RawFd {
+    #[cfg(unix)]
+    {
+        use std::os::unix::io::AsRawFd;
+        stream.as_raw_fd()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = stream;
+        -1
     }
 }
 
-/// How long a worker blocks on an idle keep-alive socket before
-/// re-checking the shutdown flag.
-const IDLE_POLL: Duration = Duration::from_millis(100);
+fn listener_fd(listener: &TcpListener) -> poller::RawFd {
+    #[cfg(unix)]
+    {
+        use std::os::unix::io::AsRawFd;
+        listener.as_raw_fd()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = listener;
+        -1
+    }
+}
+
+/// The readiness event loop: owns the listener, the connection slab,
+/// and the poller; single-threaded, nonblocking throughout.
+struct EventLoop {
+    state: Arc<AppState>,
+    poller: Poller,
+    listener: Option<TcpListener>,
+    /// Connection slab; freed slots are recycled via `free` with a
+    /// bumped generation so stale completions can never hit a new
+    /// connection that reused the index.
+    conns: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    open: usize,
+    jobs: SyncSender<Job>,
+    completions: Arc<Mutex<VecDeque<Completion>>>,
+}
+
+impl EventLoop {
+    fn conn_index(&self, token: u64) -> Option<usize> {
+        let idx = (token & u64::from(u32::MAX)) as usize;
+        match self.conns.get(idx) {
+            Some(Some(c)) if c.token == token => Some(idx),
+            _ => None,
+        }
+    }
+
+    fn set_state(&mut self, idx: usize, new: ConnState) {
+        if let Some(conn) = self.conns[idx].as_mut() {
+            if conn.state != new {
+                self.state
+                    .conn_gauge(conn.state)
+                    .fetch_sub(1, Ordering::Relaxed);
+                self.state.conn_gauge(new).fetch_add(1, Ordering::Relaxed);
+                conn.state = new;
+            }
+        }
+    }
+
+    /// Re-arm the poller registration if the interest set changed.
+    fn rearm(&mut self, idx: usize, interest: Interest) {
+        if let Some(conn) = self.conns[idx].as_mut() {
+            if conn.armed != interest {
+                let (fd, token) = (raw_fd(&conn.stream), conn.token);
+                if self.poller.modify(fd, token, interest).is_ok() {
+                    conn.armed = interest;
+                }
+            }
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        if let Some(conn) = self.conns[idx].take() {
+            let _ = self.poller.delete(raw_fd(&conn.stream));
+            self.state
+                .conn_gauge(conn.state)
+                .fetch_sub(1, Ordering::Relaxed);
+            self.gens[idx] = self.gens[idx].wrapping_add(1);
+            self.free.push(idx);
+            self.open -= 1;
+            hgobs::gauge!("serve.conn.open", self.open as i64);
+        }
+    }
+
+    /// Accept every pending connection (edge-triggered: drain to
+    /// `WouldBlock`), register it, and probe for bytes that raced the
+    /// registration.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.state.accepts.fetch_add(1, Ordering::Relaxed);
+                    hgobs::counter!("serve.connections");
+                    let idx = self.free.pop().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.gens.push(0);
+                        self.conns.len() - 1
+                    });
+                    assert!(idx < u32::MAX as usize, "connection slab overflow");
+                    let token = (u64::from(self.gens[idx]) << 32) | idx as u64;
+                    if self
+                        .poller
+                        .add(raw_fd(&stream), token, Interest::READ)
+                        .is_err()
+                    {
+                        self.free.push(idx);
+                        continue;
+                    }
+                    self.conns[idx] = Some(Conn {
+                        stream,
+                        token,
+                        state: ConnState::Idle,
+                        rbuf: Vec::new(),
+                        rpos: 0,
+                        wqueue: VecDeque::new(),
+                        wpos: 0,
+                        head_started: None,
+                        peer_closed: false,
+                        close_after_flush: false,
+                        armed: Interest::READ,
+                    });
+                    self.open += 1;
+                    self.state
+                        .conn_gauge(ConnState::Idle)
+                        .fetch_add(1, Ordering::Relaxed);
+                    hgobs::gauge!("serve.conn.open", self.open as i64);
+                    self.conn_readable(idx);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    // EMFILE and friends: log, stop this round; the
+                    // next arrival re-reports the listener readable.
+                    hgobs::log::warn(|| format!("accept failed: {e}"));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drain the socket into the read buffer (edge-triggered: until
+    /// `WouldBlock` or EOF), then try to advance the state machine.
+    fn conn_readable(&mut self, idx: usize) {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    break;
+                }
+                Ok(n) => conn.rbuf.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(idx);
+                    return;
+                }
+            }
+        }
+        self.advance(idx);
+    }
+
+    /// Try to move the connection forward: parse one buffered request
+    /// and dispatch it, park it idle/reading, or answer a protocol
+    /// error directly. At most one request is in flight per connection
+    /// (responses stay in order); the next pipelined request is parsed
+    /// when the current response finishes flushing.
+    fn advance(&mut self, idx: usize) {
+        enum Act {
+            Busy,
+            CloseNow,
+            ParkIdle,
+            ParkReading,
+            Dispatch(Box<Request>),
+            Respond { status: u16, message: String },
+        }
+        let max_body = self.state.max_body_bytes;
+        let act = {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            if matches!(conn.state, ConnState::Dispatched | ConnState::Writing) {
+                Act::Busy
+            } else {
+                // Compact the consumed prefix before growing further.
+                if conn.rpos == conn.rbuf.len() {
+                    conn.rbuf.clear();
+                    conn.rpos = 0;
+                } else if conn.rpos > 16 * 1024 {
+                    conn.rbuf.drain(..conn.rpos);
+                    conn.rpos = 0;
+                }
+                if conn.rbuf.len() == conn.rpos {
+                    if conn.peer_closed {
+                        Act::CloseNow
+                    } else {
+                        conn.head_started = None;
+                        Act::ParkIdle
+                    }
+                } else {
+                    match parse_request_bytes(&conn.rbuf[conn.rpos..], max_body) {
+                        ParseOutcome::Complete(req, used) => {
+                            conn.rpos += used;
+                            conn.head_started = None;
+                            Act::Dispatch(Box::new(req))
+                        }
+                        ParseOutcome::Partial => {
+                            if conn.peer_closed {
+                                Act::Respond {
+                                    status: 400,
+                                    message: "truncated request".to_string(),
+                                }
+                            } else {
+                                conn.head_started.get_or_insert_with(Instant::now);
+                                Act::ParkReading
+                            }
+                        }
+                        ParseOutcome::Error { status, message } => Act::Respond { status, message },
+                    }
+                }
+            }
+        };
+        match act {
+            Act::Busy => {}
+            Act::CloseNow => self.close_conn(idx),
+            Act::ParkIdle => self.set_state(idx, ConnState::Idle),
+            Act::ParkReading => self.set_state(idx, ConnState::Reading),
+            Act::Dispatch(req) => self.dispatch(idx, *req),
+            Act::Respond { status, message } => {
+                hgobs::counter!("serve.bad_requests");
+                let (head, body) = Response::error(status, &message).to_bytes(true);
+                self.enqueue_write(idx, head, body, true);
+            }
+        }
+    }
+
+    /// Hand a parsed request to the worker pool, or answer `503` +
+    /// `Retry-After` directly when the bounded queue is full — the
+    /// admission-control valve, now entirely inside the event loop.
+    fn dispatch(&mut self, idx: usize, req: Request) {
+        let Some(token) = self.conns[idx].as_ref().map(|c| c.token) else {
+            return;
+        };
+        self.state.queued.fetch_add(1, Ordering::Relaxed);
+        match self.jobs.try_send(Job { token, req }) {
+            Ok(()) => self.set_state(idx, ConnState::Dispatched),
+            Err(TrySendError::Full(_)) => {
+                self.state.queued.fetch_sub(1, Ordering::Relaxed);
+                let shed_total = self.state.shed.fetch_add(1, Ordering::Relaxed) + 1;
+                hgobs::counter!("serve.shed");
+                hgobs::log::warn(|| {
+                    format!("shedding request with 503: job queue full ({shed_total} shed so far)")
+                });
+                let (head, body) = Response::error(503, "server overloaded; queue full")
+                    .with_retry_after(1)
+                    .to_bytes(true);
+                self.enqueue_write(idx, head, body, true);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.state.queued.fetch_sub(1, Ordering::Relaxed);
+                self.close_conn(idx);
+            }
+        }
+    }
+
+    /// Queue response chunks and start (or continue) writing them out.
+    fn enqueue_write(&mut self, idx: usize, head: Vec<u8>, body: Vec<u8>, close: bool) {
+        {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            if !head.is_empty() {
+                conn.wqueue.push_back(head);
+            }
+            if !body.is_empty() {
+                conn.wqueue.push_back(body);
+            }
+            conn.close_after_flush |= close;
+        }
+        self.set_state(idx, ConnState::Writing);
+        self.flush(idx);
+    }
+
+    /// Write queued chunks with vectored writes until drained or
+    /// `WouldBlock` (then arm write interest and wait for the edge).
+    /// A finished flush closes the connection or parses the next
+    /// pipelined request from the buffer.
+    fn flush(&mut self, idx: usize) {
+        loop {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            if conn.wqueue.is_empty() {
+                conn.wpos = 0;
+                break;
+            }
+            let slices: Vec<IoSlice<'_>> = conn
+                .wqueue
+                .iter()
+                .enumerate()
+                .map(|(i, chunk)| IoSlice::new(&chunk[if i == 0 { conn.wpos } else { 0 }..]))
+                .collect();
+            match conn.stream.write_vectored(&slices) {
+                Ok(n) => {
+                    let mut done = conn.wpos + n;
+                    while let Some(front) = conn.wqueue.front() {
+                        if done >= front.len() {
+                            done -= front.len();
+                            conn.wqueue.pop_front();
+                        } else {
+                            break;
+                        }
+                    }
+                    conn.wpos = done;
+                    if n == 0 {
+                        self.close_conn(idx);
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.rearm(idx, Interest::READ_WRITE);
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(idx);
+                    return;
+                }
+            }
+        }
+        let close = self.conns[idx]
+            .as_ref()
+            .is_some_and(|c| c.close_after_flush);
+        if close {
+            self.close_conn(idx);
+            return;
+        }
+        self.rearm(idx, Interest::READ);
+        self.set_state(idx, ConnState::Idle);
+        self.advance(idx);
+    }
+
+    /// Hand worker results back to their connections.
+    fn drain_completions(&mut self) {
+        loop {
+            let completion = self.completions.lock().unwrap().pop_front();
+            let Some(c) = completion else { return };
+            let Some(idx) = self.conn_index(c.token) else {
+                continue; // connection died while the worker computed
+            };
+            self.enqueue_write(idx, c.head, c.body, c.close);
+        }
+    }
+
+    /// Answer `408` on connections whose request head has been
+    /// trickling in longer than the header timeout (slow-loris).
+    fn check_head_timeouts(&mut self) {
+        let budget = self.state.header_timeout;
+        let now = Instant::now();
+        for idx in 0..self.conns.len() {
+            let expired = self.conns[idx].as_ref().is_some_and(|c| {
+                c.state == ConnState::Reading
+                    && c.head_started
+                        .is_some_and(|t0| now.duration_since(t0) >= budget)
+            });
+            if expired {
+                hgobs::counter!("serve.bad_requests");
+                hgobs::log::warn(|| {
+                    "closing slow connection with 408: request header read timed out".to_string()
+                });
+                let (head, body) =
+                    Response::error(408, "request header read timed out").to_bytes(true);
+                self.enqueue_write(idx, head, body, true);
+            }
+        }
+    }
+
+    /// The nearest timer deadline: the earliest slow-loris expiry,
+    /// capped by the drain deadline during shutdown. `None` blocks
+    /// until readiness or a wake.
+    fn next_timeout(&self, drain_deadline: Option<Instant>) -> Option<Duration> {
+        let mut next: Option<Instant> = drain_deadline;
+        for conn in self.conns.iter().flatten() {
+            if conn.state == ConnState::Reading {
+                if let Some(t0) = conn.head_started {
+                    let deadline = t0 + self.state.header_timeout;
+                    next = Some(next.map_or(deadline, |n| n.min(deadline)));
+                }
+            }
+        }
+        next.map(|deadline| deadline.saturating_duration_since(Instant::now()))
+    }
+
+    /// Start the graceful drain: stop accepting and drop parked idle
+    /// connections; reading/dispatched/writing connections get the
+    /// grace period to finish.
+    fn begin_drain(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.delete(listener_fd(&listener));
+        }
+        for idx in 0..self.conns.len() {
+            if self.conns[idx]
+                .as_ref()
+                .is_some_and(|c| c.state == ConnState::Idle)
+            {
+                self.close_conn(idx);
+            }
+        }
+    }
+
+    fn run(&mut self) {
+        let mut events: Vec<poller::Event> = Vec::new();
+        let mut drain_deadline: Option<Instant> = None;
+        loop {
+            if SIGINT_FLAG.load(Ordering::Relaxed) && !self.state.shutting_down() {
+                self.state.request_shutdown();
+            }
+            if self.state.shutting_down() && drain_deadline.is_none() {
+                drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+                self.begin_drain();
+            }
+            if let Some(deadline) = drain_deadline {
+                if self.open == 0 {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    for idx in 0..self.conns.len() {
+                        self.close_conn(idx);
+                    }
+                    break;
+                }
+            }
+            let timeout = self.next_timeout(drain_deadline);
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            for &ev in &events {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_ready();
+                    continue;
+                }
+                if let Some(idx) = self.conn_index(ev.token) {
+                    if ev.readable {
+                        self.conn_readable(idx);
+                    }
+                }
+                if let Some(idx) = self.conn_index(ev.token) {
+                    if ev.writable {
+                        self.flush(idx);
+                    }
+                }
+            }
+            self.drain_completions();
+            self.check_head_timeouts();
+        }
+        // Dropping self (and with it `jobs`) closes the queue; workers
+        // finish whatever is already queued, then exit.
+    }
+}
 
 /// Bind and start the server. Enables the hgobs sink — the server's
 /// `/metrics` endpoint is cumulative over the process lifetime.
@@ -226,154 +821,85 @@ pub fn start(config: &ServerConfig, registry: Arc<Registry>) -> std::io::Result<
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let mut poller = Poller::new()?;
+    poller.add(listener_fd(&listener), LISTENER_TOKEN, Interest::READ)?;
 
     let state = Arc::new(AppState::from_config(config, registry));
+    let waker = poller.waker();
+    *state.loop_waker.lock().unwrap() = Some(waker.clone());
+    SIGINT_WAKE_FD.store(waker.raw_fd(), Ordering::SeqCst);
 
-    // A *bounded* queue is the admission-control valve: when every
-    // worker is busy and `queue_depth` connections are already waiting,
-    // the acceptor sheds new arrivals immediately instead of letting
-    // latency grow without bound.
-    let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+    // The *bounded* job queue is the admission-control valve: when
+    // every worker is busy and `queue_depth` requests are already
+    // waiting, the event loop sheds new requests immediately instead
+    // of letting latency grow without bound.
+    let (tx, rx): (SyncSender<Job>, Receiver<Job>) =
         std::sync::mpsc::sync_channel(config.queue_depth.max(1));
     let rx = Arc::new(Mutex::new(rx));
+    let completions = Arc::new(Mutex::new(VecDeque::new()));
 
     let workers: Vec<_> = (0..config.threads.max(1))
         .map(|i| {
             let rx = Arc::clone(&rx);
             let state = Arc::clone(&state);
+            let completions = Arc::clone(&completions);
+            let waker = waker.clone();
             std::thread::Builder::new()
                 .name(format!("hgserve-worker-{i}"))
                 .spawn(move || loop {
-                    let conn = rx.lock().unwrap().recv();
-                    match conn {
-                        Ok(stream) => {
+                    let job = rx.lock().unwrap().recv();
+                    match job {
+                        Ok(Job { token, req }) => {
                             state.queued.fetch_sub(1, Ordering::Relaxed);
-                            handle_connection(&state, stream);
+                            let resp = route(&state, &req);
+                            // Re-check the flag after routing so the
+                            // response to `/admin/shutdown` itself
+                            // already says `Connection: close`.
+                            let close = req.wants_close() || state.shutting_down();
+                            let (head, body) = resp.to_bytes(close);
+                            completions.lock().unwrap().push_back(Completion {
+                                token,
+                                head,
+                                body,
+                                close,
+                            });
+                            waker.wake();
                         }
-                        Err(_) => break, // acceptor gone: drained
+                        Err(_) => break, // event loop gone: drained
                     }
                 })
                 .expect("spawn worker")
         })
         .collect();
 
-    let acceptor = {
+    let event_loop = {
         let state = Arc::clone(&state);
         std::thread::Builder::new()
-            .name("hgserve-acceptor".to_string())
+            .name("hgserve-events".to_string())
             .spawn(move || {
-                while !state.shutting_down() {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            let _ = stream.set_nodelay(true);
-                            hgobs::counter!("serve.connections");
-                            state.queued.fetch_add(1, Ordering::Relaxed);
-                            match tx.try_send(stream) {
-                                Ok(()) => {}
-                                Err(TrySendError::Full(stream)) => {
-                                    state.queued.fetch_sub(1, Ordering::Relaxed);
-                                    shed_connection(&state, stream);
-                                }
-                                Err(TrySendError::Disconnected(_)) => break,
-                            }
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
-                        }
-                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
-                    }
-                }
-                // Dropping `tx` here closes the queue; workers finish
-                // whatever is already queued, then exit.
+                let mut el = EventLoop {
+                    state,
+                    poller,
+                    listener: Some(listener),
+                    conns: Vec::new(),
+                    gens: Vec::new(),
+                    free: Vec::new(),
+                    open: 0,
+                    jobs: tx,
+                    completions,
+                };
+                el.run();
             })
-            .expect("spawn acceptor")
+            .expect("spawn event loop")
     };
 
     hgobs::log::info(|| format!("hgserve listening on {addr}"));
     Ok(ServerHandle {
         addr,
         state,
-        acceptor: Some(acceptor),
+        event_loop: Some(event_loop),
         workers,
     })
-}
-
-/// Reject one connection with `503 Service Unavailable` + `Retry-After`.
-///
-/// Runs on a short-lived helper thread, not the acceptor: the helper
-/// first reads (and discards) the request head so the peer's bytes are
-/// consumed before we close — closing with unread data queued makes the
-/// kernel send RST, which would destroy the 503 before the client reads
-/// it. The helper count is bounded; past the cap a flood of connections
-/// is simply dropped (they were being shed anyway).
-fn shed_connection(state: &AppState, stream: TcpStream) {
-    let shed_total = state.shed.fetch_add(1, Ordering::Relaxed) + 1;
-    hgobs::counter!("serve.shed");
-    hgobs::log::warn(|| {
-        format!("shedding connection with 503: accept queue full ({shed_total} shed so far)")
-    });
-    static SHEDDERS: AtomicU64 = AtomicU64::new(0);
-    const MAX_SHEDDERS: u64 = 64;
-    if SHEDDERS.fetch_add(1, Ordering::Relaxed) >= MAX_SHEDDERS {
-        SHEDDERS.fetch_sub(1, Ordering::Relaxed);
-        return;
-    }
-    let spawned = std::thread::Builder::new()
-        .name("hgserve-shed".to_string())
-        .spawn(move || {
-            let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-            let mut head = [0u8; 1024];
-            let _ = std::io::Read::read(&mut &stream, &mut head);
-            let mut writer = BufWriter::new(&stream);
-            let _ = Response::error(503, "server overloaded; queue full")
-                .with_retry_after(1)
-                .write_to(&mut writer, true);
-            drop(writer);
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-            SHEDDERS.fetch_sub(1, Ordering::Relaxed);
-        });
-    if spawned.is_err() {
-        SHEDDERS.fetch_sub(1, Ordering::Relaxed);
-    }
-}
-
-/// Serve one connection: keep-alive loop until close/EOF/shutdown.
-fn handle_connection(state: &AppState, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(IDLE_POLL));
-    let reader_stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(reader_stream);
-    let mut writer = BufWriter::new(stream);
-
-    loop {
-        match read_request(&mut reader, state.max_body_bytes, state.header_timeout) {
-            Ok(req) => {
-                let close = req.wants_close() || state.shutting_down();
-                let response = route(state, &req);
-                if response.write_to(&mut writer, close).is_err() || close {
-                    return;
-                }
-            }
-            Err(HttpError::Idle) => {
-                if state.shutting_down() {
-                    return;
-                }
-            }
-            Err(HttpError::Eof) => return,
-            Err(HttpError::Bad { status, message }) => {
-                hgobs::counter!("serve.bad_requests");
-                if status == 408 {
-                    hgobs::log::warn(|| format!("closing slow connection with 408: {message}"));
-                }
-                let _ = Response::error(status, &message).write_to(&mut writer, true);
-                return;
-            }
-            Err(HttpError::Io(_)) => return,
-        }
-    }
 }
 
 /// Does the client want the trace block embedded in the response body?
@@ -517,6 +1043,17 @@ fn metrics(state: &AppState) -> Response {
         state.queued.load(Ordering::Relaxed),
         state.queue_capacity,
     ));
+    // Connection engine gauges: the slab population by state machine
+    // position, plus lifetime accepts.
+    let [idle, reading, dispatched, writing] = state.open_connections();
+    body.push_str(&format!(
+        "hgserve_open_connections{{state=\"idle\"}} {idle}\n\
+         hgserve_open_connections{{state=\"reading\"}} {reading}\n\
+         hgserve_open_connections{{state=\"dispatched\"}} {dispatched}\n\
+         hgserve_open_connections{{state=\"writing\"}} {writing}\n\
+         hgserve_accept_total {}\n",
+        state.accept_total(),
+    ));
     // Per-dataset CSR memory (labelled gauge) plus the fleet total. For
     // mmap-backed datasets the value is the mapped length — an upper
     // bound on actual resident pages.
@@ -626,14 +1163,16 @@ fn query(
     }
 }
 
-/// Install a `SIGINT` handler that flips the returned flag on Ctrl-C.
-/// Pure `std` + a direct `signal(2)` declaration; the handler body is a
-/// single atomic store, which is async-signal-safe.
+/// Install a `SIGINT` handler that flips the returned flag on Ctrl-C
+/// and wakes the event loop, which turns the flag into a graceful
+/// shutdown. Pure `std` + a direct `signal(2)` declaration; the
+/// handler body is one atomic store plus one `write(2)` on the waker
+/// eventfd — both async-signal-safe.
 #[cfg(unix)]
 pub fn install_sigint_flag() -> &'static AtomicBool {
-    static FLAG: AtomicBool = AtomicBool::new(false);
     extern "C" fn on_sigint(_sig: i32) {
-        FLAG.store(true, Ordering::SeqCst);
+        SIGINT_FLAG.store(true, Ordering::SeqCst);
+        poller::wake_fd(SIGINT_WAKE_FD.load(Ordering::SeqCst));
     }
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
@@ -643,15 +1182,14 @@ pub fn install_sigint_flag() -> &'static AtomicBool {
     unsafe {
         signal(SIGINT, handler as usize);
     }
-    &FLAG
+    &SIGINT_FLAG
 }
 
 /// Non-unix fallback: a flag nothing ever sets (shutdown then comes
 /// from `/admin/shutdown` only).
 #[cfg(not(unix))]
 pub fn install_sigint_flag() -> &'static AtomicBool {
-    static FLAG: AtomicBool = AtomicBool::new(false);
-    &FLAG
+    &SIGINT_FLAG
 }
 
 #[cfg(test)]
@@ -769,6 +1307,19 @@ mod tests {
         );
         assert!(r.body.contains("hgserve_queue_depth 0"), "{}", r.body);
         assert!(r.body.contains("hgserve_queue_capacity 64"), "{}", r.body);
+        assert!(
+            r.body
+                .contains("hgserve_open_connections{state=\"idle\"} 0"),
+            "{}",
+            r.body
+        );
+        assert!(
+            r.body
+                .contains("hgserve_open_connections{state=\"dispatched\"} 0"),
+            "{}",
+            r.body
+        );
+        assert!(r.body.contains("hgserve_accept_total 0"), "{}", r.body);
         assert!(
             r.body
                 .contains("hgserve_dataset_resident_bytes{dataset=\"toy\",storage=\"owned\"}"),

@@ -57,12 +57,18 @@ fn end_to_end_serve_loadgen_cache_and_drain() {
         )
         .unwrap(),
         deadline_ms: None,
+        idle_connections: 24,
     })
     .expect("loadgen runs");
     assert_eq!(report.sent, 240, "{}", report.render_text());
     assert_eq!(report.ok, 240, "{}", report.render_text());
     assert_eq!(report.http_errors, 0, "{}", report.render_text());
     assert_eq!(report.transport_errors, 0, "{}", report.render_text());
+    // The idle fleet parks on the event loop for the whole run: every
+    // socket connects and none get dropped while queries are answered.
+    assert_eq!(report.idle_connected, 24, "{}", report.render_text());
+    assert_eq!(report.idle_connect_errors, 0, "{}", report.render_text());
+    assert_eq!(report.idle_resets, 0, "{}", report.render_text());
     assert!(
         report.cache_hits_delta.unwrap_or(0) > 0,
         "repeated queries must hit the cache: {}",

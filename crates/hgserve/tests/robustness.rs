@@ -82,8 +82,12 @@ fn tight_deadline_answers_504_promptly() {
 
 #[test]
 fn saturated_server_sheds_with_503_and_retry_after() {
-    // One worker, one queue slot: the third concurrent connection has
-    // nowhere to go and must be shed by the acceptor.
+    // One worker, one queue slot. Idle connections are free under the
+    // event loop, so saturation needs real in-flight compute: requests
+    // A and B are slow uncacheable diameter sweeps (`?trace=1` bypasses
+    // the result cache) that pin the worker and fill the queue slot;
+    // request C then has nowhere to go and must be shed by the event
+    // loop without waiting on either.
     let (handle, addr) = boot(
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -91,17 +95,23 @@ fn saturated_server_sheds_with_503_and_retry_after() {
             queue_depth: 1,
             ..ServerConfig::default()
         },
-        200,
-        160,
+        12_000,
+        9_600,
         5,
     );
 
-    // Conn A occupies the single worker (a keep-alive connection holds
-    // its worker until closed); conn B fills the one queue slot.
-    let conn_a = TcpStream::connect(&addr).expect("conn A");
-    std::thread::sleep(Duration::from_millis(150));
-    let conn_b = TcpStream::connect(&addr).expect("conn B");
-    std::thread::sleep(Duration::from_millis(150));
+    let slow_request =
+        |path: &str| format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+    let mut conn_a = TcpStream::connect(&addr).expect("conn A");
+    conn_a
+        .write_all(slow_request("/v1/big/diameter?trace=1").as_bytes())
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let mut conn_b = TcpStream::connect(&addr).expect("conn B");
+    conn_b
+        .write_all(slow_request("/v1/big/diameter?trace=1&pad=b").as_bytes())
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(30));
 
     // Conn C must be rejected immediately with 503 + Retry-After.
     let mut conn_c = TcpStream::connect(&addr).expect("conn C");
@@ -111,19 +121,122 @@ fn saturated_server_sheds_with_503_and_retry_after() {
     conn_c
         .write_all(b"GET /v1/big/stats HTTP/1.1\r\nHost: x\r\n\r\n")
         .unwrap();
+    let t0 = Instant::now();
     let mut raw = String::new();
     conn_c.read_to_string(&mut raw).expect("read 503");
     assert!(raw.starts_with("HTTP/1.1 503 "), "{raw}");
     assert!(raw.contains("\r\nRetry-After: 1\r\n"), "{raw}");
     assert!(raw.contains("Connection: close"), "{raw}");
+    // The shed happens in the event loop while the worker is busy: it
+    // must not wait for the multi-hundred-ms sweeps to finish.
+    assert!(
+        t0.elapsed() < scale_ms(150),
+        "503 should be immediate, took {:?}",
+        t0.elapsed()
+    );
 
     assert!(
         handle.state().shed_total() >= 1,
         "shed counter must record the rejection"
     );
 
-    drop(conn_a);
-    drop(conn_b);
+    // A and B were admitted and eventually answer 200 in full.
+    for (label, conn) in [("A", &mut conn_a), ("B", &mut conn_b)] {
+        conn.set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw)
+            .unwrap_or_else(|e| panic!("read response {label}: {e}"));
+        assert!(raw.starts_with("HTTP/1.1 200 "), "{label}: {raw}");
+        assert!(raw.contains("\"diameter\""), "{label}: {raw}");
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn idle_keepalive_connections_do_not_pin_workers() {
+    // With the old thread-per-connection design, 50 parked keep-alive
+    // connections starved a single-worker server. The event loop holds
+    // them for free: a live query must still answer promptly.
+    let (handle, addr) = boot(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            queue_depth: 1,
+            ..ServerConfig::default()
+        },
+        200,
+        160,
+        7,
+    );
+
+    let idle: Vec<TcpStream> = (0..50)
+        .map(|i| TcpStream::connect(&addr).unwrap_or_else(|e| panic!("idle conn {i}: {e}")))
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut client = Client::new(&addr);
+    let t0 = Instant::now();
+    let (status, body) = client.get("/v1/big/stats").expect("served among idles");
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        t0.elapsed() < scale_ms(500),
+        "query stuck behind idle connections: {:?}",
+        t0.elapsed()
+    );
+
+    let [idle_gauge, _, _, _] = handle.state().open_connections();
+    assert!(
+        idle_gauge >= 50,
+        "open-connection gauge should count the parked fleet, saw {idle_gauge}"
+    );
+    assert!(handle.state().accept_total() >= 51);
+
+    drop(idle);
+    handle.shutdown();
+}
+
+#[test]
+fn trickling_header_answers_408_and_closes() {
+    // Slow-loris: a request head that stalls past --header-timeout-ms
+    // gets 408 from the event loop's timer, not a pinned worker.
+    let (handle, addr) = boot(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            header_timeout_ms: 300,
+            ..ServerConfig::default()
+        },
+        200,
+        160,
+        9,
+    );
+
+    let mut conn = TcpStream::connect(&addr).expect("conn");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    conn.write_all(b"GET /v1/big/stats HTT").unwrap(); // head never completes
+    let t0 = Instant::now();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read 408");
+    let elapsed = t0.elapsed();
+    assert!(raw.starts_with("HTTP/1.1 408 "), "{raw}");
+    assert!(raw.contains("Connection: close"), "{raw}");
+    assert!(
+        elapsed >= Duration::from_millis(250),
+        "408 must not fire before the timeout, took {elapsed:?}"
+    );
+    assert!(
+        elapsed < scale_ms(2_000),
+        "408 should fire promptly after the timeout, took {elapsed:?}"
+    );
+
+    // The connection is gone; the server still serves new clients.
+    let mut client = Client::new(&addr);
+    let (status, _) = client.get("/healthz").expect("alive after 408");
+    assert_eq!(status, 200);
+
     handle.shutdown();
 }
 
@@ -148,6 +261,7 @@ fn loadgen_with_deadline_never_blows_the_budget() {
         requests: 12,
         mix: parse_mix("diameter=1").unwrap(),
         deadline_ms: Some(deadline_ms),
+        idle_connections: 0,
     })
     .expect("loadgen runs");
 
